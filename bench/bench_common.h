@@ -1,0 +1,76 @@
+// Shared measurement scaffolding for the paper-reproduction benchmarks (§4).
+//
+// The paper's testbed metrics map onto the simulation as follows (DESIGN.md §2):
+//   CPU utilization  -> wall-clock nanoseconds the target node spends executing its
+//                       dataflow per simulated second (NodeStats::busy_ns), printed
+//                       both as ms/sim-s and normalized against the baseline;
+//   process memory   -> bytes held by the target node's tables + tuple memo store;
+//   live tuples      -> rows across the target node's tables;
+//   Tx messages      -> network messages sent fleet-wide during the measurement
+//                       window (the paper's Figs 6-7 count transmissions).
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+
+struct WindowMetrics {
+  double cpu_ms_per_s = 0;   // target-node busy time per simulated second
+  double cpu_pct = 0;        // same, as a percentage of one core
+  double memory_mb = 0;      // target-node table + memo bytes at window end
+  double alloc_mb_per_s = 0; // fleet-wide intermediate-tuple churn during the window
+  double live_tuples = 0;    // target-node rows at window end
+  double tx_msgs = 0;        // fleet-wide messages sent during the window
+};
+
+// Builds the paper's 21-node deployment (stabilize 5 s, fingers 10 s, ping 5 s).
+inline TestbedConfig PaperTestbed(int num_nodes = 21, bool tracing = false) {
+  TestbedConfig cfg;
+  cfg.num_nodes = num_nodes;
+  cfg.node_options.tracing = tracing;
+  cfg.node_options.introspection = false;
+  cfg.chord.stabilize_period = 5.0;
+  cfg.chord.ping_period = 5.0;
+  cfg.chord.finger_period = 10.0;
+  return cfg;
+}
+
+// Runs `bed` for `secs` of simulated time and reports the target node's metrics over
+// that window.
+inline WindowMetrics MeasureWindow(ChordTestbed* bed, Node* target, double secs) {
+  uint64_t busy_before = target->stats().busy_ns;
+  uint64_t msgs_before = bed->network().total_msgs();
+  uint64_t alloc_before = Tuple::TotalBytesCreated();
+  bed->Run(secs);
+  WindowMetrics m;
+  m.cpu_ms_per_s =
+      static_cast<double>(target->stats().busy_ns - busy_before) / 1e6 / secs;
+  m.cpu_pct = m.cpu_ms_per_s / 10.0;  // ms per 1000 ms -> percent
+  size_t bytes = target->catalog().TotalBytes();
+  m.memory_mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  m.alloc_mb_per_s = static_cast<double>(Tuple::TotalBytesCreated() - alloc_before) /
+                     (1024.0 * 1024.0) / secs;
+  m.live_tuples = static_cast<double>(target->catalog().TotalRows(bed->network().Now()));
+  m.tx_msgs = static_cast<double>(bed->network().total_msgs() - msgs_before);
+  return m;
+}
+
+inline void PrintHeader(const char* title, const char* x_label) {
+  printf("\n%s\n", title);
+  printf("%-10s %12s %9s %11s %13s %12s %10s\n", x_label, "cpu(ms/s)", "cpu(%)",
+         "state(MB)", "churn(MB/s)", "live-tuples", "tx-msgs");
+}
+
+inline void PrintRow(const std::string& x, const WindowMetrics& m) {
+  printf("%-10s %12.3f %9.3f %11.4f %13.4f %12.0f %10.0f\n", x.c_str(), m.cpu_ms_per_s,
+         m.cpu_pct, m.memory_mb, m.alloc_mb_per_s, m.live_tuples, m.tx_msgs);
+}
+
+}  // namespace p2
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,244 @@
+// Engine microbenchmarks (not in the paper): the cost of the building blocks the
+// figure-level benchmarks are made of, plus ablations for design choices called out
+// in DESIGN.md §6 (tracing taps on/off, continuous-aggregate recomputation).
+
+#include <benchmark/benchmark.h>
+
+#include "src/chord/chord.h"
+#include "src/lang/parser.h"
+#include "src/net/network.h"
+#include "src/net/wire.h"
+
+namespace p2 {
+namespace {
+
+TupleRef SampleTuple(int i) {
+  return Tuple::Make("succ", {Value::Str("n1"), Value::Id(0x9e3779b97f4a7c15ULL * i),
+                              Value::Str("n" + std::to_string(i % 21))});
+}
+
+void BM_TupleCreate(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleTuple(++i));
+  }
+}
+BENCHMARK(BM_TupleCreate);
+
+void BM_TupleHash(benchmark::State& state) {
+  TupleRef t = SampleTuple(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t->Hash());
+  }
+}
+BENCHMARK(BM_TupleHash);
+
+void BM_TableInsertReplace(benchmark::State& state) {
+  TableSpec spec;
+  spec.name = "succ";
+  spec.lifetime_secs = 30;
+  spec.max_size = static_cast<size_t>(state.range(0));
+  spec.key_fields = {0, 2};
+  Table table(spec);
+  int i = 0;
+  double now = 0;
+  for (auto _ : state) {
+    table.Insert(SampleTuple(++i), now);
+    now += 0.001;
+  }
+}
+BENCHMARK(BM_TableInsertReplace)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TableScan(benchmark::State& state) {
+  TableSpec spec;
+  spec.name = "succ";
+  spec.key_fields = {0, 2};
+  Table table(spec);
+  for (int i = 0; i < state.range(0); ++i) {
+    table.Insert(SampleTuple(i), 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Scan(1));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableScan)->Arg(16)->Arg(256);
+
+void BM_ParseChordProgram(benchmark::State& state) {
+  ChordConfig cfg;
+  std::string source = ChordProgram();
+  ParamMap params = ChordParams(cfg);
+  for (auto _ : state) {
+    Program program;
+    std::string error;
+    bool ok = ParseProgram(source, params, &program, &error);
+    if (!ok) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(program);
+  }
+}
+BENCHMARK(BM_ParseChordProgram);
+
+void BM_WireRoundTrip(benchmark::State& state) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.tuple = SampleTuple(3);
+  for (auto _ : state) {
+    std::string bytes = EncodeEnvelope(env);
+    WireEnvelope out;
+    bool ok = DecodeEnvelope(bytes, &out);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_WireRoundTrip);
+
+// One strand execution: event joins a 16-row table and emits. `tracing` toggles the
+// tracer taps — the per-execution cost of making the system diagnosable.
+void StrandTriggerBench(benchmark::State& state, bool tracing) {
+  NetworkConfig net_cfg;
+  net_cfg.latency = 0.001;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.tracing = tracing;
+  opts.introspection = false;
+  opts.rule_exec_lifetime = 0.5;  // keep the trace tables from growing unboundedly
+  Node* node = net.AddNode("n1", opts);
+  std::string error;
+  bool ok = node->LoadProgram(
+      "materialize(s, infinity, 16, keys(1,2)).\n"
+      "r1 out@N(X, Y) :- ev@N(X), s@N(Y), Y < 8.",
+      &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (int i = 0; i < 16; ++i) {
+    node->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net.RunFor(1);
+  int i = 0;
+  for (auto _ : state) {
+    node->InjectEvent(Tuple::Make("ev", {Value::Str("n1"), Value::Int(++i)}));
+    net.RunFor(0.01);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StrandTrigger_Untraced(benchmark::State& state) {
+  StrandTriggerBench(state, false);
+}
+BENCHMARK(BM_StrandTrigger_Untraced);
+
+void BM_StrandTrigger_Traced(benchmark::State& state) { StrandTriggerBench(state, true); }
+BENCHMARK(BM_StrandTrigger_Traced);
+
+// Ablation: a join whose pattern covers the table's primary key becomes an O(1)
+// probe; the same join against an unkeyed table scans. Table size = range(0).
+void JoinBench(benchmark::State& state, bool keyed) {
+  NetworkConfig net_cfg;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.introspection = false;
+  Node* node = net.AddNode("n1", opts);
+  std::string error;
+  std::string program = keyed ? "materialize(kv, infinity, 100000, keys(1, 2)).\n"
+                              : "materialize(kv, infinity, 100000).\n";
+  program += "r1 out@N(V) :- q@N(K), kv@N(K, V).";
+  bool ok = node->LoadProgram(program, &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (int i = 0; i < state.range(0); ++i) {
+    node->InjectEvent(
+        Tuple::Make("kv", {Value::Str("n1"), Value::Int(i), Value::Int(i * 10)}));
+  }
+  net.RunFor(1);
+  int i = 0;
+  for (auto _ : state) {
+    node->InjectEvent(
+        Tuple::Make("q", {Value::Str("n1"), Value::Int(++i % state.range(0))}));
+    net.RunFor(0.01);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_JoinKeyProbe(benchmark::State& state) { JoinBench(state, true); }
+BENCHMARK(BM_JoinKeyProbe)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_JoinFullScan(benchmark::State& state) { JoinBench(state, false); }
+BENCHMARK(BM_JoinFullScan)->Arg(64)->Arg(1024)->Arg(8192);
+
+// Ablation: tracer record bound (the paper's "fixed number of execution records").
+void BM_TracerRecordBound(benchmark::State& state) {
+  NetworkConfig net_cfg;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.tracing = true;
+  opts.introspection = false;
+  opts.rule_exec_lifetime = 0.5;
+  opts.tracer_records_per_rule = static_cast<size_t>(state.range(0));
+  Node* node = net.AddNode("n1", opts);
+  std::string error;
+  bool ok = node->LoadProgram(
+      "materialize(s, infinity, 16, keys(1,2)).\n"
+      "r1 out@N(X, Y) :- ev@N(X), s@N(Y).",
+      &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (int i = 0; i < 16; ++i) {
+    node->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net.RunFor(1);
+  int i = 0;
+  for (auto _ : state) {
+    node->InjectEvent(Tuple::Make("ev", {Value::Str("n1"), Value::Int(++i)}));
+    net.RunFor(0.01);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TracerRecordBound)->Arg(1)->Arg(8)->Arg(64);
+
+// Continuous aggregate recomputation cost as the underlying table grows (DESIGN.md §6:
+// full recomputation is chosen for simplicity; this quantifies the price).
+void BM_ContinuousAggReeval(benchmark::State& state) {
+  NetworkConfig net_cfg;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.introspection = false;
+  Node* node = net.AddNode("n1", opts);
+  std::string error;
+  bool ok = node->LoadProgram(
+      "materialize(bp, infinity, 100000, keys(1,2)).\n"
+      "materialize(nbp, infinity, 1, keys(1)).\n"
+      "bp2 nbp@N(count<*>) :- bp@N(R, F).",
+      &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (int i = 0; i < state.range(0); ++i) {
+    node->InjectEvent(
+        Tuple::Make("bp", {Value::Str("n1"), Value::Int(i), Value::Int(0)}));
+  }
+  net.RunFor(1);
+  // Flipping one row's payload replaces it under the key, dirtying the aggregate and
+  // forcing one full recomputation over a table of fixed size range(0).
+  int flip = 0;
+  for (auto _ : state) {
+    node->InjectEvent(
+        Tuple::Make("bp", {Value::Str("n1"), Value::Int(0), Value::Int(++flip)}));
+    net.RunFor(0.01);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ContinuousAggReeval)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace p2
+
+BENCHMARK_MAIN();

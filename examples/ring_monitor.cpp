@@ -1,0 +1,98 @@
+// ring_monitor: on-line invariant checking on a live Chord ring (paper §3.1).
+//
+// Installs — while the system runs — the paper's ring well-formedness detectors
+// (active probes rp1-rp3 and the passive check rp4) and the ID-ordering machinery
+// (opportunistic ri1 and the token traversal ri2-ri6), then injects two faults and
+// shows each detector firing.
+//
+// Usage:  ./build/examples/ring_monitor
+
+#include <cstdio>
+
+#include "src/mon/ordering.h"
+#include "src/mon/ring_checks.h"
+#include "src/testbed/testbed.h"
+
+int main() {
+  p2::TestbedConfig config;
+  config.num_nodes = 12;
+  p2::ChordTestbed bed(config);
+  printf("forming a 12-node ring...\n");
+  bed.Run(100);
+  printf("ring correct: %s\n", bed.RingIsCorrect() ? "yes" : "no");
+
+  // Deploy the monitors piecemeal, on-line — no restart, no recompilation.
+  printf("\ninstalling ring checks (rp1-rp4) and ordering checks (ri1-ri8) fleet-wide\n");
+  for (p2::Node* node : bed.nodes()) {
+    p2::RingCheckConfig rc;
+    rc.probe_period = 2.0;
+    std::string error;
+    if (!InstallRingChecks(node, rc, &error) ||
+        !InstallOrderingChecks(node, &error)) {
+      fprintf(stderr, "install failed: %s\n", error.c_str());
+      return 1;
+    }
+    node->SubscribeEvent("inconsistentPred", [node, &bed](const p2::TupleRef& t) {
+      printf("  [%7.2fs] %s: inconsistentPred%s\n", bed.network().Now(),
+             node->addr().c_str(), t->ToString().substr(t->name().size()).c_str());
+    });
+    node->SubscribeEvent("closerID", [node, &bed](const p2::TupleRef& t) {
+      printf("  [%7.2fs] %s: closerID — unknown node %s between pred and succ\n",
+             bed.network().Now(), node->addr().c_str(),
+             t->field(1).ToString().c_str());
+    });
+  }
+
+  printf("\n-- 20 quiet seconds on the healthy ring (no alarms expected) --\n");
+  bed.Run(20);
+
+  printf("\n-- traversal check on the healthy ring --\n");
+  p2::Node* initiator = bed.node(0);
+  initiator->SubscribeEvent("orderingOk", [&](const p2::TupleRef& t) {
+    printf("  [%7.2fs] traversal %s completed: %s wrap-around(s), %s hops — ring OK\n",
+           bed.network().Now(), t->field(1).ToString().c_str(),
+           t->field(2).ToString().c_str(), t->field(3).ToString().c_str());
+  });
+  initiator->SubscribeEvent("orderingProblem", [&](const p2::TupleRef& t) {
+    printf("  [%7.2fs] ORDERING PROBLEM: %s wrap-arounds (expected 1)\n",
+           bed.network().Now(), t->field(4).ToString().c_str());
+  });
+  StartRingTraversal(initiator, 1);
+  bed.Run(5);
+
+  printf("\n-- fault 1: corrupting n4's predecessor pointer --\n");
+  p2::Node* victim = bed.node(4);
+  p2::Node* wrong = nullptr;
+  for (p2::Node* candidate : bed.nodes()) {
+    if (candidate != victim && candidate->addr() != p2::PredAddr(victim) &&
+        candidate->addr() != p2::BestSuccAddr(victim)) {
+      wrong = candidate;
+      break;
+    }
+  }
+  std::string true_pred = p2::PredAddr(victim);
+  // Re-inject across several phases: Chord heals the pointer within a notify round,
+  // so a single corruption can fall entirely between two probes.
+  for (int i = 0; i < 4; ++i) {
+    victim->InjectEvent(p2::Tuple::Make(
+        "pred", {p2::Value::Str(victim->addr()), p2::Value::Id(ChordId(wrong)),
+                 p2::Value::Str(wrong->addr())}));
+    bed.Run(1.3);
+  }
+  bed.Run(6);
+  printf("   (corrupted to %s; Chord has healed the pointer by now: pred=%s, was %s)\n",
+         wrong->addr().c_str(), p2::PredAddr(victim).c_str(), true_pred.c_str());
+
+  printf("\n-- fault 2: a lookup response advertising a node nobody knows --\n");
+  p2::Node* observer = bed.node(7);
+  uint64_t ghost = ChordId(observer) - 1;
+  observer->InjectEvent(p2::Tuple::Make(
+      "lookupResults",
+      {p2::Value::Str(observer->addr()), p2::Value::Id(ghost), p2::Value::Id(ghost),
+       p2::Value::Str("ghost:1234"), p2::Value::Id(777),
+       p2::Value::Str("ghost:1234")}));
+  bed.Run(3);
+
+  printf("\ndone.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// rumor_mill: the paper's §3.4 generality claim, live — a second, non-Chord overlay
+// (epidemic rumor dissemination) monitored with the SAME tooling:
+//  * the unchanged Chandy-Lamport snapshot program freezes the overlay's spread state;
+//  * the generic execution profiler decomposes a rumor's multi-hop propagation latency;
+//  * coverage is a continuous aggregate maintained by the overlay itself.
+//
+// Usage:  ./build/examples/rumor_mill
+
+#include <cstdio>
+#include <vector>
+
+#include "src/mon/profiler.h"
+#include "src/mon/snapshot.h"
+#include "src/net/network.h"
+#include "src/overlays/flood.h"
+
+int main() {
+  p2::NetworkConfig net_config;
+  net_config.latency = 0.015;
+  net_config.jitter = 0.005;
+  p2::Network net(net_config);
+
+  // A 12-node "double ring with chords" membership graph.
+  const int kNodes = 12;
+  std::vector<p2::Node*> nodes;
+  for (int i = 0; i < kNodes; ++i) {
+    p2::NodeOptions opts;
+    opts.tracing = true;  // so the profiler can explain propagation
+    opts.introspection = false;
+    opts.seed = 500 + i;
+    p2::Node* node = net.AddNode("g" + std::to_string(i), opts);
+    std::string error;
+    if (!InstallFlood(node, p2::FloodConfig(), &error)) {
+      fprintf(stderr, "install failed: %s\n", error.c_str());
+      return 1;
+    }
+    nodes.push_back(node);
+  }
+  auto edge = [&](int a, int b) {
+    AddMember(nodes[a], nodes[b]->addr());
+    AddMember(nodes[b], nodes[a]->addr());
+  };
+  for (int i = 0; i < kNodes; ++i) {
+    edge(i, (i + 1) % kNodes);  // ring
+    if (i % 3 == 0) {
+      edge(i, (i + kNodes / 2) % kNodes);  // a few chords
+    }
+  }
+  net.RunFor(1.0);
+
+  // Monitoring: coverage printout at the origin, profiler everywhere.
+  p2::Node* origin = nodes[0];
+  origin->SubscribeEvent("coverage", [&](const p2::TupleRef& t) {
+    printf("  [%7.3fs] coverage of rumor %s: %s/%d nodes\n", net.Now(),
+           t->field(1).ToString().c_str(), t->field(2).ToString().c_str(), kNodes);
+  });
+  for (p2::Node* node : nodes) {
+    p2::ProfilerConfig prof;
+    prof.target_rule = "fl0";  // rumor origination
+    std::string error;
+    if (!InstallProfiler(node, prof, &error)) {
+      fprintf(stderr, "profiler install failed: %s\n", error.c_str());
+      return 1;
+    }
+    node->SubscribeEvent("report", [&, node](const p2::TupleRef& t) {
+      printf("\n  propagation latency decomposition (reported at %s):\n",
+             node->addr().c_str());
+      printf("    in rule strands : %8.3f ms\n", t->field(2).ToDouble() * 1000);
+      printf("    on the network  : %8.3f ms\n", t->field(3).ToDouble() * 1000);
+      printf("    queued locally  : %8.3f ms\n", t->field(4).ToDouble() * 1000);
+    });
+  }
+
+  printf("== publishing rumor 777 at %s ==\n", origin->addr().c_str());
+  struct Cap {
+    p2::TupleRef tuple;
+    double at = -1;
+  } cap;
+  p2::Node* far_node = nodes[kNodes / 2 + 1];
+  far_node->SubscribeEvent("rumorFresh", [&](const p2::TupleRef& t) {
+    if (cap.at < 0) {
+      cap.tuple = t;
+      cap.at = net.Now();
+    }
+  });
+  PublishRumor(origin, 777, "the paper's techniques generalize");
+  net.RunFor(3.0);
+
+  printf("\n== rumor acceptance across the overlay ==\n");
+  for (p2::Node* node : nodes) {
+    printf("  %-4s has rumor: %s\n", node->addr().c_str(),
+           HasRumor(node, 777) ? "yes" : "NO");
+  }
+
+  if (cap.at >= 0) {
+    printf("\n== tracing the copy that reached %s backwards to the origin ==\n",
+           far_node->addr().c_str());
+    StartTrace(far_node, cap.tuple, cap.at);
+    net.RunFor(2.0);
+  }
+
+  printf("\n== consistent snapshot of the overlay (unchanged snapshot program) ==\n");
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    p2::SnapshotConfig sc;
+    sc.snap_period = 5.0;
+    sc.initiator = (i == 0);
+    sc.chord_state = false;
+    sc.extra_captures = {{"rumorSeen", 1}, {"member", 1}};
+    std::string error;
+    if (!InstallSnapshot(nodes[i], sc, &error)) {
+      fprintf(stderr, "snapshot install failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  net.RunFor(12.0);
+  for (p2::Node* node : nodes) {
+    printf("  %-4s snapshot %lld done; captured rumors: %zu, membership edges: %zu\n",
+           node->addr().c_str(),
+           static_cast<long long>(p2::LatestDoneSnapshot(node)),
+           node->TableContents("snapCap_rumorSeen").size(),
+           node->TableContents("snapCap_member").size());
+  }
+  printf("\ndone.\n");
+  return 0;
+}

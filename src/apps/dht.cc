@@ -1,0 +1,67 @@
+#include "src/apps/dht.h"
+
+namespace p2 {
+
+std::string DhtProgram(const DhtConfig& config) {
+  std::string program = R"OLG(
+materialize(dhtStore, tStore, 100000, keys(1, 2)).
+materialize(pendingPut, tPending, 1000, keys(1, 2)).
+materialize(pendingGet, tPending, 1000, keys(1, 2)).
+
+/* ---- put: resolve the key's owner via a Chord lookup, then store there ---- */
+dp1 dhtPutStart@NAddr(E, K, V, R) :- dhtPut@NAddr(K, V, R), E := f_rand().
+dp2 pendingPut@NAddr(E, K, V, R) :- dhtPutStart@NAddr(E, K, V, R).
+dp3 lookup@NAddr(KID, NAddr, E) :- dhtPutStart@NAddr(E, K, V, R), KID := f_hash(K).
+dp4 dhtStoreReq@OwnerAddr(K, V, NAddr, R) :- lookupResults@NAddr(KID, SID,
+    OwnerAddr, E, RespAddr), pendingPut@NAddr(E, K, V, R).
+dp5 dhtStore@NAddr(KID, K, V) :- dhtStoreReq@NAddr(K, V, Src, R), KID := f_hash(K).
+dp6 dhtPutAck@Src(K, R, NAddr) :- dhtStoreReq@NAddr(K, V, Src, R).
+dp7 delete pendingPut@NAddr(E, K, V, R) :- dhtPutAck@NAddr(K, R, Owner),
+    pendingPut@NAddr(E, K, V, R).
+
+/* ---- get: resolve the owner the same way, answer hit or miss ---- */
+dg1 dhtGetStart@NAddr(E, K, R) :- dhtGet@NAddr(K, R), E := f_rand().
+dg2 pendingGet@NAddr(E, K, R) :- dhtGetStart@NAddr(E, K, R).
+dg3 lookup@NAddr(KID, NAddr, E) :- dhtGetStart@NAddr(E, K, R), KID := f_hash(K).
+dg4 dhtFetch@OwnerAddr(K, NAddr, R) :- lookupResults@NAddr(KID, SID, OwnerAddr, E,
+    RespAddr), pendingGet@NAddr(E, K, R).
+dg5 dhtGetResp@Src(K, V, R, true) :- dhtFetch@NAddr(K, Src, R),
+    dhtStore@NAddr(KID, K, V).
+dg6 dhtGetResp@Src(K, "", R, false) :- dhtFetch@NAddr(K, Src, R),
+    not dhtStore@NAddr(KID2, K, V2).
+dg7 delete pendingGet@NAddr(E, K, R) :- dhtGetResp@NAddr(K, V, R, Found),
+    pendingGet@NAddr(E, K, R).
+)OLG";
+  if (config.replicate) {
+    program += R"OLG(
+/* ---- replication: every stored pair is copied to the owner's successor, which is
+   exactly the node that inherits the key's ID range if the owner fails ---- */
+dr1 dhtReplica@SAddr(K, V) :- dhtStoreReq@NAddr(K, V, Src, R),
+    bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+dr2 dhtStore@NAddr(KID, K, V) :- dhtReplica@NAddr(K, V), KID := f_hash(K).
+)OLG";
+  }
+  return program;
+}
+
+bool InstallDht(Node* node, const DhtConfig& config, std::string* error) {
+  ParamMap params;
+  params["tStore"] = Value::Double(config.store_lifetime);
+  params["tPending"] = Value::Double(config.pending_lifetime);
+  return node->LoadProgram(DhtProgram(config), params, error);
+}
+
+void DhtPut(Node* node, const std::string& key, const std::string& value,
+            uint64_t req_id) {
+  node->InjectEvent(Tuple::Make("dhtPut", {Value::Str(node->addr()), Value::Str(key),
+                                           Value::Str(value), Value::Id(req_id)}));
+}
+
+void DhtGet(Node* node, const std::string& key, uint64_t req_id) {
+  node->InjectEvent(Tuple::Make(
+      "dhtGet", {Value::Str(node->addr()), Value::Str(key), Value::Id(req_id)}));
+}
+
+size_t DhtStoredPairs(Node* node) { return node->TableContents("dhtStore").size(); }
+
+}  // namespace p2

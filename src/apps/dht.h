@@ -1,0 +1,50 @@
+// A distributed hash table (put/get) application over P2-Chord — the paper's "hash
+// table metaphor" (§3.1) as an actual application layer: "you get what you put in, as
+// if the system were implemented with a centralized hash table."
+//
+// Keys are strings hashed onto the identifier ring (f_hash); a put routes the value to
+// the key's owner via a Chord lookup and optionally replicates it to the owner's
+// successor (so a single owner crash loses nothing once the ring heals: the new owner
+// of the key's ID range IS the replica). Gets route the same way and answer hit or
+// miss.
+//
+// Tables:
+//   dhtStore(N, KeyId, Key, Value)   stored pairs (and replicas)
+//   pendingPut / pendingGet          requests awaiting owner resolution
+// Events (host API):
+//   dhtPut(N, Key, Value, ReqId) -> dhtPutAck(Requester, Key, ReqId, OwnerAddr)
+//   dhtGet(N, Key, ReqId)        -> dhtGetResp(Requester, Key, Value, ReqId, Found)
+
+#ifndef SRC_APPS_DHT_H_
+#define SRC_APPS_DHT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct DhtConfig {
+  double store_lifetime = 600.0;   // stored-pair TTL (re-put refreshes)
+  double pending_lifetime = 30.0;  // request-state TTL (unanswered requests expire)
+  bool replicate = true;           // copy each stored pair to the owner's successor
+};
+
+// The OverLog program text.
+std::string DhtProgram(const DhtConfig& config);
+
+// Loads the DHT program on `node` (Chord must already be installed there).
+bool InstallDht(Node* node, const DhtConfig& config, std::string* error);
+
+// Issues a put/get at `node`. Responses arrive as dhtPutAck / dhtGetResp events.
+void DhtPut(Node* node, const std::string& key, const std::string& value,
+            uint64_t req_id);
+void DhtGet(Node* node, const std::string& key, uint64_t req_id);
+
+// Host-side convenience: number of pairs (including replicas) stored at `node`.
+size_t DhtStoredPairs(Node* node);
+
+}  // namespace p2
+
+#endif  // SRC_APPS_DHT_H_

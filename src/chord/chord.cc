@@ -1,0 +1,211 @@
+#include "src/chord/chord.h"
+
+#include "src/net/network.h"
+
+namespace p2 {
+
+std::string ChordProgram() {
+  return R"OLG(
+/* ------------------------------------------------------------------ tables */
+materialize(node, infinity, 1, keys(1)).
+materialize(landmarkNode, infinity, 1, keys(1)).
+materialize(succ, 30, 32, keys(1, 3)).
+materialize(pred, infinity, 1, keys(1)).
+materialize(bestSucc, infinity, 1, keys(1)).
+materialize(bestSuccDist, infinity, 1, keys(1)).
+materialize(finger, 30, 70, keys(1, 2)).
+materialize(uniqueFinger, infinity, 70, keys(1, 2)).
+materialize(fingerPos, infinity, 70, keys(1, 2)).
+materialize(fixLookup, 20, 32, keys(1, 2)).
+materialize(joinRequested, 20, 8, keys(1, 2)).
+materialize(pingNode, infinity, 70, keys(1, 2)).
+/* Keyed by timestamp too: each probe is its own row, so an unanswered probe keeps its
+   age instead of being refreshed away by the next probe. */
+materialize(pingPending, 20, 210, keys(1, 2, 3)).
+materialize(faultyNode, 60, 70, keys(1, 2)).
+
+/* ------------------------------------------------------------------ join */
+/* Remember join lookups in flight, look our own ID up via the landmark. */
+j2 joinRequested@NAddr(E) :- joinEvent@NAddr(E), landmarkNode@NAddr(LAddr),
+   LAddr != "-".
+j3 lookup@LAddr(NID, NAddr, E) :- joinEvent@NAddr(E), node@NAddr(NID),
+   landmarkNode@NAddr(LAddr), LAddr != "-".
+j4 succ@NAddr(SID, SAddr) :- lookupResults@NAddr(K, SID, SAddr, E, RAddr),
+   joinRequested@NAddr(E).
+/* The landmark bootstraps alone: it is its own successor until someone joins. */
+j5 succ@NAddr(NID, NAddr) :- joinEvent@NAddr(E), node@NAddr(NID),
+   landmarkNode@NAddr(LAddr), LAddr == "-".
+/* Re-join: a node whose successor set has completely died out (e.g. after a long
+   outage let all soft state expire) bootstraps again through the landmark. */
+j7 joinEvent@NAddr(E) :- periodic@NAddr(E, tJoinCheck), landmarkNode@NAddr(LAddr),
+   LAddr != "-", not succ@NAddr(SID, SAddr).
+j8 succ@NAddr(NID, NAddr) :- periodic@NAddr(E, tJoinCheck), node@NAddr(NID),
+   landmarkNode@NAddr(LAddr), LAddr == "-", not succ@NAddr(SID, SAddr).
+
+/* ------------------------------------------------- best-successor selection */
+bs1 bestSuccDist@NAddr(min<D>) :- succ@NAddr(SID, SAddr), node@NAddr(NID),
+    D := SID - NID - 1.
+bs2 bestSucc@NAddr(SID, SAddr) :- bestSuccDist@NAddr(D), succ@NAddr(SID, SAddr),
+    node@NAddr(NID), SID - NID - 1 == D.
+/* The immediate successor doubles as a pseudo-finger so lookups always progress. */
+f0 finger@NAddr(999, SID, SAddr) :- bestSucc@NAddr(SID, SAddr).
+
+/* ------------------------------------------------------------ stabilization */
+/* Self-directed stabilization is allowed: a lone landmark learns its first real
+   successor from its own predecessor pointer this way. */
+sb1 stabilizeRequest@SAddr(NID, NAddr) :- periodic@NAddr(E, tStab),
+    node@NAddr(NID), bestSucc@NAddr(SID, SAddr).
+sb2 sendPred@ReqAddr(PID, PAddr) :- stabilizeRequest@NAddr(SomeID, ReqAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-".
+sb4 succ@NAddr(SID, SAddr) :- sendPred@NAddr(SID, SAddr), node@NAddr(NID),
+    SID != NID.
+sb5 succReq@SAddr(NAddr) :- periodic@NAddr(E, tStab), bestSucc@NAddr(SID, SAddr).
+sb6 returnSucc@ReqAddr(SID, SAddr) :- succReq@NAddr(ReqAddr),
+    succ@NAddr(SID, SAddr).
+sb7 succ@NAddr(SID, SAddr) :- returnSucc@NAddr(SID, SAddr), node@NAddr(NID),
+    SID != NID.
+/* A successful liveness ping refreshes the soft state for that neighbor: without
+   this, a node's own best successor would age out of the succ table (its pred is the
+   node itself, and it never appears in its own successor list). */
+sb10 succ@NAddr(SID, SAddr) :- pingResp@NAddr(SAddr), succ@NAddr(SID, SAddr).
+
+/* Tell the successor about ourselves; it adopts us as predecessor if we are closer. */
+sb8 notify@SAddr(NID, NAddr) :- periodic@NAddr(E, tStab), node@NAddr(NID),
+    bestSucc@NAddr(SID, SAddr).
+sb9 pred@NAddr(PID2, PAddr2) :- notify@NAddr(PID2, PAddr2), node@NAddr(NID),
+    pred@NAddr(PID, PAddr), PAddr2 != NAddr,
+    ((PAddr == "-") || (PID2 in (PID, NID))).
+
+/* ------------------------------------------------------------------ fingers */
+f1 fingerLookup@NAddr(E, I, K) :- periodic@NAddr(E0, tFix), node@NAddr(NID),
+   fingerPos@NAddr(I), K := NID + f_pow2(I), E := f_rand().
+f3 fixLookup@NAddr(E, I) :- fingerLookup@NAddr(E, I, K).
+f4 lookup@NAddr(K, NAddr, E) :- fingerLookup@NAddr(E, I, K).
+f5 finger@NAddr(I, SID, SAddr) :- lookupResults@NAddr(K, SID, SAddr, E, RAddr),
+   fixLookup@NAddr(E, I).
+uf1 uniqueFinger@NAddr(FAddr, FID) :- finger@NAddr(I, FID, FAddr).
+
+/* ---------------------------------------------------------------- liveness */
+pn1 pingNode@NAddr(SAddr) :- bestSucc@NAddr(SID, SAddr), SAddr != NAddr.
+pn2 pingNode@NAddr(PAddr) :- pred@NAddr(PID, PAddr), PAddr != "-", PAddr != NAddr.
+pn3 pingNode@NAddr(FAddr) :- uniqueFinger@NAddr(FAddr, FID), FAddr != NAddr.
+
+pp1 pingEvent@NAddr(E) :- periodic@NAddr(E, tPing).
+pp2 pingPending@NAddr(RAddr, T) :- pingEvent@NAddr(E), pingNode@NAddr(RAddr),
+    T := f_now().
+pp3 pingReq@RAddr(NAddr) :- pingEvent@NAddr(E), pingNode@NAddr(RAddr).
+pp4 pingResp@RAddr2(NAddr) :- pingReq@NAddr(RAddr2).
+pp5 delete pingPending@NAddr(RAddr, T) :- pingResp@NAddr(RAddr),
+    pingPending@NAddr(RAddr, T).
+/* A neighbor is faulty after three consecutive unanswered probes — a single lost
+   message must not evict a live neighbor. */
+pp6 stalePing@NAddr(RAddr, count<*>) :- periodic@NAddr(E, tPing),
+    pingPending@NAddr(RAddr, T), T < f_now() - pingTmo.
+pp7 faultyNode@NAddr(RAddr, T2) :- stalePing@NAddr(RAddr, C), C >= 3, T2 := f_now().
+
+/* Purge failed neighbors from all routing state. */
+fn1 delete succ@NAddr(SID, FAddr) :- faultyNode@NAddr(FAddr, T),
+    succ@NAddr(SID, FAddr).
+fn2 delete finger@NAddr(I, FID, FAddr) :- faultyNode@NAddr(FAddr, T),
+    finger@NAddr(I, FID, FAddr).
+fn3 delete uniqueFinger@NAddr(FAddr, FID) :- faultyNode@NAddr(FAddr, T),
+    uniqueFinger@NAddr(FAddr, FID).
+fn4 delete pingNode@NAddr(FAddr) :- faultyNode@NAddr(FAddr, T).
+fn5 pred@NAddr(0, "-") :- faultyNode@NAddr(FAddr, T), pred@NAddr(PID, FAddr).
+fn6 delete pingPending@NAddr(FAddr, T3) :- faultyNode@NAddr(FAddr, T),
+    pingPending@NAddr(FAddr, T3).
+
+/* ---------------------------------------------------------------- lookups */
+/* (paper rules l1-l3) */
+l1 lookupResults@RAddr(K, SID, SAddr, E, NAddr) :- node@NAddr(NID),
+   lookup@NAddr(K, RAddr, E), bestSucc@NAddr(SID, SAddr), K in (NID, SID].
+l2 bestLookupDist@NAddr(K, RAddr, E, min<D>) :- node@NAddr(NID),
+   lookup@NAddr(K, RAddr, E), finger@NAddr(I, FID, FAddr), D := K - FID - 1,
+   FID in (NID, K).
+l3 lookup@FAddr(K, RAddr, E) :- node@NAddr(NID),
+   bestLookupDist@NAddr(K, RAddr, E, D), finger@NAddr(I, FID, FAddr),
+   D == K - FID - 1, FID in (NID, K).
+)OLG";
+}
+
+ParamMap ChordParams(const ChordConfig& config) {
+  ParamMap params;
+  params["tStab"] = Value::Double(config.stabilize_period);
+  params["tPing"] = Value::Double(config.ping_period);
+  params["tFix"] = Value::Double(config.finger_period);
+  params["pingTmo"] = Value::Double(config.ping_timeout);
+  params["tJoinCheck"] = Value::Double(config.rejoin_check_period);
+  return params;
+}
+
+bool InstallChord(Node* node, const ChordConfig& config, std::string* error) {
+  if (!node->LoadProgram(ChordProgram(), ChordParams(config), error)) {
+    return false;
+  }
+  const std::string& addr = node->addr();
+  // As in Chord proper, the default identifier is a hash of the node's address
+  // (deterministic, and distinct nodes can never collide the way shared RNG seeds
+  // could).
+  uint64_t id = config.node_id;
+  if (id == 0) {
+    uint64_t h = 1469598103934665603ULL;
+    for (char c : addr) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    id = (h ^ (h >> 31)) | 1;
+  }
+  node->InjectEvent(Tuple::Make("node", {Value::Str(addr), Value::Id(id)}));
+  node->InjectEvent(Tuple::Make(
+      "landmarkNode",
+      {Value::Str(addr), Value::Str(config.landmark.empty() ? "-" : config.landmark)}));
+  node->InjectEvent(
+      Tuple::Make("pred", {Value::Str(addr), Value::Id(0), Value::Str("-")}));
+  for (int i = config.finger_start; i < 64; ++i) {
+    node->InjectEvent(
+        Tuple::Make("fingerPos", {Value::Str(addr), Value::Int(i)}));
+  }
+  // Schedule the join attempts (the first one fires immediately).
+  for (int attempt = 0; attempt < config.join_attempts; ++attempt) {
+    node->network().scheduler().After(attempt * 2.0, [node] {
+      node->InjectEvent(Tuple::Make(
+          "joinEvent", {Value::Str(node->addr()), Value::Id(node->rng().Next())}));
+    });
+  }
+  return true;
+}
+
+void IssueLookup(Node* node, uint64_t key, uint64_t req_id) {
+  node->InjectEvent(Tuple::Make("lookup", {Value::Str(node->addr()), Value::Id(key),
+                                           Value::Str(node->addr()), Value::Id(req_id)}));
+}
+
+uint64_t ChordId(Node* node) {
+  for (const TupleRef& t : node->TableContents("node")) {
+    if (t->arity() >= 2 && t->field(1).kind() == Value::Kind::kId) {
+      return t->field(1).AsId();
+    }
+  }
+  return 0;
+}
+
+std::string BestSuccAddr(Node* node) {
+  for (const TupleRef& t : node->TableContents("bestSucc")) {
+    if (t->arity() >= 3 && t->field(2).kind() == Value::Kind::kString) {
+      return t->field(2).AsString();
+    }
+  }
+  return std::string();
+}
+
+std::string PredAddr(Node* node) {
+  for (const TupleRef& t : node->TableContents("pred")) {
+    if (t->arity() >= 3 && t->field(2).kind() == Value::Kind::kString) {
+      return t->field(2).AsString();
+    }
+  }
+  return "-";
+}
+
+}  // namespace p2

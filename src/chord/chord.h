@@ -1,0 +1,72 @@
+// P2-Chord: the Chord DHT (Stoica et al.) written as an OverLog program, following the
+// P2 implementation the paper's case studies run on (paper §3 and Loo et al., SOSP'05).
+//
+// The overlay program provides the tables and events the paper's monitoring programs
+// reference:
+//   node(NAddr, NID)                     the local identifier
+//   succ(NAddr, SID, SAddr)              successor candidates
+//   bestSucc(NAddr, SID, SAddr)          the immediate successor
+//   pred(NAddr, PID, PAddr)              the immediate predecessor ("-" when unknown)
+//   finger(NAddr, FPos, FID, FAddr)      finger entries (FPos 999 mirrors bestSucc)
+//   uniqueFinger(NAddr, FAddr, FID)      fingers deduplicated by address
+//   pingNode(NAddr, RemoteAddr)          outgoing liveness-probe links
+//   faultyNode(NAddr, FAddr, Time)       neighbors that failed a ping
+// Events: lookup(NAddr, K, ReqAddr, E) / lookupResults(ReqAddr, K, SID, SAddr, E,
+// RespAddr), stabilizeRequest(SAddr, NID, NAddr), sendPred / returnSucc / notify,
+// pingReq(RAddr, NAddr) / pingResp.
+
+#ifndef SRC_CHORD_CHORD_H_
+#define SRC_CHORD_CHORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct ChordConfig {
+  // Address of any node already in the ring; empty for the bootstrap (landmark) node.
+  std::string landmark;
+  // Ring identifier; 0 derives one from the node's seeded RNG.
+  uint64_t node_id = 0;
+  // Protocol periods, in seconds (paper §4 defaults: stabilize 5, ping 5, fingers 10).
+  double stabilize_period = 5.0;
+  double ping_period = 5.0;
+  double finger_period = 10.0;
+  double ping_timeout = 4.0;
+  // Finger positions maintained: exponents [finger_start, 64). With ~20 nodes on a
+  // 64-bit ring, exponents below ~52 all resolve to the immediate successor.
+  int finger_start = 52;
+  // How many times the join lookup is (re)issued, 2s apart, to survive message loss.
+  int join_attempts = 2;
+  // How often an isolated node (empty successor set) re-bootstraps via the landmark.
+  double rejoin_check_period = 15.0;
+};
+
+// The Chord OverLog program text (identical on every node; periods arrive as params).
+std::string ChordProgram();
+
+// The parameter map for `config`.
+ParamMap ChordParams(const ChordConfig& config);
+
+// Loads the Chord program on `node`, seeds its identity/landmark/finger-position rows,
+// and schedules its join. Returns false and sets `error` on failure.
+bool InstallChord(Node* node, const ChordConfig& config, std::string* error);
+
+// Issues a Chord lookup for `key` starting at `node`; the result arrives at `node` as a
+// lookupResults event with request id `req_id`.
+void IssueLookup(Node* node, uint64_t key, uint64_t req_id);
+
+// Reads the node's current identifier (0 if chord is not installed yet).
+uint64_t ChordId(Node* node);
+
+// Reads the node's current best successor address ("" if none).
+std::string BestSuccAddr(Node* node);
+
+// Reads the node's current predecessor address ("-" if unknown).
+std::string PredAddr(Node* node);
+
+}  // namespace p2
+
+#endif  // SRC_CHORD_CHORD_H_

@@ -1,0 +1,31 @@
+#include "src/common/rng.h"
+
+namespace p2 {
+
+uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias; the loop terminates quickly because the
+  // rejected region is always smaller than half of the 64-bit space.
+  const uint64_t limit = bound * ((~0ULL) / bound);
+  uint64_t v = Next();
+  while (v >= limit) {
+    v = Next();
+  }
+  return v % bound;
+}
+
+double Rng::NextDouble() {
+  // 53 bits of mantissa.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace p2

@@ -1,0 +1,29 @@
+// Small string helpers shared across modules.
+
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2 {
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Replaces every occurrence of `from` in `s` with `to` and returns the result.
+std::string ReplaceAll(std::string_view s, std::string_view from, std::string_view to);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace p2
+
+#endif  // SRC_COMMON_STRINGS_H_

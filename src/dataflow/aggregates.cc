@@ -1,0 +1,92 @@
+#include "src/dataflow/aggregates.h"
+
+namespace p2 {
+
+void Aggregator::Add(const Value& v) {
+  ++count_;
+  if (kind_ == AggKind::kCount) {
+    return;
+  }
+  if (v.is_null()) {
+    return;
+  }
+  if (!any_) {
+    any_ = true;
+    best_ = v;
+    sum_ = v.is_numeric() ? v.ToDouble() : 0;
+    return;
+  }
+  switch (kind_) {
+    case AggKind::kMin:
+      if (v.Compare(best_) < 0) {
+        best_ = v;
+      }
+      break;
+    case AggKind::kMax:
+      if (v.Compare(best_) > 0) {
+        best_ = v;
+      }
+      break;
+    case AggKind::kAvg:
+    case AggKind::kSum:
+      sum_ += v.is_numeric() ? v.ToDouble() : 0;
+      break;
+    default:
+      break;
+  }
+}
+
+bool Aggregator::HasResult() const {
+  if (kind_ == AggKind::kCount || kind_ == AggKind::kSum) {
+    return true;  // the empty sum is 0, like the empty count
+  }
+  return any_;
+}
+
+Value Aggregator::Result() const {
+  switch (kind_) {
+    case AggKind::kCount:
+      return Value::Int(static_cast<int64_t>(count_));
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return any_ ? best_ : Value::Null();
+    case AggKind::kAvg:
+      return any_ ? Value::Double(sum_ / static_cast<double>(count_)) : Value::Null();
+    case AggKind::kSum:
+      return sum_ == static_cast<double>(static_cast<int64_t>(sum_))
+                 ? Value::Int(static_cast<int64_t>(sum_))
+                 : Value::Double(sum_);
+    default:
+      return Value::Null();
+  }
+}
+
+std::string GroupedAggregate::KeyString(const ValueList& key) {
+  std::string out;
+  for (const Value& v : key) {
+    out += static_cast<char>(v.kind());
+    out += v.ToString();
+    out += '\x1f';
+  }
+  return out;
+}
+
+void GroupedAggregate::Add(const ValueList& key_values, const Value& agg_input) {
+  std::string ks = KeyString(key_values);
+  auto it = groups_.find(ks);
+  if (it == groups_.end()) {
+    it = groups_.emplace(std::move(ks), Group{key_values, Aggregator(kind_)}).first;
+  }
+  it->second.agg.Add(agg_input);
+}
+
+void GroupedAggregate::ForEach(
+    const std::function<void(const ValueList&, const Value&)>& fn) const {
+  for (const auto& [ks, group] : groups_) {
+    if (group.agg.HasResult()) {
+      fn(group.key, group.agg.Result());
+    }
+  }
+}
+
+}  // namespace p2

@@ -1,0 +1,474 @@
+#include "src/dataflow/strand.h"
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+namespace {
+
+// True if every variable mentioned by `expr` is bound.
+bool VarsBound(const Expr& expr, const Bindings& binds) {
+  std::vector<std::string> vars;
+  expr.CollectVars(&vars);
+  for (const std::string& v : vars) {
+    if (!binds.Has(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Existential match for negated predicates: bound variables and expressions must
+// equal the row's fields; unbound variables are wildcards and bind nothing.
+bool MatchesExistentially(const Predicate& pred, const Tuple& tuple,
+                          const Bindings& binds, EvalContext& ctx) {
+  if (pred.args.size() != tuple.arity()) {
+    return false;
+  }
+  for (size_t i = 0; i < pred.args.size(); ++i) {
+    const Expr& arg = *pred.args[i];
+    if (arg.kind == Expr::Kind::kVar) {
+      const Value* bound = binds.Find(arg.name);
+      if (bound == nullptr) {
+        continue;  // wildcard
+      }
+      if (!(*bound == tuple.field(i))) {
+        return false;
+      }
+      continue;
+    }
+    if (!(EvalExpr(arg, binds, ctx) == tuple.field(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MatchPredicate(const Predicate& pred, const Tuple& tuple, Bindings* binds,
+                    EvalContext& ctx) {
+  if (pred.args.size() != tuple.arity()) {
+    return false;
+  }
+  for (size_t i = 0; i < pred.args.size(); ++i) {
+    const Expr& arg = *pred.args[i];
+    if (arg.kind == Expr::Kind::kVar) {
+      const Value* bound = binds->Find(arg.name);
+      if (bound == nullptr) {
+        binds->Set(arg.name, tuple.field(i));
+        continue;
+      }
+      if (!(*bound == tuple.field(i))) {
+        return false;
+      }
+      continue;
+    }
+    Value want = EvalExpr(arg, *binds, ctx);
+    if (!(want == tuple.field(i))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Strand::Strand(Node* node, const Rule* rule, const Predicate* trigger,
+               std::vector<StrandOp> ops, int num_stages)
+    : node_(node),
+      rule_(rule),
+      trigger_(trigger),
+      ops_(std::move(ops)),
+      num_stages_(num_stages) {
+  trace_target_.strand = this;
+  trace_target_.rule_id = rule_->id;
+  trace_target_.num_stages = num_stages_;
+  stage_open_.assign(static_cast<size_t>(num_stages_) + 1, false);
+  for (size_t i = 0; i < rule_->head.args.size(); ++i) {
+    if (rule_->head.args[i].agg != AggKind::kNone) {
+      has_agg_ = true;
+      agg_kind_ = rule_->head.args[i].agg;
+      agg_expr_ = rule_->head.args[i].expr.get();
+      agg_position_ = i;
+      break;
+    }
+  }
+}
+
+void Strand::Trigger(const TupleRef& event) {
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  Bindings binds;
+  if (!MatchPredicate(*trigger_, *event, &binds, ctx)) {
+    return;
+  }
+  node_->tracer().OnInput(trace_target_, event, ctx.now);
+  Bindings trigger_binds = binds;  // for zero-count aggregate emission
+  batch_.clear();
+  RunOps(0, binds);
+  if (has_agg_) {
+    EmitAggregates(trigger_binds);
+    batch_.clear();
+  }
+}
+
+void Strand::RunOps(size_t op_index, Bindings& binds) {
+  if (op_index == ops_.size()) {
+    EmitLeaf(binds);
+    return;
+  }
+  const StrandOp& op = ops_[op_index];
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  switch (op.kind) {
+    case StrandOp::Kind::kAssign: {
+      size_t mark = binds.size();
+      binds.Set(*op.var, EvalExpr(*op.expr, binds, ctx));
+      RunOps(op_index + 1, binds);
+      binds.TruncateTo(mark);
+      return;
+    }
+    case StrandOp::Kind::kFilter: {
+      if (EvalExpr(*op.expr, binds, ctx).Truthy()) {
+        RunOps(op_index + 1, binds);
+      }
+      return;
+    }
+    case StrandOp::Kind::kNotExists: {
+      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
+      for (const TupleRef& row : rows) {
+        if (MatchesExistentially(*op.pred, *row, binds, ctx)) {
+          return;  // a matching row exists: the negation fails, prune this branch
+        }
+      }
+      RunOps(op_index + 1, binds);
+      return;
+    }
+    case StrandOp::Kind::kJoin: {
+      Tracer& tracer = node_->tracer();
+      // This stage is seeking new input: signal completion of its previous execution
+      // (paper §2.1.2 — the stage-completion signal is "the element seeks new input").
+      if (stage_open_[static_cast<size_t>(op.stage)]) {
+        tracer.OnStageComplete(trace_target_, op.stage);
+        stage_open_[static_cast<size_t>(op.stage)] = false;
+      }
+      if (op.key_lookup) {
+        // O(1) probe: the join binds the table's whole primary key.
+        ValueList key_values;
+        key_values.reserve(op.table->spec().key_fields.size());
+        for (size_t pos : op.table->spec().key_fields) {
+          key_values.push_back(EvalExpr(*op.pred->args[pos], binds, ctx));
+        }
+        TupleRef row = op.table->FindByKey(key_values, ctx.now);
+        if (row != nullptr) {
+          size_t mark = binds.size();
+          if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
+            tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
+            RunOps(op_index + 1, binds);
+          }
+          binds.TruncateTo(mark);
+        }
+        stage_open_[static_cast<size_t>(op.stage)] = true;
+        return;
+      }
+      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
+      for (const TupleRef& row : rows) {
+        size_t mark = binds.size();
+        if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
+          tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
+          RunOps(op_index + 1, binds);
+        }
+        binds.TruncateTo(mark);
+      }
+      stage_open_[static_cast<size_t>(op.stage)] = true;
+      return;
+    }
+  }
+}
+
+void Strand::EmitLeaf(const Bindings& binds) {
+  if (has_agg_) {
+    batch_.push_back(binds);
+    return;
+  }
+  EmitHeadTuple(binds, nullptr);
+}
+
+void Strand::EmitHeadTuple(const Bindings& binds, const Value* agg_result) {
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  const Head& head = rule_->head;
+  ValueList fields;
+  fields.reserve(head.args.size());
+  uint64_t mask = 0;
+  for (size_t i = 0; i < head.args.size(); ++i) {
+    if (agg_result != nullptr && has_agg_ && i == agg_position_) {
+      fields.push_back(*agg_result);
+      mask |= (1ULL << i);
+      continue;
+    }
+    const Expr* expr = head.args[i].expr.get();
+    if (expr == nullptr) {
+      fields.push_back(Value::Null());
+      continue;
+    }
+    if (expr->kind == Expr::Kind::kVar && !binds.Has(expr->name)) {
+      // Unbound head variable: null field; for delete rules this is a wildcard.
+      fields.push_back(Value::Null());
+      continue;
+    }
+    fields.push_back(EvalExpr(*expr, binds, ctx));
+    mask |= (1ULL << i);
+  }
+  if (fields.empty() || fields[0].kind() != Value::Kind::kString) {
+    ++node_->stats().dead_letters;
+    return;
+  }
+  TupleRef out = Tuple::Make(head.name, std::move(fields));
+  node_->tracer().OnOutput(trace_target_, out, ctx.now);
+  node_->RouteTuple(out, rule_->is_delete, mask);
+}
+
+void Strand::EmitAggregates(const Bindings& trigger_binds) {
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  const Head& head = rule_->head;
+  GroupedAggregate groups(agg_kind_);
+  for (const Bindings& binds : batch_) {
+    Bindings local = binds;  // EvalExpr takes const ref; copy is cheap and safe
+    ValueList key;
+    key.reserve(head.args.size());
+    bool key_ok = true;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      if (i == agg_position_) {
+        continue;
+      }
+      const Expr* expr = head.args[i].expr.get();
+      if (expr == nullptr || !VarsBound(*expr, local)) {
+        key_ok = false;
+        break;
+      }
+      key.push_back(EvalExpr(*expr, local, ctx));
+    }
+    if (!key_ok) {
+      continue;
+    }
+    Value input = agg_expr_ != nullptr ? EvalExpr(*agg_expr_, local, ctx) : Value::Null();
+    groups.Add(key, input);
+  }
+  if (groups.empty()) {
+    // count/sum over an empty match set yield 0 — but only when the group key is
+    // fully determined by the triggering event (paper usage: snapshot rule sr8).
+    if (agg_kind_ != AggKind::kCount && agg_kind_ != AggKind::kSum) {
+      return;
+    }
+    ValueList key;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      if (i == agg_position_) {
+        continue;
+      }
+      const Expr* expr = head.args[i].expr.get();
+      if (expr == nullptr || !VarsBound(*expr, trigger_binds)) {
+        return;
+      }
+      key.push_back(EvalExpr(*expr, trigger_binds, ctx));
+    }
+    Value zero = Value::Int(0);
+    ValueList fields;
+    size_t k = 0;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      fields.push_back(i == agg_position_ ? zero : key[k++]);
+    }
+    if (fields.empty() || fields[0].kind() != Value::Kind::kString) {
+      ++node_->stats().dead_letters;
+      return;
+    }
+    TupleRef out = Tuple::Make(head.name, std::move(fields));
+    node_->tracer().OnOutput(trace_target_, out, ctx.now);
+    node_->RouteTuple(out, /*is_delete=*/false, ~0ULL);
+    return;
+  }
+  groups.ForEach([&](const ValueList& key, const Value& result) {
+    ValueList fields;
+    size_t k = 0;
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      fields.push_back(i == agg_position_ ? result : key[k++]);
+    }
+    if (fields.empty() || fields[0].kind() != Value::Kind::kString) {
+      ++node_->stats().dead_letters;
+      return;
+    }
+    TupleRef out = Tuple::Make(head.name, std::move(fields));
+    node_->tracer().OnOutput(trace_target_, out, ctx.now);
+    node_->RouteTuple(out, /*is_delete=*/false, ~0ULL);
+  });
+}
+
+ContinuousAggRule::ContinuousAggRule(Node* node, const Rule* rule, std::vector<StrandOp> ops)
+    : node_(node), rule_(rule), ops_(std::move(ops)) {
+  for (size_t i = 0; i < rule_->head.args.size(); ++i) {
+    if (rule_->head.args[i].agg != AggKind::kNone) {
+      agg_kind_ = rule_->head.args[i].agg;
+      agg_expr_ = rule_->head.args[i].expr.get();
+      agg_position_ = i;
+      break;
+    }
+  }
+}
+
+std::vector<std::string> ContinuousAggRule::BodyTableNames() const {
+  std::vector<std::string> names;
+  for (const StrandOp& op : ops_) {
+    if (op.kind == StrandOp::Kind::kJoin) {
+      names.push_back(op.pred->name);
+    }
+  }
+  return names;
+}
+
+ValueList ContinuousAggRule::GroupKey(const Bindings& binds, bool* ok) {
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  ValueList key;
+  *ok = true;
+  for (size_t i = 0; i < rule_->head.args.size(); ++i) {
+    if (i == agg_position_) {
+      continue;
+    }
+    const Expr* expr = rule_->head.args[i].expr.get();
+    if (expr == nullptr || !VarsBound(*expr, binds)) {
+      *ok = false;
+      return key;
+    }
+    key.push_back(EvalExpr(*expr, binds, ctx));
+  }
+  return key;
+}
+
+void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups) {
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+  if (op_index == ops_.size()) {
+    bool ok = false;
+    ValueList key = GroupKey(binds, &ok);
+    if (ok) {
+      Value input = agg_expr_ != nullptr ? EvalExpr(*agg_expr_, binds, ctx) : Value::Null();
+      groups->Add(key, input);
+    }
+    return;
+  }
+  const StrandOp& op = ops_[op_index];
+  switch (op.kind) {
+    case StrandOp::Kind::kAssign: {
+      size_t mark = binds.size();
+      binds.Set(*op.var, EvalExpr(*op.expr, binds, ctx));
+      Recurse(op_index + 1, binds, groups);
+      binds.TruncateTo(mark);
+      return;
+    }
+    case StrandOp::Kind::kFilter: {
+      if (EvalExpr(*op.expr, binds, ctx).Truthy()) {
+        Recurse(op_index + 1, binds, groups);
+      }
+      return;
+    }
+    case StrandOp::Kind::kNotExists: {
+      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
+      for (const TupleRef& row : rows) {
+        if (MatchesExistentially(*op.pred, *row, binds, ctx)) {
+          return;
+        }
+      }
+      Recurse(op_index + 1, binds, groups);
+      return;
+    }
+    case StrandOp::Kind::kJoin: {
+      if (op.key_lookup) {
+        ValueList key_values;
+        key_values.reserve(op.table->spec().key_fields.size());
+        for (size_t pos : op.table->spec().key_fields) {
+          key_values.push_back(EvalExpr(*op.pred->args[pos], binds, ctx));
+        }
+        TupleRef row = op.table->FindByKey(key_values, ctx.now);
+        if (row != nullptr) {
+          size_t mark = binds.size();
+          if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
+            Recurse(op_index + 1, binds, groups);
+          }
+          binds.TruncateTo(mark);
+        }
+        return;
+      }
+      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
+      for (const TupleRef& row : rows) {
+        size_t mark = binds.size();
+        if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
+          Recurse(op_index + 1, binds, groups);
+        }
+        binds.TruncateTo(mark);
+      }
+      return;
+    }
+  }
+}
+
+void ContinuousAggRule::Reevaluate() {
+  ++node_->stats().agg_reevals;
+  GroupedAggregate groups(agg_kind_);
+  Bindings binds;
+  Recurse(0, binds, &groups);
+
+  auto emit = [&](const ValueList& key, const Value& result) {
+    ValueList fields;
+    size_t k = 0;
+    for (size_t i = 0; i < rule_->head.args.size(); ++i) {
+      fields.push_back(i == agg_position_ ? result : key[k++]);
+    }
+    if (fields.empty() || fields[0].kind() != Value::Kind::kString) {
+      ++node_->stats().dead_letters;
+      return;
+    }
+    node_->RouteTuple(Tuple::Make(rule_->head.name, std::move(fields)), false, ~0ULL);
+  };
+
+  // Emit new/changed groups.
+  std::map<std::string, std::pair<ValueList, Value>> current;
+  groups.ForEach([&](const ValueList& key, const Value& result) {
+    std::string ks;
+    for (const Value& v : key) {
+      ks += static_cast<char>(v.kind());
+      ks += v.ToString();
+      ks += '\x1f';
+    }
+    current.emplace(ks, std::make_pair(key, result));
+  });
+  for (const auto& [ks, kv] : current) {
+    auto prev = last_emitted_.find(ks);
+    if (prev == last_emitted_.end() || !(prev->second.second == kv.second)) {
+      emit(kv.first, kv.second);
+    }
+  }
+  // Vanished groups: a materialized result row is retracted (otherwise a `delete` rule
+  // clearing the underlying table would see its cleanup resurrected as a zero row); an
+  // unmaterialized count head emits a final zero event.
+  for (const auto& [ks, kv] : last_emitted_) {
+    if (current.count(ks) != 0) {
+      continue;
+    }
+    if (node_->catalog().IsMaterialized(rule_->head.name)) {
+      ValueList fields;
+      uint64_t mask = 0;
+      size_t k = 0;
+      for (size_t i = 0; i < rule_->head.args.size(); ++i) {
+        if (i == agg_position_) {
+          fields.push_back(Value::Null());  // wildcard
+        } else {
+          fields.push_back(kv.first[k++]);
+          mask |= (1ULL << i);
+        }
+      }
+      if (!fields.empty() && fields[0].kind() == Value::Kind::kString) {
+        node_->RouteTuple(Tuple::Make(rule_->head.name, std::move(fields)),
+                          /*is_delete=*/true, mask);
+      }
+    } else if (agg_kind_ == AggKind::kCount) {
+      emit(kv.first, Value::Int(0));
+    }
+  }
+  last_emitted_ = std::move(current);
+}
+
+}  // namespace p2

@@ -1,0 +1,137 @@
+// Rule strands: the compiled, executable form of one OverLog rule (paper §2, Figure 1).
+//
+// The planner translates each rule into a strand: a trigger predicate followed by a
+// sequence of operations — table lookups (joins, the strand's stateful "stages"),
+// assignments, and selection filters — ending in a head projection that emits (or, for
+// `delete` rules, retracts) the result tuple. Strand execution walks the operations
+// depth-first over the join alternatives, firing the tracer's input / precondition /
+// stage-completion / output taps exactly where P2's dataflow taps sit (Figure 2).
+//
+// ContinuousAggRule covers rules whose body is entirely materialized and whose head
+// aggregates: they re-evaluate as a full group-by whenever a body table changes.
+
+#ifndef SRC_DATAFLOW_STRAND_H_
+#define SRC_DATAFLOW_STRAND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/aggregates.h"
+#include "src/lang/ast.h"
+#include "src/lang/expr.h"
+#include "src/runtime/table.h"
+#include "src/trace/tracer.h"
+
+namespace p2 {
+
+class Node;
+
+// One post-trigger operation in a strand.
+struct StrandOp {
+  enum class Kind {
+    kJoin,       // positive table lookup: one branch per matching row
+    kNotExists,  // negated predicate: prune the branch if any row matches
+    kAssign,
+    kFilter,
+  };
+  Kind kind = Kind::kFilter;
+  const Predicate* pred = nullptr;  // kJoin / kNotExists
+  Table* table = nullptr;           // kJoin / kNotExists
+  int stage = 0;                    // kJoin: 1-based stage index
+  // kJoin: every primary-key position of `table` is bound at this point, so the join
+  // is an O(1) key probe instead of a scan (set by the planner).
+  bool key_lookup = false;
+  const std::string* var = nullptr; // kAssign target
+  const Expr* expr = nullptr;       // kAssign value / kFilter condition
+};
+
+// Attempts to unify `pred`'s argument pattern with `tuple`, extending `binds` (bound
+// variables must match; unbound variables bind; constants and expressions must evaluate
+// equal). Returns false on mismatch — `binds` may then contain partial bindings, so the
+// caller must truncate back to its mark. Exposed for tests and shared by strands,
+// continuous aggregates, and trigger matching.
+bool MatchPredicate(const Predicate& pred, const Tuple& tuple, Bindings* binds,
+                    EvalContext& ctx);
+
+class Strand {
+ public:
+  // `trigger` may be a periodic, event, or table-delta predicate. `num_stages` is the
+  // number of kJoin ops in `ops`.
+  Strand(Node* node, const Rule* rule, const Predicate* trigger, std::vector<StrandOp> ops,
+         int num_stages);
+
+  Strand(const Strand&) = delete;
+  Strand& operator=(const Strand&) = delete;
+
+  const std::string& rule_id() const { return rule_->id; }
+  const Rule& rule() const { return *rule_; }
+  const Predicate& trigger() const { return *trigger_; }
+  const std::string& trigger_name() const { return trigger_->name; }
+  int num_stages() const { return num_stages_; }
+  const std::vector<StrandOp>& ops() const { return ops_; }
+
+  // Runs the strand for one triggering tuple.
+  void Trigger(const TupleRef& event);
+
+ private:
+  void RunOps(size_t op_index, Bindings& binds);
+  void EmitLeaf(const Bindings& binds);
+  void EmitHeadTuple(const Bindings& binds, const Value* agg_result);
+  void EmitAggregates(const Bindings& trigger_binds);
+
+  Node* node_;
+  const Rule* rule_;
+  const Predicate* trigger_;
+  std::vector<StrandOp> ops_;
+  int num_stages_;
+  TraceTarget trace_target_;
+  std::vector<bool> stage_open_;  // per join stage: processed input, not yet "sought new"
+
+  // Aggregate-head support.
+  bool has_agg_ = false;
+  AggKind agg_kind_ = AggKind::kNone;
+  const Expr* agg_expr_ = nullptr;  // null for count<*>
+  size_t agg_position_ = 0;         // index into head args
+  std::vector<Bindings> batch_;     // match set collected for the current trigger
+};
+
+// A rule whose body predicates are all materialized and whose head aggregates:
+// re-evaluated in full on any body-table change, emitting only changed groups. When a
+// group vanishes and the aggregate is count, a zero-count tuple is emitted once.
+class ContinuousAggRule {
+ public:
+  ContinuousAggRule(Node* node, const Rule* rule, std::vector<StrandOp> ops);
+
+  ContinuousAggRule(const ContinuousAggRule&) = delete;
+  ContinuousAggRule& operator=(const ContinuousAggRule&) = delete;
+
+  const std::string& rule_id() const { return rule_->id; }
+  const Rule& rule() const { return *rule_; }
+
+  // Names of the body tables whose changes must mark this rule dirty.
+  std::vector<std::string> BodyTableNames() const;
+
+  // Recomputes the group-by and emits changed groups.
+  void Reevaluate();
+
+  bool dirty = false;  // coalesces re-evaluation requests (managed by the node)
+
+ private:
+  void Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups);
+  ValueList GroupKey(const Bindings& binds, bool* ok);
+
+  Node* node_;
+  const Rule* rule_;
+  std::vector<StrandOp> ops_;
+  AggKind agg_kind_ = AggKind::kNone;
+  const Expr* agg_expr_ = nullptr;
+  size_t agg_position_ = 0;
+  // Previous emission per group (keyed by printable group key).
+  std::map<std::string, std::pair<ValueList, Value>> last_emitted_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_DATAFLOW_STRAND_H_

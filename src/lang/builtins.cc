@@ -1,0 +1,87 @@
+#include "src/lang/builtins.h"
+
+#include <cmath>
+
+namespace p2 {
+
+Value CallBuiltin(const std::string& name, const std::vector<Value>& args, EvalContext& ctx) {
+  if (name == "f_now") {
+    return Value::Double(ctx.now);
+  }
+  if (name == "f_rand" || name == "f_randID") {
+    if (ctx.rng == nullptr) {
+      return Value::Null();
+    }
+    return Value::Id(ctx.rng->Next());
+  }
+  if (name == "f_pow2" && args.size() == 1 && args[0].is_numeric()) {
+    uint64_t i = args[0].ToUint();
+    if (i >= 64) {
+      return Value::Id(0);
+    }
+    return Value::Id(1ULL << i);
+  }
+  if (name == "f_abs" && args.size() == 1 && args[0].is_numeric()) {
+    if (args[0].kind() == Value::Kind::kDouble) {
+      return Value::Double(std::fabs(args[0].AsDouble()));
+    }
+    if (args[0].kind() == Value::Kind::kInt) {
+      return Value::Int(std::llabs(args[0].AsInt()));
+    }
+    return args[0];  // Ids are non-negative
+  }
+  if (name == "f_min" && args.size() == 2) {
+    return args[0].Compare(args[1]) <= 0 ? args[0] : args[1];
+  }
+  if (name == "f_max" && args.size() == 2) {
+    return args[0].Compare(args[1]) >= 0 ? args[0] : args[1];
+  }
+  if (name == "f_size" && args.size() == 1) {
+    if (args[0].kind() == Value::Kind::kList) {
+      return Value::Int(static_cast<int64_t>(args[0].AsList().size()));
+    }
+    if (args[0].kind() == Value::Kind::kString) {
+      return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+    }
+    return Value::Null();
+  }
+  if (name == "f_str" && args.size() == 1) {
+    return Value::Str(args[0].ToString());
+  }
+  if (name == "f_local") {
+    return ctx.local_addr != nullptr ? Value::Str(*ctx.local_addr) : Value::Null();
+  }
+  if (name == "f_hash" && args.size() == 1) {
+    // Stable 64-bit content hash onto the identifier ring (SHA-1's role in Chord):
+    // FNV-1a followed by an avalanche finalizer so similar keys spread uniformly.
+    uint64_t h = 1469598103934665603ULL;
+    std::string s = args[0].ToString();
+    for (char c : s) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    return Value::Id(h ^ (h >> 31));
+  }
+  if (name == "f_prefix" && args.size() == 2 &&
+      args[0].kind() == Value::Kind::kString && args[1].kind() == Value::Kind::kString) {
+    const std::string& s = args[0].AsString();
+    const std::string& p = args[1].AsString();
+    return Value::Bool(s.size() >= p.size() && s.compare(0, p.size(), p) == 0);
+  }
+  return Value::Null();
+}
+
+bool IsKnownBuiltin(const std::string& name) {
+  static const char* kNames[] = {"f_now", "f_rand",  "f_randID", "f_pow2",
+                                 "f_abs", "f_min",   "f_max",    "f_size",
+                                 "f_str", "f_local", "f_prefix", "f_hash"};
+  for (const char* n : kNames) {
+    if (name == n) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace p2

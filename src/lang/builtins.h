@@ -1,0 +1,35 @@
+// Builtin functions (`f_*`) available in OverLog expressions.
+//
+//   f_now()            current virtual time in seconds (Double)
+//   f_rand()           random 64-bit nonce (Id) — request/probe identifiers
+//   f_randID()         random 64-bit ring identifier (Id)
+//   f_pow2(I)          2^I on the identifier ring (Id); 0 when I >= 64
+//   f_abs(X)           absolute value
+//   f_min(A, B)        smaller of two values
+//   f_max(A, B)        larger of two values
+//   f_size(L)          length of a list / string (Int)
+//   f_str(X)           printed form of X (String)
+//   f_local()          the local node address (String)
+//   f_prefix(S, P)     true if string S starts with string P (Bool)
+//   f_hash(X)          stable 64-bit hash of X's printed form onto the ring (Id)
+
+#ifndef SRC_LANG_BUILTINS_H_
+#define SRC_LANG_BUILTINS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/lang/expr.h"
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+// Calls builtin `name` with `args`. Unknown names and arity mismatches return null.
+Value CallBuiltin(const std::string& name, const std::vector<Value>& args, EvalContext& ctx);
+
+// True if `name` is a known builtin (for plan-time validation).
+bool IsKnownBuiltin(const std::string& name);
+
+}  // namespace p2
+
+#endif  // SRC_LANG_BUILTINS_H_

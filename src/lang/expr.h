@@ -1,0 +1,57 @@
+// Expression evaluation over variable bindings.
+//
+// Bindings map OverLog variables to Values during a rule strand execution. Evaluation is
+// total: unbound variables and type mismatches evaluate to null, and a null filter is
+// simply false (soft failure, in keeping with P2's soft-state philosophy).
+
+#ifndef SRC_LANG_EXPR_H_
+#define SRC_LANG_EXPR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/lang/ast.h"
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+// A small ordered map of variable bindings. Rule strands carry at most a dozen or so
+// variables, so a flat vector beats a hash map.
+class Bindings {
+ public:
+  // Returns the bound value or nullptr.
+  const Value* Find(const std::string& name) const;
+
+  // Binds `name` (overwrites an existing binding).
+  void Set(const std::string& name, Value v);
+
+  bool Has(const std::string& name) const { return Find(name) != nullptr; }
+
+  size_t size() const { return vars_.size(); }
+
+  // Truncates back to `n` bindings; used to undo trail entries when backtracking
+  // through join alternatives.
+  void TruncateTo(size_t n);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> vars_;
+};
+
+// Ambient state available to expressions: the virtual clock, a random stream, and the
+// local node address.
+struct EvalContext {
+  double now = 0;
+  Rng* rng = nullptr;
+  const std::string* local_addr = nullptr;
+};
+
+// Evaluates `expr` under `binds`. Never throws; returns null on soft failure.
+Value EvalExpr(const Expr& expr, const Bindings& binds, EvalContext& ctx);
+
+}  // namespace p2
+
+#endif  // SRC_LANG_EXPR_H_

@@ -1,0 +1,186 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "src/common/strings.h"
+
+namespace p2 {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Lex(const std::string& source, std::vector<Token>* out, std::string* error) {
+  out->clear();
+  size_t i = 0;
+  int line = 1;
+  const size_t n = source.size();
+
+  auto push = [&](TokKind kind, std::string text = std::string()) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    out->push_back(std::move(t));
+  };
+  auto fail = [&](const std::string& msg) {
+    *error = StrFormat("lex error at line %d: %s", line, msg.c_str());
+    return false;
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '#') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') {
+          ++line;
+        }
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return fail("unterminated block comment");
+      }
+      i += 2;
+      continue;
+    }
+    // Identifiers.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) {
+        ++i;
+      }
+      push(TokKind::kIdent, source.substr(start, i - start));
+      continue;
+    }
+    // Numbers: digits, optional fraction, optional exponent. A `.` is part of the
+    // number only when followed by a digit (so `5.` ends a statement after `5`).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_int = true;
+      while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      if (i + 1 < n && source[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+        is_int = false;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (source[j] == '+' || source[j] == '-')) {
+          ++j;
+        }
+        if (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          is_int = false;
+          i = j;
+          while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+            ++i;
+          }
+        }
+      }
+      Token t;
+      t.kind = TokKind::kNumber;
+      t.text = source.substr(start, i - start);
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.is_integer = is_int;
+      t.line = line;
+      out->push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) {
+          ++i;
+          switch (source[i]) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: text += source[i]; break;
+          }
+        } else {
+          if (source[i] == '\n') {
+            ++line;
+          }
+          text += source[i];
+        }
+        ++i;
+      }
+      if (i >= n) {
+        return fail("unterminated string literal");
+      }
+      ++i;  // closing quote
+      push(TokKind::kString, std::move(text));
+      continue;
+    }
+    // Multi-character operators.
+    auto two = [&](char a, char b) { return c == a && i + 1 < n && source[i + 1] == b; };
+    if (two(':', '-')) { push(TokKind::kColonDash); i += 2; continue; }
+    if (two(':', '=')) { push(TokKind::kColonEq); i += 2; continue; }
+    if (two('=', '=')) { push(TokKind::kEqEq); i += 2; continue; }
+    if (two('!', '=')) { push(TokKind::kNe); i += 2; continue; }
+    if (two('<', '=')) { push(TokKind::kLe); i += 2; continue; }
+    if (two('>', '=')) { push(TokKind::kGe); i += 2; continue; }
+    if (two('&', '&')) { push(TokKind::kAndAnd); i += 2; continue; }
+    if (two('|', '|')) { push(TokKind::kOrOr); i += 2; continue; }
+    switch (c) {
+      case '(': push(TokKind::kLParen); break;
+      case ')': push(TokKind::kRParen); break;
+      case '[': push(TokKind::kLBracket); break;
+      case ']': push(TokKind::kRBracket); break;
+      case ',': push(TokKind::kComma); break;
+      case '.': push(TokKind::kDot); break;
+      case '@': push(TokKind::kAt); break;
+      case '<': push(TokKind::kLt); break;
+      case '>': push(TokKind::kGt); break;
+      case '+': push(TokKind::kPlus); break;
+      case '-': push(TokKind::kMinus); break;
+      case '*': push(TokKind::kStar); break;
+      case '/': push(TokKind::kSlash); break;
+      case '%': push(TokKind::kPercent); break;
+      case '!': push(TokKind::kBang); break;
+      default:
+        return fail(StrFormat("unexpected character '%c'", c));
+    }
+    ++i;
+  }
+  push(TokKind::kEof);
+  return true;
+}
+
+}  // namespace p2

@@ -1,0 +1,39 @@
+// Lexer for the OverLog dialect.
+
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+enum class TokKind {
+  kIdent,    // identifiers (case determines variable vs name at parse time)
+  kNumber,   // integer or floating literal
+  kString,   // double-quoted
+  kLParen, kRParen, kLBracket, kRBracket,
+  kComma, kDot, kAt,
+  kColonDash,   // :-
+  kColonEq,     // :=
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAndAnd, kOrOr, kBang,
+  kEof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;    // identifier or string contents
+  double number = 0;   // kNumber value
+  bool is_integer = false;
+  int line = 0;
+};
+
+// Tokenizes `source`. On failure returns false and sets `error`.
+// Comments: `/* ... */` and `// ...` and `# ...` to end of line.
+bool Lex(const std::string& source, std::vector<Token>* out, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_LANG_LEXER_H_

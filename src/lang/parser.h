@@ -1,0 +1,31 @@
+// Parser for the OverLog dialect.
+//
+// Named parameters: lower-case identifiers in expression position (e.g. `tProbe`,
+// `mysnap`, `landmark`) are resolved against a host-supplied map when the program is
+// parsed; unknown names are reported as errors. This is how the paper's parameterized
+// listings (probe periods, snapshot frequencies, target rule ids) are instantiated
+// per-node without textual templating.
+
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <map>
+#include <string>
+
+#include "src/lang/ast.h"
+
+namespace p2 {
+
+using ParamMap = std::map<std::string, Value>;
+
+// Parses `source` into `out`. Returns false and sets `error` on any lexical, syntactic,
+// or parameter-resolution failure. `out` is cleared first.
+bool ParseProgram(const std::string& source, const ParamMap& params, Program* out,
+                  std::string* error);
+
+// Convenience overload with no parameters.
+bool ParseProgram(const std::string& source, Program* out, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_LANG_PARSER_H_

@@ -1,0 +1,71 @@
+#include "src/mon/consistency.h"
+
+namespace p2 {
+
+std::string ConsistencyProgram(const ConsistencyConfig& config) {
+  // Tables as in the paper (§3.1.4) with primary keys widened to hold one row per
+  // lookup/cluster rather than one per node (the listing's keys(1) is a typo: cs3/cs5
+  // store many rows per probe).
+  std::string program = R"OLG(
+materialize(conLookupTable, tLife, 1000, keys(1, 3)).
+materialize(conRespTable, tLife, 1000, keys(1, 3)).
+materialize(respCluster, tLife, 1000, keys(1, 2, 3)).
+materialize(maxCluster, tLife, 1000, keys(1, 2)).
+materialize(lookupCluster, tLife, 1000, keys(1, 2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, tProbePeriod),
+    K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :- conProbe@NAddr(ProbeID, K, T),
+    uniqueFinger@NAddr(FAddr, FID), ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :- conLookup@NAddr(ProbeID, K, SrcAddr,
+    ReqID, T).
+)OLG";
+  if (!config.snapshot_mode) {
+    program += R"OLG(
+cs4 lookup@SrcAddr(K, NAddr, ReqID) :- conLookup@NAddr(ProbeID, K, SrcAddr, ReqID, T).
+cs5 conRespTable@NAddr(ProbeID, ReqID, SAddr) :- lookupResults@NAddr(K, SID, SAddr,
+    ReqID, Responder), conLookupTable@NAddr(ProbeID, ReqID, T).
+)OLG";
+  } else {
+    // Paper §3.3: probes run over the consistent snapshot `mysnap`; regular lookups
+    // continue to use the live rules at the same time.
+    program += R"OLG(
+cs4s sLookup@SrcAddr(mysnap, K, NAddr, ReqID) :- conLookup@NAddr(ProbeID, K, SrcAddr,
+     ReqID, T).
+cs5s conRespTable@NAddr(ProbeID, ReqID, SAddr) :- sLookupResults@NAddr(SnapID, K, SID,
+     SAddr, ReqID, Responder), conLookupTable@NAddr(ProbeID, ReqID, T).
+)OLG";
+  }
+  program += R"OLG(
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :- conRespTable@NAddr(ProbeID, ReqID,
+    SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :- respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :- conLookupTable@NAddr(ProbeID, ReqID,
+    T).
+cs9 consistency@NAddr(ProbeID, RespCount / LookupCount) :- periodic@NAddr(E,
+    tTallyPeriod), lookupCluster@NAddr(ProbeID, T, LookupCount),
+    T < f_now() - tTallyAge, maxCluster@NAddr(ProbeID, RespCount).
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :- consistency@NAddr(ProbeID,
+     Consistency).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :- consistency@NAddr(ProbeID,
+     Consistency), conLookupTable@NAddr(ProbeID, ReqID, T).
+cs12 consAlarm@NAddr(ProbeID) :- consistency@NAddr(ProbeID, Cons), Cons < consAlarmAt.
+)OLG";
+  return program;
+}
+
+bool InstallConsistencyProbes(Node* node, const ConsistencyConfig& config,
+                              std::string* error) {
+  ParamMap params;
+  params["tProbePeriod"] = Value::Double(config.probe_period);
+  params["tTallyPeriod"] = Value::Double(config.tally_period);
+  params["tTallyAge"] = Value::Double(config.tally_age);
+  params["tLife"] = Value::Double(config.table_lifetime);
+  params["consAlarmAt"] = Value::Double(config.alarm_threshold);
+  if (config.snapshot_mode) {
+    params["mysnap"] = Value::Int(config.snapshot_id);
+  }
+  return node->LoadProgram(ConsistencyProgram(config), params, error);
+}
+
+}  // namespace p2

@@ -1,0 +1,43 @@
+// Proactive routing-consistency probes (paper §3.1.4, rules cs1–cs12; §3.3 "Routing
+// Consistency Revisited" for the snapshot-based variant cs4s/cs5s).
+//
+// Every probe period the node picks a random key, asks each of its unique fingers to
+// resolve it, clusters the answers, and emits a `consistency` event whose metric is
+// |largest agreeing cluster| / |lookups issued| (1.0 means perfectly consistent).
+// A `consAlarm` event fires when the metric falls below the alarm threshold.
+//
+// In snapshot mode the probe lookups run over a Chandy-Lamport snapshot of the routing
+// state (rules l1s-l3s from src/mon/snapshot.h) instead of the live tables, eliminating
+// the false positives/negatives of concurrent probes.
+
+#ifndef SRC_MON_CONSISTENCY_H_
+#define SRC_MON_CONSISTENCY_H_
+
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct ConsistencyConfig {
+  double probe_period = 40.0;   // cs1: how often a probe begins
+  double tally_period = 20.0;   // cs9: how often outstanding probes are tallied
+  double tally_age = 20.0;      // cs9: a probe must be at least this old to tally
+  double alarm_threshold = 0.5; // cs12
+  double table_lifetime = 100.0;
+  // Snapshot mode (paper §3.3): probe lookups run against snapshot `snapshot_id`
+  // (requires InstallSnapshot). Live mode when false.
+  bool snapshot_mode = false;
+  int64_t snapshot_id = 0;  // `mysnap` in the paper
+};
+
+std::string ConsistencyProgram(const ConsistencyConfig& config);
+
+// Installs the probe machinery. Subscribe to `consistency` (ProbeID, Metric) and
+// `consAlarm` (ProbeID) events.
+bool InstallConsistencyProbes(Node* node, const ConsistencyConfig& config,
+                              std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_MON_CONSISTENCY_H_

@@ -1,0 +1,45 @@
+#include "src/mon/ordering.h"
+
+namespace p2 {
+
+std::string OrderingProgram() {
+  // ri1 is the paper's rule plus two repairs: the local node's own ID trivially falls
+  // inside (pred, succ), so results naming the node itself are excluded, and so are
+  // results equal to the successor (the interval in the paper is open but lookups
+  // regularly return the successor itself).
+  return R"OLG(
+ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :- lookupResults@NAddr(K, ResltNodeID,
+    ResltNodeAddr, ReqNo, RespAddr), pred@NAddr(PID, PAddr), bestSucc@NAddr(SID, SAddr),
+    node@NAddr(NID), ResltNodeID != NID, ResltNodeID in (PID, SID),
+    PAddr != "-".
+
+/* The token carries a hop count so a malformed ring (a cycle that misses the
+   initiator) aborts the traversal instead of circulating forever. */
+ri2 ordering@NAddr(E, NAddr, NID, 0, 0) :- orderingEvent@NAddr(E), node@NAddr(NID).
+ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps, Hops) :- ordering@NAddr(E, SrcAddr,
+    MyID, Wraps, Hops), bestSucc@NAddr(SID, SAddr), MyID < SID.
+ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1, Hops) :- ordering@NAddr(E,
+    SrcAddr, MyID, Wraps, Hops), bestSucc@NAddr(SID, SAddr), MyID >= SID.
+ri5 ordering@SAddr(E, SrcAddr, SID, Wraps, Hops + 1) :- countWraps@NAddr(SAddr, E,
+    SrcAddr, SID, Wraps, Hops), SAddr != SrcAddr, Hops < maxHops.
+ri6 orderingProblem@SrcAddr(E, SAddr, SID, Wraps) :- countWraps@NAddr(SAddr, E,
+    SrcAddr, SID, Wraps, Hops), SAddr == SrcAddr, Wraps != 1.
+ri7 orderingOk@SrcAddr(E, Wraps, Hops) :- countWraps@NAddr(SAddr, E, SrcAddr, SID,
+    Wraps, Hops), SAddr == SrcAddr, Wraps == 1.
+ri8 orderingAborted@SrcAddr(E, Hops) :- countWraps@NAddr(SAddr, E, SrcAddr, SID,
+    Wraps, Hops), SAddr != SrcAddr, Hops >= maxHops.
+)OLG";
+}
+
+bool InstallOrderingChecks(Node* node, std::string* error) {
+  ParamMap params;
+  params["maxHops"] = Value::Int(1000);
+  return node->LoadProgram(OrderingProgram(), params, error);
+}
+
+void StartRingTraversal(Node* node, uint64_t traversal_id) {
+  node->InjectEvent(Tuple::Make(
+      "orderingEvent", {Value::Str(node->addr()), Value::Id(traversal_id)}));
+}
+
+}  // namespace p2

@@ -1,0 +1,31 @@
+// Ring ID-ordering detectors (paper §3.1.2, rules ri1–ri6).
+//
+// Opportunistic check (ri1): every lookup response whose result ID falls strictly
+// between the local predecessor and successor exposes a node the local node should
+// have known about — a `closerID` event.
+//
+// Token traversal (ri2–ri6): starting from an `orderingEvent`, a token walks the ring
+// along best-successor links counting ID wrap-arounds; a completed traversal with a
+// wrap count different from one reports an `orderingProblem` to the initiator.
+
+#ifndef SRC_MON_ORDERING_H_
+#define SRC_MON_ORDERING_H_
+
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+// The OverLog text (no parameters).
+std::string OrderingProgram();
+
+// Installs the detectors on `node`. Subscribe to `closerID` / `orderingProblem`.
+bool InstallOrderingChecks(Node* node, std::string* error);
+
+// Starts a ring traversal at `node` with traversal id `traversal_id`.
+void StartRingTraversal(Node* node, uint64_t traversal_id);
+
+}  // namespace p2
+
+#endif  // SRC_MON_ORDERING_H_

@@ -1,0 +1,46 @@
+#include "src/mon/oscillation.h"
+
+namespace p2 {
+
+std::string OscillationProgram(const OscillationConfig& config) {
+  std::string program = R"OLG(
+materialize(oscill, tWindow, infinity, keys(2, 3)).
+
+os1 oscill@NAddr(SAddr, T) :- faultyNode@NAddr(SAddr, T1), sendPred@NAddr(SID, SAddr),
+    T := f_now().
+os2 oscill@NAddr(SAddr, T) :- faultyNode@NAddr(SAddr, T1), returnSucc@NAddr(SID, SAddr),
+    T := f_now().
+os3 countOscill@NAddr(OscillAddr, count<*>) :- periodic@NAddr(E, tCheck),
+    oscill@NAddr(OscillAddr, Time).
+os4 repeatOscill@NAddr(OscillAddr) :- countOscill@NAddr(OscillAddr, Count),
+    Count >= repeatThreshold.
+)OLG";
+  if (config.collaborative) {
+    program += R"OLG(
+materialize(nbrOscill, tWindow, infinity, keys(2, 3)).
+
+os5 nbrOscill@NAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr).
+os6 nbrOscill@SAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    succ@NAddr(SID, SAddr).
+os7 nbrOscill@PAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-".
+os8 nbrOscillCount@NAddr(OscillAddr, count<*>) :- nbrOscill@NAddr(OscillAddr,
+    ReporterAddr).
+os9 chaotic@NAddr(OscillAddr) :- nbrOscillCount@NAddr(OscillAddr, Count),
+    Count > chaoticThreshold.
+)OLG";
+  }
+  return program;
+}
+
+bool InstallOscillationChecks(Node* node, const OscillationConfig& config,
+                              std::string* error) {
+  ParamMap params;
+  params["tWindow"] = Value::Double(config.history_window);
+  params["tCheck"] = Value::Double(config.check_period);
+  params["repeatThreshold"] = Value::Int(config.repeat_threshold);
+  params["chaoticThreshold"] = Value::Int(config.chaotic_threshold);
+  return node->LoadProgram(OscillationProgram(config), params, error);
+}
+
+}  // namespace p2

@@ -1,0 +1,38 @@
+// State-oscillation detectors (paper §3.1.3, rules os1–os9).
+//
+// Detects the "recycled dead neighbor" pattern: a node removes an unresponsive
+// successor, then gossip re-inserts it, repeatedly.
+//  * Single oscillation (os1/os2): a recently deceased neighbor arrives in a
+//    sendPred/returnSucc gossip message — an `oscill` record.
+//  * Repeat oscillation (os3/os4): >= `repeat_threshold` oscillations of the same node
+//    within the history window — a `repeatOscill` event.
+//  * Collaborative detection (os5–os9): neighbors share repeat-oscillator reports; a
+//    node seen oscillating by > `chaotic_threshold` neighbors is declared `chaotic`.
+
+#ifndef SRC_MON_OSCILLATION_H_
+#define SRC_MON_OSCILLATION_H_
+
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct OscillationConfig {
+  double history_window = 120.0;   // oscill / nbrOscill table lifetime
+  double check_period = 60.0;      // os3 counting period
+  int repeat_threshold = 3;        // os4
+  int chaotic_threshold = 3;       // os9 (strictly more than this many reporters)
+  bool collaborative = true;       // install os5-os9
+};
+
+std::string OscillationProgram(const OscillationConfig& config);
+
+// Installs the detectors. Subscribe to `oscill`-table changes via `repeatOscill` /
+// `chaotic` events.
+bool InstallOscillationChecks(Node* node, const OscillationConfig& config,
+                              std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_MON_OSCILLATION_H_

@@ -1,0 +1,48 @@
+#include "src/mon/profiler.h"
+
+namespace p2 {
+
+std::string ProfilerProgram() {
+  // trav(NAddr, ID, Curr, LastT, RuleT, NetT, LocalT): ID is the tuple being explained,
+  // Curr the tuple currently being traced (local ID), LastT the time Curr was consumed
+  // by its downstream rule.
+  return R"OLG(
+ep1 trav@NAddr(ID, ID, T, 0, 0, 0) :- traceResp@NAddr(ID, T).
+
+/* Where did Curr come from? Locally (SrcAddr == NAddr) or over the network. Continue
+   the walk at the origin with the origin-local ID. */
+ep2 ruleBack@SrcAddr(ID, SrcTID, LastT, RuleT, NetT, LocalT, NAddr) :- trav@NAddr(ID,
+    Curr, LastT, RuleT, NetT, LocalT), tupleTable@NAddr(Curr, SrcAddr, SrcTID, LocSpec).
+
+/* Find the rule execution that produced Curr from its triggering event. ep3: the
+   consumer was on this node, so the gap LastT - OutT is local queueing. ep4: the gap
+   was a network crossing. */
+ep3 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT, LocalT + LastT - OutT, Rule) :-
+    ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, ConsumerAddr),
+    ConsumerAddr == NAddr, ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep4 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT + LastT - OutT, LocalT, Rule) :-
+    ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, ConsumerAddr),
+    ConsumerAddr != NAddr, ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+
+/* Keep walking until the originating rule is reached, then report. */
+ep5 trav@NAddr(ID, In, InT, RuleT, NetT, LocalT) :- forward@NAddr(ID, In, InT, RuleT,
+    NetT, LocalT, Rule), Rule != targetRule.
+ep6 report@NAddr(ID, RuleT, NetT, LocalT) :- forward@NAddr(ID, In, InT, RuleT, NetT,
+    LocalT, Rule), Rule == targetRule.
+)OLG";
+}
+
+bool InstallProfiler(Node* node, const ProfilerConfig& config, std::string* error) {
+  ParamMap params;
+  params["targetRule"] = Value::Str(config.target_rule);
+  return node->LoadProgram(ProfilerProgram(), params, error);
+}
+
+void StartTrace(Node* node, const TupleRef& tuple, double received_at) {
+  uint64_t id = node->store().Intern(tuple);
+  node->InjectEvent(Tuple::Make(
+      "traceResp",
+      {Value::Str(node->addr()), Value::Id(id), Value::Double(received_at)}));
+}
+
+}  // namespace p2

@@ -1,0 +1,42 @@
+// Execution profiler (paper §3.2, rules ep1–ep6).
+//
+// Given the ID of a tuple (typically a lookup response), walks the execution trace
+// backwards through the ruleExec / tupleTable tables — across nodes — splitting the
+// end-to-end latency into:
+//   RuleT   time spent inside rule strands,
+//   NetT    time spent crossing the network between rules,
+//   LocalT  time spent queued between rules on the same node.
+// The walk ends when it reaches `target_rule` (the rule that originated the request;
+// "cs2" for consistency probes) and emits a `report(ID, RuleT, NetT, LocalT)` event at
+// the node where the walk concludes.
+//
+// Paper-listing fix (documented in DESIGN.md): ep2 forwards the origin-local tuple ID
+// (SrcTID) when hopping to the origin node; the listing forwarded the consumer-local ID,
+// which cannot match the origin's ruleExec rows.
+
+#ifndef SRC_MON_PROFILER_H_
+#define SRC_MON_PROFILER_H_
+
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct ProfilerConfig {
+  // Rule id at which backward traversal stops (the request originator).
+  std::string target_rule = "cs2";
+};
+
+std::string ProfilerProgram();
+
+// Installs the traversal rules. Subscribe to `report` events.
+bool InstallProfiler(Node* node, const ProfilerConfig& config, std::string* error);
+
+// Starts a backward trace at `node` from `tuple` (which must have been observed there),
+// treating `received_at` as the moment the tuple completed its journey.
+void StartTrace(Node* node, const TupleRef& tuple, double received_at);
+
+}  // namespace p2
+
+#endif  // SRC_MON_PROFILER_H_

@@ -1,0 +1,35 @@
+#include "src/mon/ring_checks.h"
+
+namespace p2 {
+
+std::string RingCheckProgram(const RingCheckConfig& config) {
+  std::string program;
+  if (config.active) {
+    // Paper rules rp1-rp3 verbatim (modulo the respBestSucc payload carrying the
+    // responder's address so rp3 can confirm it is still the node's predecessor).
+    program += R"OLG(
+rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, tProbe), pred@NAddr(PID, PAddr),
+    PAddr != "-".
+rp2 respBestSucc@ReqAddr(NAddr, SAddr) :- reqBestSucc@NAddr(ReqAddr),
+    bestSucc@NAddr(SID, SAddr).
+rp3 inconsistentPred@NAddr(PAddr, Successor) :- respBestSucc@NAddr(PAddr, Successor),
+    pred@NAddr(PID, PAddr), Successor != NAddr.
+)OLG";
+  }
+  if (config.passive) {
+    // Paper rule rp4: piggy-back on Chord's own stabilization traffic.
+    program += R"OLG(
+rp4 inconsistentPred@NAddr(PAddr, SomeAddr) :- stabilizeRequest@NAddr(SomeID, SomeAddr),
+    pred@NAddr(PID, PAddr), SomeAddr != PAddr, SomeAddr != NAddr.
+)OLG";
+  }
+  return program;
+}
+
+bool InstallRingChecks(Node* node, const RingCheckConfig& config, std::string* error) {
+  ParamMap params;
+  params["tProbe"] = Value::Double(config.probe_period);
+  return node->LoadProgram(RingCheckProgram(config), params, error);
+}
+
+}  // namespace p2

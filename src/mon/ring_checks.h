@@ -1,0 +1,35 @@
+// Ring well-formedness detectors (paper §3.1.1, rules rp1–rp4).
+//
+// Active probing: every tProbe seconds a node asks its predecessor for the
+// predecessor's best successor; if the answer is not the asking node, the ring link is
+// inconsistent and an `inconsistentPred` event is raised locally.
+//
+// Passive check: every incoming stabilizeRequest is supposed to come from the node's
+// immediate predecessor; a mismatch raises `inconsistentPred` without generating any
+// extra messages (but detection happens only at stabilization rate).
+
+#ifndef SRC_MON_RING_CHECKS_H_
+#define SRC_MON_RING_CHECKS_H_
+
+#include <string>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct RingCheckConfig {
+  double probe_period = 15.0;  // tProbe
+  bool active = true;          // install rp1-rp3
+  bool passive = true;         // install rp4
+};
+
+// The OverLog text (parameter: tProbe).
+std::string RingCheckProgram(const RingCheckConfig& config);
+
+// Installs the detectors on `node`. Alarms arrive as `inconsistentPred` events
+// (subscribe via Node::SubscribeEvent).
+bool InstallRingChecks(Node* node, const RingCheckConfig& config, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_MON_RING_CHECKS_H_

@@ -1,0 +1,201 @@
+#include "src/mon/snapshot.h"
+
+#include "src/common/strings.h"
+#include "src/net/wire.h"
+
+namespace p2 {
+
+namespace {
+
+// The Chandy-Lamport core: overlay-agnostic — it needs only the pingNode/pingReq
+// liveness vocabulary for links and markers.
+const char kSnapshotCore[] = R"OLG(
+/* ---------------------------------------------------- incoming-link discovery */
+materialize(backPointer, 30, 200, keys(1, 2)).
+materialize(numBackPointers, infinity, 1, keys(1)).
+
+bp1 backPointer@NAddr(RemoteAddr) :- pingReq@NAddr(RemoteAddr).
+bp2 numBackPointers@NAddr(count<*>) :- backPointer@NAddr(RemoteAddr).
+
+/* ------------------------------------------------------------- snapshot state */
+materialize(snapState, tState, 1000, keys(1, 2)).
+materialize(currentSnap, infinity, 1, keys(1)).
+/* Channel bookkeeping is only meaningful until its snapshot completes (markers
+   arrive within a network round-trip); a short lifetime keeps the done-count
+   recomputation from rescanning the full retention window of past snapshots. */
+materialize(channelState, tChan, 2000, keys(1, 2)).
+materialize(doneChannels, tChan, 1000, keys(1, 2)).
+materialize(channelDumpStab, tState, 2000, keys(1, 2, 5)).
+materialize(channelDumpNotify, tState, 2000, keys(1, 2, 5)).
+materialize(channelDumpLookupRes, tState, 2000, keys(1, 2, 5)).
+
+/* Record own state and flood markers when a snapshot begins on this node. */
+sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I).
+sr3 currentSnap@NAddr(I) :- snap@NAddr(I), currentSnap@NAddr(J), I > J.
+sr7 marker@RemoteAddr(NAddr, I) :- snap@NAddr(I), pingNode@NAddr(RemoteAddr).
+
+/* Marker handling: a first marker starts the snapshot and channel recording on every
+   other incoming link; any marker closes its sender's channel. */
+sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- snapState@NAddr(I, State),
+    marker@NAddr(SrcAddr, I).
+sr9 snap@NAddr(I) :- haveSnap@NAddr(Src, I, 0).
+sr10 channelState@NAddr(Remote + I, Remote, I, "Start") :- haveSnap@NAddr(Src, I, 0),
+     backPointer@NAddr(Remote), Remote != Src.
+sr11 channelState@NAddr(Src + I, Src, I, "Done") :- haveSnap@NAddr(Src, I, C),
+     backPointer@NAddr(Src).
+
+/* Termination: the snapshot is done when every incoming channel's marker arrived. */
+sr12 doneChannels@NAddr(I, count<*>) :- channelState@NAddr(Key, Src, I, "Done").
+sr13 snapState@NAddr(I, "Done") :- doneChannels@NAddr(I, C),
+     snapState@NAddr(I, "Snapping"), numBackPointers@NAddr(C).
+
+/* Channel recording (paper sr15/sr16): messages arriving on channels still being
+   recorded, one dump table per message type that carries its sender. */
+sr15a channelDumpStab@NAddr(Key, I, SomeAddr, T) :- stabilizeRequest@NAddr(SomeID,
+      SomeAddr), channelState@NAddr(Key, SomeAddr, I, "Start"), T := f_now().
+sr15b channelDumpNotify@NAddr(Key, I, PAddr2, T) :- notify@NAddr(PID2, PAddr2),
+      channelState@NAddr(Key, PAddr2, I, "Start"), T := f_now().
+sr16 channelDumpLookupRes@NAddr(Key, I, K, E, T) :- lookupResults@NAddr(K, SID, SAddr,
+     E, RespAddr), channelState@NAddr(Key, RespAddr, I, "Start"), T := f_now().
+
+)OLG";
+
+// Chord-specific captures + snapshot lookups (paper sr4-sr6, sr14, l1s-l3s).
+const char kChordSnapshotPart[] = R"OLG(
+materialize(snapBestSucc, tState, 1000, keys(1, 2)).
+materialize(snapFingers, tState, 2000, keys(1, 2, 3)).
+materialize(snapPred, tState, 1000, keys(1, 2)).
+
+sr4 snapBestSucc@NAddr(I, SAddr, SID) :- snap@NAddr(I), bestSucc@NAddr(SID, SAddr).
+sr5 snapFingers@NAddr(I, FPos, FAddr, FID) :- snap@NAddr(I),
+    finger@NAddr(FPos, FID, FAddr).
+sr6 snapPred@NAddr(I, PAddr, PID) :- snap@NAddr(I), pred@NAddr(PID, PAddr).
+
+/* A snapshot lookup from the future acts as a marker (paper sr14). */
+sr14 snap@NAddr(SrcSnapID) :- sLookupResults@NAddr(SrcSnapID, K, SID, SAddr, E,
+     RespAddr), currentSnap@NAddr(MySnapID), SrcSnapID > MySnapID.
+
+/* --------------------------- lookups over a snapshot (paper l1s-l3s, §3.3) */
+l1s sLookupResults@RAddr(SnapID, K, SID, SAddr, E, NAddr) :- node@NAddr(NID),
+    sLookup@NAddr(SnapID, K, RAddr, E), snapBestSucc@NAddr(SnapID, SAddr, SID),
+    K in (NID, SID].
+l2s sBestLookupDist@NAddr(SnapID, K, RAddr, E, min<D>) :- node@NAddr(NID),
+    sLookup@NAddr(SnapID, K, RAddr, E), snapFingers@NAddr(SnapID, FPos, FAddr, FID),
+    D := K - FID - 1, FID in (NID, K).
+l3s sLookup@FAddr(SnapID, K, RAddr, E) :- node@NAddr(NID),
+    sBestLookupDist@NAddr(SnapID, K, RAddr, E, D),
+    snapFingers@NAddr(SnapID, FPos, FAddr, FID), D == K - FID - 1, FID in (NID, K).
+)OLG";
+
+}  // namespace
+
+std::string SnapshotProgram(const SnapshotConfig& config) {
+  std::string program = kSnapshotCore;
+  if (config.chord_state) {
+    program += kChordSnapshotPart;
+  }
+  // Generated capture rules: one snapCap_<t> table + rule per extra capture.
+  for (size_t c = 0; c < config.extra_captures.size(); ++c) {
+    const SnapshotCapture& cap = config.extra_captures[c];
+    std::string args;
+    for (int i = 0; i < cap.arity; ++i) {
+      args += ", F" + std::to_string(i);
+    }
+    program += "materialize(snapCap_" + cap.table + ", tState, 10000).\n";
+    program += "srcap" + std::to_string(c) + " snapCap_" + cap.table +
+               "@NAddr(I" + args + ") :- snap@NAddr(I), " + cap.table + "@NAddr(" +
+               (cap.arity > 0 ? args.substr(2) : std::string()) + ").\n";
+  }
+  return program;
+}
+
+std::string SnapshotInitiatorProgram() {
+  return R"OLG(
+sr1 snapInitiated@NAddr(I + 1) :- periodic@NAddr(E, tSnapFreq), currentSnap@NAddr(I).
+sr1b snap@NAddr(I) :- snapInitiated@NAddr(I).
+sr1c channelState@NAddr(Remote + I, Remote, I, "Start") :- snapInitiated@NAddr(I),
+     backPointer@NAddr(Remote).
+)OLG";
+}
+
+bool InstallSnapshot(Node* node, const SnapshotConfig& config, std::string* error) {
+  ParamMap params;
+  params["tState"] = Value::Double(config.state_lifetime);
+  params["tChan"] = Value::Double(config.channel_lifetime);
+  if (!node->LoadProgram(SnapshotProgram(config), params, error)) {
+    return false;
+  }
+  if (config.initiator) {
+    ParamMap init_params;
+    init_params["tSnapFreq"] = Value::Double(config.snap_period);
+    if (!node->LoadProgram(SnapshotInitiatorProgram(), init_params, error)) {
+      return false;
+    }
+  }
+  node->InjectEvent(
+      Tuple::Make("currentSnap", {Value::Str(node->addr()), Value::Int(0)}));
+  return true;
+}
+
+int64_t LatestDoneSnapshot(Node* node) {
+  int64_t best = 0;
+  for (const TupleRef& t : node->TableContents("snapState")) {
+    if (t->arity() >= 3 && t->field(2).kind() == Value::Kind::kString &&
+        t->field(2).AsString() == "Done" && t->field(1).is_numeric()) {
+      best = std::max(best, t->field(1).ToInt());
+    }
+  }
+  return best;
+}
+
+void IssueSnapshotLookup(Node* node, int64_t snap_id, uint64_t key, uint64_t req_id) {
+  node->InjectEvent(Tuple::Make(
+      "sLookup", {Value::Str(node->addr()), Value::Int(snap_id), Value::Id(key),
+                  Value::Str(node->addr()), Value::Id(req_id)}));
+}
+
+std::string ExportSnapshot(Node* node, int64_t snap_id) {
+  std::string out;
+  double now = node->Now();
+  for (Table* table : node->catalog().AllTables()) {
+    if (!StartsWith(table->name(), "snap")) {
+      continue;
+    }
+    for (const TupleRef& row : table->Scan(now)) {
+      // Field 1 of every snapshot table is the snapshot ID.
+      if (row->arity() < 2 || !row->field(1).is_numeric() ||
+          row->field(1).ToInt() != snap_id) {
+        continue;
+      }
+      EncodeTuple(*row, &out);
+    }
+  }
+  return out;
+}
+
+bool ImportSnapshot(Node* node, const std::string& bytes, std::string* error) {
+  size_t pos = 0;
+  double now = node->Now();
+  while (pos < bytes.size()) {
+    TupleRef row;
+    if (!DecodeTuple(bytes, &pos, &row)) {
+      *error = "corrupt snapshot dump";
+      return false;
+    }
+    Table* table = node->catalog().Get(row->name());
+    if (table == nullptr) {
+      // The analyst node may lack a capture table the dump mentions: create it with
+      // an archival spec (no expiry, whole-tuple key).
+      TableSpec spec;
+      spec.name = row->name();
+      node->catalog().CreateTable(spec);
+      table = node->catalog().Get(row->name());
+    }
+    // Direct insert: imported rows keep their original addresses as plain data and
+    // must not be routed anywhere.
+    table->Insert(row, now);
+  }
+  return true;
+}
+
+}  // namespace p2

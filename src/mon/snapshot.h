@@ -1,0 +1,88 @@
+// Consistent distributed snapshots (paper §3.3): Chandy-Lamport over P2-Chord,
+// rules bp1–bp2 and sr1–sr16, plus lookups over a snapshot (rules l1s–l3s).
+//
+// Back-pointers: Chord nodes know their outgoing links (pingNode) but not their
+// incoming ones; bp1 learns them from arriving pingReq messages.
+//
+// Protocol: the initiator periodically bumps the snapshot ID and starts a snapshot
+// (sr1); every node receiving a first marker for a snapshot records its routing state
+// (snapBestSucc / snapFingers / snapPred), forwards markers on all outgoing links, and
+// records messages arriving on each incoming channel until that channel's marker
+// arrives. When markers have arrived on all incoming channels, the snapshot phase
+// becomes "Done" (sr12/sr13).
+//
+// Deviations from the paper's listing, documented in DESIGN.md:
+//  * a currentSnap table (keys(1), monotonic) feeds sr1/sr14; snapState keeps one row
+//    per snapshot ID so duplicate markers are recognized (the listing overloads one
+//    table for both roles);
+//  * sr11 closes the sender's channel directly (the listing's (C>0)||(Src==Remote)
+//    join form also counted channels from non-back-pointer senders, which would make
+//    the done-count never match numBackPointers);
+//  * message recording (sr15/sr16) covers stabilizeRequest, notify, and lookupResults
+//    — the message types in this Chord that carry their sender;
+//  * sr14's marker-in-disguise handling applies to snapshot lookups (sLookupResults),
+//    which are the messages that carry snapshot IDs here.
+
+#ifndef SRC_MON_SNAPSHOT_H_
+#define SRC_MON_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+// One table captured into the snapshot: `arity` counts the fields after the address.
+struct SnapshotCapture {
+  std::string table;
+  int arity = 1;
+};
+
+struct SnapshotConfig {
+  // Period between snapshots; only meaningful on the initiator.
+  double snap_period = 10.0;
+  bool initiator = false;
+  double state_lifetime = 100.0;    // snapped-state tables
+  double channel_lifetime = 20.0;   // channel bookkeeping (short: see snapshot.cc)
+  // Capture Chord's routing state (bestSucc/finger/pred) and install the
+  // snapshot-lookup rules l1s-l3s (§3.3). Disable on non-Chord overlays.
+  bool chord_state = true;
+  // Additional tables to capture, each becoming a snapCap_<table> table keyed by
+  // snapshot ID + row: e.g. {"rumorSeen", 1} on the flooding overlay.
+  std::vector<SnapshotCapture> extra_captures;
+};
+
+// The OverLog text common to all nodes (protocol core + the captures `config` asks
+// for).
+std::string SnapshotProgram(const SnapshotConfig& config);
+
+// The extra initiator-only rules (sr1 and the initiator's channel bootstrap).
+std::string SnapshotInitiatorProgram();
+
+// Installs the snapshot machinery on `node` and seeds currentSnap(0).
+bool InstallSnapshot(Node* node, const SnapshotConfig& config, std::string* error);
+
+// Highest snapshot ID whose phase is "Done" on `node` (0 if none).
+int64_t LatestDoneSnapshot(Node* node);
+
+// Issues a lookup for `key` against snapshot `snap_id`, starting at `node`. The result
+// arrives at `node` as an sLookupResults event.
+void IssueSnapshotLookup(Node* node, int64_t snap_id, uint64_t key, uint64_t req_id);
+
+// ---- offline forensics (§3.3: snapshots as checkpoints) ----
+//
+// ExportSnapshot serializes every row of snapshot `snap_id` held at `node` (its
+// snapState row plus all snapBestSucc/snapFingers/snapPred/snapCap_* rows) using the
+// wire codec. Exports from all nodes concatenate: a forensic dump of the global state.
+//
+// ImportSnapshot loads a dump into `node` — typically a fresh, offline "analyst" node
+// outside the original deployment. Rows keep their original addresses as data, so
+// OverLog analysis rules on the analyst join them with ordinary variables.
+std::string ExportSnapshot(Node* node, int64_t snap_id);
+bool ImportSnapshot(Node* node, const std::string& bytes, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_MON_SNAPSHOT_H_

@@ -1,0 +1,71 @@
+#include "src/net/network.h"
+
+namespace p2 {
+
+Network::Network(NetworkConfig config) : config_(config), rng_(config.seed) {}
+
+Network::~Network() = default;
+
+Node* Network::AddNode(const std::string& addr, NodeOptions options) {
+  auto [it, inserted] = nodes_.emplace(addr, nullptr);
+  if (!inserted) {
+    return it->second.get();
+  }
+  it->second = std::make_unique<Node>(addr, this, options);
+  return it->second.get();
+}
+
+Node* Network::GetNode(const std::string& addr) {
+  auto it = nodes_.find(addr);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+size_t Network::SendReturningSize(const std::string& src, const std::string& dst,
+                                  const WireEnvelope& env) {
+  std::string bytes = EncodeEnvelope(env);
+  size_t size = bytes.size();
+  ++total_msgs_;
+  total_bytes_ += size;
+  if (config_.loss_rate > 0 && rng_.NextDouble() < config_.loss_rate) {
+    ++dropped_msgs_;
+    return size;
+  }
+  Node* dst_node = GetNode(dst);
+  if (dst_node == nullptr) {
+    if (external_sender_) {
+      external_sender_(dst, bytes);
+    } else {
+      ++dropped_msgs_;
+    }
+    return size;
+  }
+  double deliver_at = sched_.Now() + config_.latency + config_.jitter * rng_.NextDouble();
+  auto key = std::make_pair(src, dst);
+  auto it = channel_last_.find(key);
+  if (it != channel_last_.end() && deliver_at <= it->second) {
+    deliver_at = it->second + 1e-9;  // FIFO: never overtake an earlier message
+  }
+  channel_last_[key] = deliver_at;
+  sched_.At(deliver_at,
+            [dst_node, bytes = std::move(bytes)] { dst_node->ReceiveBytes(bytes); });
+  return size;
+}
+
+uint64_t Network::SumStats(uint64_t NodeStats::* field) const {
+  uint64_t total = 0;
+  for (const auto& [addr, node] : nodes_) {
+    total += node->stats().*field;
+  }
+  return total;
+}
+
+std::vector<Node*> Network::AllNodes() {
+  std::vector<Node*> out;
+  out.reserve(nodes_.size());
+  for (auto& [addr, node] : nodes_) {
+    out.push_back(node.get());
+  }
+  return out;
+}
+
+}  // namespace p2

@@ -1,0 +1,93 @@
+// Network: the simulated transport connecting nodes, plus the shared virtual clock.
+//
+// Substitution (DESIGN.md §2): the paper's testbed ran 21 processes over UDP on two
+// Xeon servers. Here nodes exchange genuinely serialized messages over per-(src,dst)
+// FIFO channels with configurable latency, jitter, and loss, all driven by one
+// deterministic discrete-event scheduler. Message and byte counters feed the Tx-message
+// series of Figures 6 and 7.
+
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/net/node.h"
+#include "src/net/scheduler.h"
+#include "src/net/wire.h"
+
+namespace p2 {
+
+struct NetworkConfig {
+  double latency = 0.02;   // base one-way delay, seconds
+  double jitter = 0.01;    // uniform extra delay in [0, jitter)
+  double loss_rate = 0.0;  // per-message drop probability
+  uint64_t seed = 42;
+};
+
+class Network {
+ public:
+  explicit Network(NetworkConfig config = NetworkConfig());
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Creates a node with address `addr`. Addresses must be unique.
+  Node* AddNode(const std::string& addr, NodeOptions options = NodeOptions());
+
+  // Returns the node with address `addr`, or nullptr.
+  Node* GetNode(const std::string& addr);
+
+  Scheduler& scheduler() { return sched_; }
+  double Now() const { return sched_.Now(); }
+
+  // Serializes `env` and schedules its delivery to `dst` (FIFO per channel, subject to
+  // latency/jitter/loss). Returns the encoded size in bytes (counted whether or not the
+  // message is subsequently dropped — the sender pays for the transmission).
+  size_t SendReturningSize(const std::string& src, const std::string& dst,
+                           const WireEnvelope& env);
+
+  // Runs the simulation.
+  void RunUntil(double t) { sched_.RunUntil(t); }
+  void RunFor(double dt) { sched_.RunUntil(sched_.Now() + dt); }
+  bool Step() { return sched_.Step(); }
+
+  // Fleet-wide counters.
+  uint64_t total_msgs() const { return total_msgs_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t dropped_msgs() const { return dropped_msgs_; }
+
+  // Sum of a statistic across nodes.
+  uint64_t SumStats(uint64_t NodeStats::* field) const;
+
+  // External gateway: when set, messages addressed to nodes NOT in this Network are
+  // handed (destination address, serialized bytes) to this callback instead of being
+  // dropped. Real-time drivers (src/net/udp_driver.h) use it to put tuples on actual
+  // sockets.
+  using ExternalSender =
+      std::function<void(const std::string& dst, const std::string& bytes)>;
+  void SetExternalSender(ExternalSender sender) { external_sender_ = std::move(sender); }
+
+  // All nodes in address order.
+  std::vector<Node*> AllNodes();
+
+ private:
+  NetworkConfig config_;
+  Scheduler sched_;
+  Rng rng_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  // FIFO enforcement: last scheduled delivery time per (src, dst) channel.
+  std::map<std::pair<std::string, std::string>, double> channel_last_;
+  uint64_t total_msgs_ = 0;
+  uint64_t total_bytes_ = 0;
+  uint64_t dropped_msgs_ = 0;
+  ExternalSender external_sender_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_NET_NETWORK_H_

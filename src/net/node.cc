@@ -1,0 +1,474 @@
+#include "src/net/node.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/net/network.h"
+#include "src/planner/planner.h"
+#include "src/trace/introspect.h"
+
+namespace p2 {
+
+namespace {
+
+uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+}  // namespace
+
+BusyTimer::BusyTimer(NodeStats* stats) : stats_(stats), start_ns_(MonotonicNs()) {}
+
+BusyTimer::~BusyTimer() { stats_->busy_ns += MonotonicNs() - start_ns_; }
+
+Node::Node(std::string addr, Network* network, NodeOptions options)
+    : addr_(std::move(addr)), network_(network), options_(options), rng_(options.seed) {
+  tracer_ = std::make_unique<Tracer>(addr_, &store_, options_.tracer_records_per_rule);
+  InstallBuiltinTables();
+  tracer_->set_enabled(options_.tracing);
+  if (options_.introspection) {
+    InstallIntrospectionTables(this);
+  }
+  ScheduleSweep();
+}
+
+Node::~Node() = default;
+
+double Node::Now() const { return network_->Now(); }
+
+void Node::InstallBuiltinTables() {
+  TableSpec rule_exec;
+  rule_exec.name = "ruleExec";
+  rule_exec.lifetime_secs = options_.rule_exec_lifetime;
+  rule_exec.max_size = options_.rule_exec_max;
+  // Whole-tuple key: every distinct execution record is its own row.
+  catalog_.CreateTable(rule_exec);
+
+  TableSpec tuple_table;
+  tuple_table.name = "tupleTable";
+  tuple_table.lifetime_secs = options_.rule_exec_lifetime;
+  tuple_table.max_size = options_.rule_exec_max;
+  tuple_table.key_fields = {1};  // TupleID
+  catalog_.CreateTable(tuple_table);
+
+  tracer_->AttachTables(catalog_.Get("ruleExec"), catalog_.Get("tupleTable"));
+}
+
+bool Node::LoadProgram(const std::string& source, const ParamMap& params,
+                       std::string* error) {
+  return LoadProgramInternal(source, params, /*low_priority=*/false, error);
+}
+
+bool Node::LoadProgramLowPriority(const std::string& source, const ParamMap& params,
+                                  std::string* error) {
+  return LoadProgramInternal(source, params, /*low_priority=*/true, error);
+}
+
+bool Node::LoadProgramInternal(const std::string& source, const ParamMap& params,
+                               bool low_priority, std::string* error) {
+  auto program = std::make_unique<Program>();
+  if (!ParseProgram(source, params, program.get(), error)) {
+    return false;
+  }
+  // Create declared tables first so the planner can classify predicates.
+  for (const TableSpec& spec : program->materializations) {
+    catalog_.CreateTable(spec);
+  }
+  // Reject duplicate rule ids: ruleExec provenance keys on them.
+  for (const Rule& rule : program->rules) {
+    for (const Rule* prior : loaded_rules_) {
+      if (prior->id == rule.id) {
+        *error = "duplicate rule id: " + rule.id;
+        return false;
+      }
+    }
+  }
+  PlanResult plan;
+  if (!PlanProgram(*program, this, &plan, error)) {
+    return false;
+  }
+  // Install.
+  LoadedProgram loaded;
+  loaded.id = next_program_id_++;
+  loaded.low_priority = low_priority;
+  for (const Rule& rule : program->rules) {
+    loaded_rules_.push_back(&rule);
+  }
+  for (auto& strand : plan.strands) {
+    loaded.strands.push_back(strand.get());
+    if (low_priority) {
+      low_priority_strands_.insert(strand.get());
+    }
+    RegisterStrand(std::move(strand));
+  }
+  for (auto& agg : plan.agg_rules) {
+    loaded.aggs.push_back(agg.get());
+    ContinuousAggRule* raw = agg.get();
+    RegisterAggRule(std::move(agg));
+    if (low_priority) {
+      low_priority_aggs_.insert(agg_ids_[raw]);
+    }
+  }
+  for (const PlanResult::PeriodicInstall& p : plan.periodics) {
+    RegisterPeriodic(p.strand, p.period);
+  }
+  for (const std::string& watched_name : program->watches) {
+    watched_.insert(watched_name);
+  }
+  loaded.program = std::move(program);
+  programs_.push_back(std::move(loaded));
+  if (options_.introspection) {
+    PublishStaticIntrospection(this);
+  }
+  return true;
+}
+
+bool Node::UnloadProgram(uint64_t program_id) {
+  LoadedProgram* found = nullptr;
+  for (LoadedProgram& lp : programs_) {
+    if (lp.id == program_id && !lp.unloaded) {
+      found = &lp;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return false;
+  }
+  found->unloaded = true;
+  for (Strand* strand : found->strands) {
+    inactive_strands_.insert(strand);
+    low_priority_strands_.erase(strand);
+    auto it = triggers_.find(strand->trigger_name());
+    if (it != triggers_.end()) {
+      auto& vec = it->second;
+      vec.erase(std::remove(vec.begin(), vec.end(), strand), vec.end());
+    }
+    strand_ptrs_.erase(std::remove(strand_ptrs_.begin(), strand_ptrs_.end(), strand),
+                       strand_ptrs_.end());
+  }
+  for (ContinuousAggRule* agg : found->aggs) {
+    auto it = agg_ids_.find(agg);
+    if (it != agg_ids_.end()) {
+      low_priority_aggs_.erase(it->second);
+      agg_by_id_.erase(it->second);
+      agg_ids_.erase(it);
+    }
+  }
+  // Free the rule ids and drop introspection rows.
+  Table* sys_rule = catalog_.Get("sysRule");
+  for (const Rule& rule : found->program->rules) {
+    loaded_rules_.erase(
+        std::remove(loaded_rules_.begin(), loaded_rules_.end(), &rule),
+        loaded_rules_.end());
+    if (sys_rule != nullptr) {
+      sys_rule->DeleteMatching({Value::Str(addr_), Value::Str(rule.id)}, {true, true},
+                               Now());
+    }
+  }
+  return true;
+}
+
+bool Node::LoadProgram(const std::string& source, std::string* error) {
+  return LoadProgram(source, ParamMap(), error);
+}
+
+void Node::RegisterStrand(std::unique_ptr<Strand> strand) {
+  Strand* raw = strand.get();
+  strands_.push_back(std::move(strand));
+  strand_ptrs_.push_back(raw);
+  triggers_[raw->trigger_name()].push_back(raw);
+}
+
+void Node::RegisterAggRule(std::unique_ptr<ContinuousAggRule> rule) {
+  ContinuousAggRule* raw = rule.get();
+  agg_rules_.push_back(std::move(rule));
+  uint64_t agg_id = next_agg_id_++;
+  agg_by_id_[agg_id] = raw;
+  agg_ids_[raw] = agg_id;
+  for (const std::string& table_name : raw->BodyTableNames()) {
+    Table* table = catalog_.Get(table_name);
+    if (table != nullptr) {
+      // Indirect through the id so the listener degrades to a no-op if the rule's
+      // program is later unloaded.
+      table->AddListener([this, agg_id](TableChange, const TupleRef&) {
+        auto it = agg_by_id_.find(agg_id);
+        if (it != agg_by_id_.end()) {
+          MarkAggDirty(it->second);
+        }
+      });
+    }
+  }
+  // Evaluate once at install so aggregates over pre-existing state appear.
+  MarkAggDirty(raw);
+}
+
+void Node::MarkAggDirty(ContinuousAggRule* rule) {
+  if (rule->dirty) {
+    return;
+  }
+  rule->dirty = true;
+  Pending p;
+  p.kind = Pending::Kind::kAggReeval;
+  p.agg_id = agg_ids_[rule];
+  if (low_priority_aggs_.count(p.agg_id) > 0) {
+    low_queue_.push_back(std::move(p));
+  } else {
+    queue_.push_back(std::move(p));
+  }
+}
+
+void Node::RegisterPeriodic(Strand* strand, double period) {
+  SchedulePeriodic(strand, period);
+}
+
+void Node::SchedulePeriodic(Strand* strand, double period) {
+  network_->scheduler().After(period, [this, strand, period] {
+    if (inactive_strands_.count(strand) > 0) {
+      return;  // program unloaded: the timer chain ends here
+    }
+    if (up_) {
+      BusyTimer busy(&stats_);
+      ValueList fields;
+      fields.push_back(Value::Str(addr_));
+      fields.push_back(Value::Id(rng_.Next()));
+      fields.push_back(Value::Double(period));
+      TupleRef tick = Tuple::Make("periodic", std::move(fields));
+      if (low_priority_strands_.count(strand) > 0) {
+        Pending p;
+        p.kind = Pending::Kind::kLowTrigger;
+        p.strand = strand;
+        p.tuple = tick;
+        low_queue_.push_back(std::move(p));
+      } else {
+        ++stats_.strand_triggers;
+        strand->Trigger(tick);
+      }
+      Drain();
+    }
+    SchedulePeriodic(strand, period);
+  });
+}
+
+void Node::ScheduleSweep() {
+  network_->scheduler().After(options_.sweep_interval, [this] {
+    Sweep();
+    ScheduleSweep();
+  });
+}
+
+void Node::Sweep() {
+  if (!up_) {
+    return;
+  }
+  BusyTimer busy(&stats_);
+  double now = Now();
+  for (Table* table : catalog_.AllTables()) {
+    table->ExpireStale(now);
+  }
+  if (options_.introspection) {
+    RefreshTableIntrospection(this);
+  }
+  Drain();
+}
+
+void Node::InjectEvent(const TupleRef& tuple) {
+  network_->scheduler().At(Now(), [this, tuple] {
+    if (!up_) {
+      return;
+    }
+    BusyTimer busy(&stats_);
+    RouteTuple(tuple, /*is_delete=*/false, ~0ULL);
+    Drain();
+  });
+}
+
+void Node::SetWatchSink(std::function<void(double, const TupleRef&)> sink) {
+  watch_sink_ = std::move(sink);
+}
+
+void Node::SubscribeEvent(const std::string& name,
+                          std::function<void(const TupleRef&)> fn) {
+  subscribers_[name].push_back(std::move(fn));
+}
+
+std::vector<TupleRef> Node::TableContents(const std::string& name) {
+  Table* table = catalog_.Get(name);
+  if (table == nullptr) {
+    return {};
+  }
+  return table->Scan(Now());
+}
+
+void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask) {
+  ++stats_.tuples_emitted;
+  std::string dst = tuple->LocationSpecifier();
+  if (dst.empty()) {
+    ++stats_.dead_letters;
+    return;
+  }
+  if (dst == addr_) {
+    Pending p;
+    p.kind = Pending::Kind::kDeliver;
+    p.tuple = tuple;
+    p.src_addr = addr_;
+    p.src_tuple_id = 0;
+    p.is_delete = is_delete;
+    p.bound_mask = bound_mask;
+    if (options_.local_queue_delay > 0) {
+      network_->scheduler().After(options_.local_queue_delay,
+                                  [this, p = std::move(p)]() mutable {
+                                    if (!up_) {
+                                      return;
+                                    }
+                                    BusyTimer busy(&stats_);
+                                    queue_.push_back(std::move(p));
+                                    Drain();
+                                  });
+    } else {
+      queue_.push_back(std::move(p));
+    }
+    return;
+  }
+  WireEnvelope env;
+  env.src_addr = addr_;
+  env.src_tuple_id = options_.tracing ? store_.Intern(tuple) : 0;
+  env.is_delete = is_delete;
+  env.bound_mask = bound_mask;
+  env.tuple = tuple;
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += network_->SendReturningSize(addr_, dst, env);
+}
+
+void Node::ReceiveBytes(const std::string& bytes) {
+  if (!up_) {
+    return;  // fail-stop: a crashed node drops everything on the floor
+  }
+  BusyTimer busy(&stats_);
+  ++stats_.msgs_received;
+  stats_.bytes_received += bytes.size();
+  WireEnvelope env;
+  if (!DecodeEnvelope(bytes, &env)) {
+    ++stats_.decode_errors;
+    return;
+  }
+  Pending p;
+  p.kind = Pending::Kind::kDeliver;
+  p.tuple = env.tuple;
+  p.src_addr = env.src_addr;
+  p.src_tuple_id = env.src_tuple_id;
+  p.is_delete = env.is_delete;
+  p.bound_mask = env.bound_mask;
+  queue_.push_back(std::move(p));
+  Drain();
+}
+
+void Node::Drain() {
+  if (draining_) {
+    return;
+  }
+  draining_ = true;
+  while (!queue_.empty() || !low_queue_.empty()) {
+    // Low-priority work runs only when the primary queue has quiesced, so a
+    // monitoring rule observes the state *after* an event's full derivation cascade.
+    bool from_low = queue_.empty();
+    std::deque<Pending>& source = from_low ? low_queue_ : queue_;
+    Pending p = std::move(source.front());
+    source.pop_front();
+    if (p.kind == Pending::Kind::kAggReeval) {
+      auto it = agg_by_id_.find(p.agg_id);
+      if (it != agg_by_id_.end()) {
+        it->second->dirty = false;
+        it->second->Reevaluate();
+      }
+      continue;
+    }
+    if (p.kind == Pending::Kind::kLowTrigger) {
+      if (inactive_strands_.count(p.strand) == 0) {
+        ++stats_.strand_triggers;
+        p.strand->Trigger(p.tuple);
+      }
+      continue;
+    }
+    ProcessDelivery(p);
+  }
+  draining_ = false;
+}
+
+void Node::ProcessDelivery(const Pending& p) {
+  ++stats_.local_deliveries;
+  const std::string& name = p.tuple->name();
+  double now = Now();
+  if (watched_.count(name) > 0) {
+    watch_log_.push_back(WatchEntry{now, p.tuple});
+    while (watch_log_.size() > 1000) {
+      watch_log_.pop_front();
+    }
+    if (watch_sink_) {
+      watch_sink_(now, p.tuple);
+    }
+  }
+  if (p.is_delete) {
+    Table* table = catalog_.Get(name);
+    if (table == nullptr) {
+      ++stats_.dead_letters;
+      return;
+    }
+    std::vector<Value> pattern = p.tuple->fields();
+    std::vector<bool> bound(pattern.size(), false);
+    for (size_t i = 0; i < pattern.size() && i < 64; ++i) {
+      bound[i] = (p.bound_mask >> i) & 1;
+    }
+    table->DeleteMatching(pattern, bound, now);
+    return;
+  }
+  if (options_.tracing) {
+    tracer_->MemoizeArrival(p.tuple, p.src_addr.empty() ? addr_ : p.src_addr,
+                            p.src_tuple_id, now);
+  }
+  Table* table = catalog_.Get(name);
+  bool is_delta = true;
+  if (table != nullptr) {
+    InsertOutcome outcome = table->Insert(p.tuple, now);
+    is_delta = (outcome != InsertOutcome::kRefreshed);
+  }
+  if (is_delta) {
+    DispatchEvent(p.tuple);
+  }
+  if (table == nullptr) {
+    auto trig = triggers_.find(name);
+    auto subs = subscribers_.find(name);
+    bool consumed = (trig != triggers_.end() && !trig->second.empty()) ||
+                    (subs != subscribers_.end() && !subs->second.empty());
+    if (!consumed) {
+      ++stats_.dead_letters;
+    }
+  }
+}
+
+void Node::DispatchEvent(const TupleRef& tuple) {
+  auto it = triggers_.find(tuple->name());
+  if (it != triggers_.end()) {
+    for (Strand* strand : it->second) {
+      if (low_priority_strands_.count(strand) > 0) {
+        Pending p;
+        p.kind = Pending::Kind::kLowTrigger;
+        p.strand = strand;
+        p.tuple = tuple;
+        low_queue_.push_back(std::move(p));
+        continue;
+      }
+      ++stats_.strand_triggers;
+      strand->Trigger(tuple);
+    }
+  }
+  auto subs = subscribers_.find(tuple->name());
+  if (subs != subscribers_.end()) {
+    for (const auto& fn : subs->second) {
+      fn(tuple);
+    }
+  }
+}
+
+}  // namespace p2

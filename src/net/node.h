@@ -1,0 +1,249 @@
+// Node: one P2 participant — tables, compiled rule strands, tracer, and delivery queue.
+//
+// A node loads OverLog programs (possibly several, installed piecemeal while running —
+// the paper's on-line monitoring deployment model), routes derived tuples to their
+// location specifier (locally or across the network), dispatches arriving tuples to the
+// strands they trigger, re-evaluates continuous aggregates on table changes, expires
+// soft state, and accounts the wall-clock time it spends doing all of this
+// (NodeStats::busy_ns — the simulation's stand-in for CPU utilization).
+
+#ifndef SRC_NET_NODE_H_
+#define SRC_NET_NODE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dataflow/strand.h"
+#include "src/lang/parser.h"
+#include "src/net/wire.h"
+#include "src/runtime/catalog.h"
+#include "src/trace/tracer.h"
+#include "src/trace/tuple_store.h"
+
+namespace p2 {
+
+class Network;
+
+struct NodeOptions {
+  // Execution tracing (paper §2.1): when true, the planner's taps feed the tracer and
+  // the ruleExec / tupleTable tables are populated.
+  bool tracing = false;
+  // Soft-state sweep period: expiry of stale tuples and introspection refresh.
+  double sweep_interval = 1.0;
+  // Lifetime/bound of ruleExec rows (tupleTable rows share the lifetime).
+  double rule_exec_lifetime = 120.0;
+  size_t rule_exec_max = 100000;
+  // Bound on tracer records per rule (paper's "fixed number of execution records").
+  size_t tracer_records_per_rule = 8;
+  // Install introspection tables (sysRule / sysTable / sysElement).
+  bool introspection = true;
+  // Modeled delay for locally routed tuples (seconds of virtual time spent in the
+  // node's queues between rule strands). Zero keeps local hand-off instantaneous;
+  // nonzero makes the profiler's LocalT component (paper §3.2) observable.
+  double local_queue_delay = 0.0;
+  uint64_t seed = 1;
+};
+
+struct NodeStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t local_deliveries = 0;
+  uint64_t strand_triggers = 0;
+  uint64_t tuples_emitted = 0;
+  uint64_t agg_reevals = 0;
+  uint64_t dead_letters = 0;
+  uint64_t decode_errors = 0;
+  uint64_t busy_ns = 0;  // wall-clock nanoseconds spent executing this node's dataflow
+};
+
+class Node {
+ public:
+  Node(std::string addr, Network* network, NodeOptions options);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& addr() const { return addr_; }
+  NodeOptions& options() { return options_; }
+  NodeStats& stats() { return stats_; }
+  Catalog& catalog() { return catalog_; }
+  Tracer& tracer() { return *tracer_; }
+  TupleStore& store() { return store_; }
+  Rng& rng() { return rng_; }
+  Network& network() { return *network_; }
+
+  // Current virtual time.
+  double Now() const;
+
+  // Parses and installs an OverLog program: creates its tables, compiles its rules,
+  // registers triggers/listeners/timers. Safe to call repeatedly, including while the
+  // simulation is running. Returns false and sets `error` on any failure (the program
+  // is then not installed; tables it declared before the failure remain).
+  bool LoadProgram(const std::string& source, const ParamMap& params, std::string* error);
+  bool LoadProgram(const std::string& source, std::string* error);
+
+  // Loads a program whose rules run at LOW priority: its strands trigger and its
+  // aggregates re-evaluate only once the node's primary work has drained. This is the
+  // paper's §6 future-work item ("prioritized execution of debugging rules may allow
+  // the unperturbed observation of sensitive... artifacts"): a low-priority monitor
+  // observes the quiescent state *after* an event's full derivation cascade, and its
+  // execution never interleaves with base-system rule firing.
+  bool LoadProgramLowPriority(const std::string& source, const ParamMap& params,
+                              std::string* error);
+
+  // Identifier of the most recently loaded program (1-based; 0 = none loaded yet).
+  uint64_t last_program_id() const { return next_program_id_ - 1; }
+
+  // Uninstalls a previously loaded program: its strands stop triggering, its timers
+  // stop firing, and its continuous aggregates stop re-evaluating. Materialized tables
+  // the program declared remain (their soft state ages out normally) — the complement
+  // of the paper's piecemeal on-line installation. Returns false for unknown ids.
+  bool UnloadProgram(uint64_t program_id);
+
+  // Fault injection: a crashed node stops processing — incoming messages are dropped
+  // and its timers do not fire — but its state survives (fail-stop, not disk loss).
+  // On Revive, soft state that aged out during the outage expires lazily.
+  void Crash() { up_ = false; }
+  void Revive() { up_ = true; }
+  bool IsUp() const { return up_; }
+
+  // The tuples observed by `watch(name).` declarations, most recent last (bounded).
+  struct WatchEntry {
+    double time;
+    TupleRef tuple;
+  };
+  const std::deque<WatchEntry>& watch_log() const { return watch_log_; }
+  // Optional sink called for each watched tuple (e.g. to print).
+  void SetWatchSink(std::function<void(double, const TupleRef&)> sink);
+
+  // Injects `tuple` as if it had been derived locally: it is routed to its location
+  // specifier at the current instant (the enclosing Network must then be run).
+  void InjectEvent(const TupleRef& tuple);
+
+  // Registers a host callback invoked whenever an event named `name` is dispatched on
+  // this node (after strand dispatch). Used by examples and tests to observe alarms.
+  void SubscribeEvent(const std::string& name, std::function<void(const TupleRef&)> fn);
+
+  // Convenience: current contents of a materialized table (empty if absent).
+  std::vector<TupleRef> TableContents(const std::string& name);
+
+  // All rules loaded so far (for introspection).
+  const std::vector<const Rule*>& loaded_rules() const { return loaded_rules_; }
+  const std::vector<Strand*>& strands() const { return strand_ptrs_; }
+
+  // ---- engine internals (used by strands, the planner, and the network) ----
+
+  // Routes a tuple produced by a rule head to its location specifier.
+  void RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask);
+
+  // Called by the network when a serialized message arrives.
+  void ReceiveBytes(const std::string& bytes);
+
+  // Registers compiled artifacts (planner).
+  void RegisterStrand(std::unique_ptr<Strand> strand);
+  void RegisterAggRule(std::unique_ptr<ContinuousAggRule> rule);
+  void RegisterPeriodic(Strand* strand, double period);
+
+  // Marks a continuous aggregate dirty (table listener path).
+  void MarkAggDirty(ContinuousAggRule* rule);
+
+  // Drains the pending-work queue. Called from scheduler callbacks.
+  void Drain();
+
+ private:
+  struct Pending {
+    enum class Kind { kDeliver, kAggReeval, kLowTrigger };
+    Kind kind = Kind::kDeliver;
+    TupleRef tuple;
+    std::string src_addr;
+    uint64_t src_tuple_id = 0;
+    bool is_delete = false;
+    uint64_t bound_mask = ~0ULL;
+    uint64_t agg_id = 0;
+    Strand* strand = nullptr;  // kLowTrigger
+  };
+
+  void ProcessDelivery(const Pending& p);
+  void DispatchEvent(const TupleRef& tuple);
+  void SchedulePeriodic(Strand* strand, double period);
+  void ScheduleSweep();
+  void Sweep();
+  void InstallBuiltinTables();
+
+  std::string addr_;
+  Network* network_;
+  NodeOptions options_;
+  NodeStats stats_;
+  Rng rng_;
+  Catalog catalog_;
+  TupleStore store_;
+  std::unique_ptr<Tracer> tracer_;
+
+  struct LoadedProgram {
+    uint64_t id = 0;
+    std::unique_ptr<Program> program;
+    std::vector<Strand*> strands;            // owned by strands_
+    std::vector<ContinuousAggRule*> aggs;    // owned by agg_rules_
+    bool unloaded = false;
+    bool low_priority = false;
+  };
+
+  bool LoadProgramInternal(const std::string& source, const ParamMap& params,
+                           bool low_priority, std::string* error);
+
+  std::vector<LoadedProgram> programs_;
+  uint64_t next_program_id_ = 1;
+  std::vector<const Rule*> loaded_rules_;
+  std::vector<std::unique_ptr<Strand>> strands_;
+  std::vector<Strand*> strand_ptrs_;
+  std::vector<std::unique_ptr<ContinuousAggRule>> agg_rules_;
+  // Continuous aggregates are addressed indirectly so table listeners and queued
+  // re-evaluations survive an unload (they simply stop resolving).
+  std::unordered_map<uint64_t, ContinuousAggRule*> agg_by_id_;
+  std::unordered_map<ContinuousAggRule*, uint64_t> agg_ids_;
+  uint64_t next_agg_id_ = 1;
+  std::unordered_map<std::string, std::vector<Strand*>> triggers_;
+  std::unordered_map<std::string, std::vector<std::function<void(const TupleRef&)>>>
+      subscribers_;
+  std::deque<Pending> queue_;
+  // Deferred low-priority work (strand triggers and aggregate re-evaluations):
+  // drained only when queue_ is empty.
+  std::deque<Pending> low_queue_;
+  std::unordered_set<Strand*> low_priority_strands_;
+  std::unordered_set<uint64_t> low_priority_aggs_;
+  bool draining_ = false;
+  bool sweep_scheduled_ = false;
+  bool up_ = true;
+  // Strands of unloaded programs: their storage stays alive (timer lambdas hold raw
+  // pointers) but they no longer trigger, and their timer chains stop.
+  std::unordered_set<Strand*> inactive_strands_;
+  std::set<std::string> watched_;
+  std::deque<WatchEntry> watch_log_;
+  std::function<void(double, const TupleRef&)> watch_sink_;
+};
+
+// RAII helper accumulating wall-clock processing time into a node's stats.
+class BusyTimer {
+ public:
+  explicit BusyTimer(NodeStats* stats);
+  ~BusyTimer();
+
+ private:
+  NodeStats* stats_;
+  uint64_t start_ns_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_NET_NODE_H_

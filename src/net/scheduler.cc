@@ -1,0 +1,78 @@
+#include "src/net/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace p2 {
+
+uint64_t Scheduler::At(double time, Task fn) {
+  uint64_t id = next_id_++;
+  heap_.push(Event{std::max(time, now_), next_seq_++, id});
+  tasks_.emplace(id, std::move(fn));
+  return id;
+}
+
+uint64_t Scheduler::After(double delay, Task fn) { return At(now_ + delay, std::move(fn)); }
+
+void Scheduler::Cancel(uint64_t id) {
+  if (tasks_.count(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
+
+bool Scheduler::Step() {
+  while (!heap_.empty()) {
+    Event ev = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      tasks_.erase(ev.id);
+      continue;
+    }
+    auto it = tasks_.find(ev.id);
+    if (it == tasks_.end()) {
+      continue;
+    }
+    Task fn = std::move(it->second);
+    tasks_.erase(it);
+    now_ = ev.time;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+double Scheduler::NextEventTime() {
+  while (!heap_.empty()) {
+    const Event& ev = heap_.top();
+    auto it = cancelled_.find(ev.id);
+    if (it == cancelled_.end()) {
+      return ev.time;
+    }
+    cancelled_.erase(it);
+    tasks_.erase(ev.id);
+    heap_.pop();
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void Scheduler::RunUntil(double t) {
+  while (!heap_.empty()) {
+    // Skip cancelled events at the head without advancing time.
+    Event ev = heap_.top();
+    if (cancelled_.count(ev.id) > 0) {
+      heap_.pop();
+      cancelled_.erase(ev.id);
+      tasks_.erase(ev.id);
+      continue;
+    }
+    if (ev.time > t) {
+      break;
+    }
+    Step();
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace p2

@@ -1,0 +1,79 @@
+// Discrete-event scheduler: the virtual clock that drives the whole simulation.
+//
+// Substitution note (see DESIGN.md): the paper runs 21 OS processes over UDP and
+// measures wall-clock CPU utilization. Here every node shares one deterministic
+// event-driven clock; timers and message deliveries are events. Wall-clock time spent
+// *processing* events is accounted separately per node (NodeStats::busy_ns) and plays
+// the role of CPU utilization in the benchmarks.
+
+#ifndef SRC_NET_SCHEDULER_H_
+#define SRC_NET_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace p2 {
+
+class Scheduler {
+ public:
+  using Task = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Current virtual time in seconds.
+  double Now() const { return now_; }
+
+  // Schedules `fn` at absolute virtual time `time` (clamped to now). Returns an id
+  // usable with Cancel. Events at equal times run in schedule order.
+  uint64_t At(double time, Task fn);
+
+  // Schedules `fn` after `delay` seconds.
+  uint64_t After(double delay, Task fn);
+
+  // Cancels a scheduled event. Safe to call with an already-run id.
+  void Cancel(uint64_t id);
+
+  // Runs the next event, advancing the clock. Returns false if none are pending.
+  bool Step();
+
+  // Runs all events scheduled at or before `t`; the clock ends at exactly `t`.
+  void RunUntil(double t);
+
+  // Number of pending events.
+  size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+  // Virtual time of the earliest pending (non-cancelled) event, or +infinity if none.
+  // Used by real-time drivers to size their poll timeouts.
+  double NextEventTime();
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;  // tie-break: schedule order
+    uint64_t id;
+    // Heap comparator: earliest time first, then lowest seq.
+    bool operator>(const Event& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  double now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::unordered_map<uint64_t, Task> tasks_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_NET_SCHEDULER_H_

@@ -1,0 +1,148 @@
+#include "src/net/udp_driver.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace p2 {
+
+namespace {
+
+// Parses "127.0.0.1:9000" into a sockaddr. Returns false on malformed input.
+bool ParseAddr(const std::string& addr, sockaddr_in* out) {
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return false;
+  }
+  std::string host = addr.substr(0, colon);
+  int port = std::atoi(addr.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return false;
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<uint16_t>(port));
+  return inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+UdpDriver::UdpDriver(Network* net) : net_(net) {
+  net_->SetExternalSender(
+      [this](const std::string& dst, const std::string& bytes) {
+        SendExternal(dst, bytes);
+      });
+}
+
+UdpDriver::~UdpDriver() {
+  net_->SetExternalSender(nullptr);
+  for (const Endpoint& ep : endpoints_) {
+    if (ep.fd >= 0) {
+      ::close(ep.fd);
+    }
+  }
+}
+
+Node* UdpDriver::CreateNode(uint16_t port, NodeOptions options, std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) {
+    *error = "socket() failed";
+    return nullptr;
+  }
+  sockaddr_in bind_addr;
+  std::memset(&bind_addr, 0, sizeof(bind_addr));
+  bind_addr.sin_family = AF_INET;
+  bind_addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &bind_addr.sin_addr);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&bind_addr), sizeof(bind_addr)) != 0) {
+    *error = StrFormat("bind(127.0.0.1:%u) failed", port);
+    ::close(fd);
+    return nullptr;
+  }
+  sockaddr_in actual;
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+    *error = "getsockname failed";
+    ::close(fd);
+    return nullptr;
+  }
+  std::string addr = StrFormat("127.0.0.1:%u", ntohs(actual.sin_port));
+  Node* node = net_->AddNode(addr, options);
+  endpoints_.push_back(Endpoint{fd, node});
+  return node;
+}
+
+void UdpDriver::SendExternal(const std::string& dst, const std::string& bytes) {
+  sockaddr_in to;
+  if (!ParseAddr(dst, &to) || endpoints_.empty()) {
+    return;  // unroutable: dropped, as a real UDP stack would
+  }
+  ::sendto(endpoints_[0].fd, bytes.data(), bytes.size(), 0,
+           reinterpret_cast<sockaddr*>(&to), sizeof(to));
+  ++datagrams_sent_;
+}
+
+double UdpDriver::WallNow() const { return SteadySeconds(); }
+
+void UdpDriver::RunFor(double wall_seconds) {
+  if (wall_start_ < 0) {
+    wall_start_ = WallNow();
+    virtual_base_ = net_->Now();
+  }
+  double deadline = WallNow() + wall_seconds;
+  std::vector<pollfd> fds(endpoints_.size());
+  for (size_t i = 0; i < endpoints_.size(); ++i) {
+    fds[i].fd = endpoints_[i].fd;
+    fds[i].events = POLLIN;
+  }
+  char buffer[65536];
+  while (true) {
+    double now_wall = WallNow();
+    if (now_wall >= deadline) {
+      break;
+    }
+    // Fire every timer due by the current wall instant.
+    double virtual_now = virtual_base_ + (now_wall - wall_start_);
+    net_->RunUntil(virtual_now);
+    // Sleep until the next timer or the deadline, whichever comes first, but wake for
+    // any datagram.
+    double next_virtual = net_->scheduler().NextEventTime();
+    double next_wall = wall_start_ + (next_virtual - virtual_base_);
+    double until = std::min(next_wall, deadline);
+    int timeout_ms = static_cast<int>(
+        std::clamp((until - now_wall) * 1000.0, 0.0, 100.0));
+    int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready <= 0) {
+      continue;
+    }
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if ((fds[i].revents & POLLIN) == 0) {
+        continue;
+      }
+      while (true) {
+        ssize_t n = ::recv(fds[i].fd, buffer, sizeof(buffer), MSG_DONTWAIT);
+        if (n <= 0) {
+          break;
+        }
+        ++datagrams_received_;
+        endpoints_[i].node->ReceiveBytes(std::string(buffer, static_cast<size_t>(n)));
+      }
+    }
+  }
+}
+
+}  // namespace p2

@@ -1,0 +1,67 @@
+// UdpDriver: runs engine nodes over real UDP sockets in wall-clock time.
+//
+// The simulated Network covers everything the paper evaluates, but P2 itself was a
+// deployable system over UDP. This driver bridges the two worlds without changing a
+// line of any OverLog program or engine module:
+//
+//  * each attached node is addressed "127.0.0.1:<port>" and owns a bound UDP socket;
+//  * tuples addressed to nodes outside this process leave through the socket (the
+//    Network's external-sender hook) and arriving datagrams are handed to the local
+//    node's normal receive path;
+//  * the Network's virtual clock is pumped against the wall clock, so `periodic`
+//    rules, soft-state expiry, and everything else run in real seconds.
+//
+// One driver per process; several processes (or several drivers in one test) form a
+// deployment. Single-threaded: the caller owns the pump loop via RunFor.
+
+#ifndef SRC_NET_UDP_DRIVER_H_
+#define SRC_NET_UDP_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+
+namespace p2 {
+
+class UdpDriver {
+ public:
+  // The driver pumps `net`'s clock and installs itself as the external gateway.
+  explicit UdpDriver(Network* net);
+  ~UdpDriver();
+
+  UdpDriver(const UdpDriver&) = delete;
+  UdpDriver& operator=(const UdpDriver&) = delete;
+
+  // Binds a UDP socket on 127.0.0.1:`port` (0 = ephemeral) and creates a node in the
+  // Network addressed "127.0.0.1:<actual port>". Returns nullptr + error on failure.
+  Node* CreateNode(uint16_t port, NodeOptions options, std::string* error);
+
+  // Pumps timers and sockets for `wall_seconds` of real time.
+  void RunFor(double wall_seconds);
+
+  // Number of datagrams received / sent through the sockets.
+  uint64_t datagrams_received() const { return datagrams_received_; }
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+
+ private:
+  struct Endpoint {
+    int fd = -1;
+    Node* node = nullptr;
+  };
+
+  void SendExternal(const std::string& dst, const std::string& bytes);
+  double WallNow() const;
+
+  Network* net_;
+  std::vector<Endpoint> endpoints_;
+  double wall_start_ = -1;  // wall seconds at first RunFor; maps to virtual Now() then
+  double virtual_base_ = 0;
+  uint64_t datagrams_received_ = 0;
+  uint64_t datagrams_sent_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // SRC_NET_UDP_DRIVER_H_

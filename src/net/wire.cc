@@ -1,0 +1,236 @@
+#include "src/net/wire.h"
+
+#include <cstring>
+
+namespace p2 {
+
+namespace {
+
+void PutU8(uint8_t v, std::string* out) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(uint32_t v, std::string* out) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutF64(double v, std::string* out) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutStr(const std::string& s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+bool GetU8(const std::string& in, size_t* pos, uint8_t* v) {
+  if (*pos + 1 > in.size()) {
+    return false;
+  }
+  *v = static_cast<uint8_t>(in[*pos]);
+  *pos += 1;
+  return true;
+}
+
+bool GetU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetF64(const std::string& in, size_t* pos, double* v) {
+  if (*pos + 8 > in.size()) {
+    return false;
+  }
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetStr(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(in, pos, &len) || *pos + len > in.size()) {
+    return false;
+  }
+  s->assign(in, *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  PutU8(static_cast<uint8_t>(v.kind()), out);
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kBool:
+      PutU8(v.AsBool() ? 1 : 0, out);
+      break;
+    case Value::Kind::kInt:
+      PutU64(static_cast<uint64_t>(v.AsInt()), out);
+      break;
+    case Value::Kind::kId:
+      PutU64(v.AsId(), out);
+      break;
+    case Value::Kind::kDouble:
+      PutF64(v.AsDouble(), out);
+      break;
+    case Value::Kind::kString:
+      PutStr(v.AsString(), out);
+      break;
+    case Value::Kind::kList: {
+      const ValueList& items = v.AsList();
+      PutU32(static_cast<uint32_t>(items.size()), out);
+      for (const Value& item : items) {
+        EncodeValue(item, out);
+      }
+      break;
+    }
+  }
+}
+
+bool DecodeValue(const std::string& in, size_t* pos, Value* out) {
+  uint8_t tag = 0;
+  if (!GetU8(in, pos, &tag)) {
+    return false;
+  }
+  switch (static_cast<Value::Kind>(tag)) {
+    case Value::Kind::kNull:
+      *out = Value::Null();
+      return true;
+    case Value::Kind::kBool: {
+      uint8_t b = 0;
+      if (!GetU8(in, pos, &b)) {
+        return false;
+      }
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case Value::Kind::kInt: {
+      uint64_t u = 0;
+      if (!GetU64(in, pos, &u)) {
+        return false;
+      }
+      *out = Value::Int(static_cast<int64_t>(u));
+      return true;
+    }
+    case Value::Kind::kId: {
+      uint64_t u = 0;
+      if (!GetU64(in, pos, &u)) {
+        return false;
+      }
+      *out = Value::Id(u);
+      return true;
+    }
+    case Value::Kind::kDouble: {
+      double d = 0;
+      if (!GetF64(in, pos, &d)) {
+        return false;
+      }
+      *out = Value::Double(d);
+      return true;
+    }
+    case Value::Kind::kString: {
+      std::string s;
+      if (!GetStr(in, pos, &s)) {
+        return false;
+      }
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    case Value::Kind::kList: {
+      uint32_t n = 0;
+      if (!GetU32(in, pos, &n)) {
+        return false;
+      }
+      // Cap list size against malformed lengths.
+      if (n > 1u << 20) {
+        return false;
+      }
+      ValueList items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Value item;
+        if (!DecodeValue(in, pos, &item)) {
+          return false;
+        }
+        items.push_back(std::move(item));
+      }
+      *out = Value::List(std::move(items));
+      return true;
+    }
+  }
+  return false;
+}
+
+void EncodeTuple(const Tuple& t, std::string* out) {
+  PutStr(t.name(), out);
+  PutU32(static_cast<uint32_t>(t.arity()), out);
+  for (const Value& v : t.fields()) {
+    EncodeValue(v, out);
+  }
+}
+
+bool DecodeTuple(const std::string& in, size_t* pos, TupleRef* out) {
+  std::string name;
+  uint32_t arity = 0;
+  if (!GetStr(in, pos, &name) || !GetU32(in, pos, &arity) || arity > 1u << 16) {
+    return false;
+  }
+  ValueList fields;
+  fields.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!DecodeValue(in, pos, &v)) {
+      return false;
+    }
+    fields.push_back(std::move(v));
+  }
+  *out = Tuple::Make(std::move(name), std::move(fields));
+  return true;
+}
+
+std::string EncodeEnvelope(const WireEnvelope& env) {
+  std::string out;
+  PutU8(env.is_delete ? 1 : 0, &out);
+  PutU64(env.src_tuple_id, &out);
+  PutU64(env.bound_mask, &out);
+  PutStr(env.src_addr, &out);
+  EncodeTuple(*env.tuple, &out);
+  return out;
+}
+
+bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out) {
+  size_t pos = 0;
+  uint8_t flags = 0;
+  if (!GetU8(bytes, &pos, &flags) || !GetU64(bytes, &pos, &out->src_tuple_id) ||
+      !GetU64(bytes, &pos, &out->bound_mask) || !GetStr(bytes, &pos, &out->src_addr) ||
+      !DecodeTuple(bytes, &pos, &out->tuple)) {
+    return false;
+  }
+  out->is_delete = (flags & 1) != 0;
+  return pos == bytes.size();
+}
+
+}  // namespace p2

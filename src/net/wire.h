@@ -1,0 +1,48 @@
+// Wire format for inter-node tuple transport.
+//
+// Tuples crossing the (simulated) network are genuinely serialized and deserialized —
+// this is the "marshal / unmarshal" stage of P2's dataflow pre/postamble — so the
+// benchmark message and byte counts reflect a real encoding, and the codec is testable
+// for round-trip fidelity.
+//
+// Envelope layout (little-endian):
+//   u8  flags (bit 0: delete request)
+//   u64 source tuple id         (for tupleTable memoization at the receiver)
+//   u64 delete bound mask       (bit i set: field i is a bound pattern position)
+//   str source address
+//   tuple: str name, u32 arity, values
+// Value: u8 kind tag + payload (varint-free, fixed-width for simplicity).
+
+#ifndef SRC_NET_WIRE_H_
+#define SRC_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/runtime/tuple.h"
+#include "src/runtime/value.h"
+
+namespace p2 {
+
+// A message as it travels between nodes.
+struct WireEnvelope {
+  std::string src_addr;
+  uint64_t src_tuple_id = 0;
+  bool is_delete = false;
+  uint64_t bound_mask = ~0ULL;
+  TupleRef tuple;
+};
+
+// Low-level codecs (exposed for tests).
+void EncodeValue(const Value& v, std::string* out);
+bool DecodeValue(const std::string& in, size_t* pos, Value* out);
+void EncodeTuple(const Tuple& t, std::string* out);
+bool DecodeTuple(const std::string& in, size_t* pos, TupleRef* out);
+
+// Envelope codec. Decode returns false on any malformed input.
+std::string EncodeEnvelope(const WireEnvelope& env);
+bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out);
+
+}  // namespace p2
+
+#endif  // SRC_NET_WIRE_H_

@@ -1,0 +1,76 @@
+#include "src/overlays/flood.h"
+
+namespace p2 {
+
+std::string FloodProgram() {
+  return R"OLG(
+materialize(member, infinity, 1000, keys(1, 2)).
+materialize(rumorSeen, tRumor, 10000, keys(1, 2)).
+materialize(rumorStore, tRumor, 10000, keys(1, 2)).
+materialize(rumorAckTbl, tRumor, 10000, keys(1, 2, 3)).
+materialize(pingNode, infinity, 1000, keys(1, 2)).
+
+/* Origination: the publish event becomes a zero-hop rumor carrying its origin. */
+fl0 rumor@NAddr(Id, NAddr, P, 0) :- publish@NAddr(Id, P).
+
+/* Acceptance with duplicate suppression: the first copy wins. */
+fl1 rumorFresh@NAddr(Id, O, P, H) :- rumor@NAddr(Id, O, P, H),
+    not rumorSeen@NAddr(Id).
+fl2 rumorSeen@NAddr(Id) :- rumorFresh@NAddr(Id, O, P, H).
+fl3 rumorStore@NAddr(Id, O, P) :- rumorFresh@NAddr(Id, O, P, H).
+
+/* Epidemic push along membership edges, hop-bounded. */
+fl4 rumor@Peer(Id, O, P, H + 1) :- rumorFresh@NAddr(Id, O, P, H),
+    member@NAddr(Peer), H < maxHops.
+
+/* Coverage: each acceptance acknowledges the origin; the origin keeps a live count. */
+fl5 rumorAckTbl@O(Id, NAddr) :- rumorFresh@NAddr(Id, O, P, H).
+fl6 coverage@O(Id, count<*>) :- rumorAckTbl@O(Id, NAddr).
+
+/* Liveness probes over membership edges — the same pingNode/pingReq vocabulary Chord
+   uses, which is all the consistent-snapshot program needs (backPointer discovery and
+   marker targets). */
+fp0 pingNode@NAddr(Peer) :- member@NAddr(Peer).
+fp1 pingReq@Peer(NAddr) :- periodic@NAddr(E, tPing), pingNode@NAddr(Peer).
+fp2 pingResp@RAddr(NAddr) :- pingReq@NAddr(RAddr).
+)OLG";
+}
+
+bool InstallFlood(Node* node, const FloodConfig& config, std::string* error) {
+  ParamMap params;
+  params["maxHops"] = Value::Int(config.max_hops);
+  params["tRumor"] = Value::Double(config.rumor_lifetime);
+  params["tPing"] = Value::Double(config.ping_period);
+  return node->LoadProgram(FloodProgram(), params, error);
+}
+
+void AddMember(Node* node, const std::string& peer) {
+  node->InjectEvent(
+      Tuple::Make("member", {Value::Str(node->addr()), Value::Str(peer)}));
+}
+
+void PublishRumor(Node* node, uint64_t id, const std::string& payload) {
+  node->InjectEvent(Tuple::Make(
+      "publish", {Value::Str(node->addr()), Value::Id(id), Value::Str(payload)}));
+}
+
+bool HasRumor(Node* node, uint64_t id) {
+  for (const TupleRef& t : node->TableContents("rumorSeen")) {
+    if (t->arity() >= 2 && t->field(1) == Value::Id(id)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t RumorCoverage(Node* origin, uint64_t id) {
+  int64_t count = 0;
+  for (const TupleRef& t : origin->TableContents("rumorAckTbl")) {
+    if (t->arity() >= 3 && t->field(1) == Value::Id(id)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace p2

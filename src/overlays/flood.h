@@ -1,0 +1,66 @@
+// Epidemic dissemination overlay ("rumor flooding") — a second, non-Chord overlay
+// demonstrating the paper's §3.4 claim: the monitoring techniques "are applicable to
+// the implementations of a wide variety of distributed algorithms, in many cases
+// without significantly changing the OverLog rules".
+//
+// Protocol: nodes hold a static membership set; a published rumor floods along
+// membership edges, with duplicate suppression (via negation over the rumorSeen
+// table) and a hop bound. Every node that accepts a rumor acknowledges the origin,
+// which maintains a live coverage count per rumor.
+//
+// Monitoring generality, concretely:
+//  * the node exposes the same `pingNode` / `pingReq` liveness vocabulary as Chord,
+//    so the Chandy-Lamport snapshot program (src/mon/snapshot.h) installs UNCHANGED
+//    on this overlay;
+//  * rumor propagation is traced by the generic execution profiler
+//    (src/mon/profiler.h) with target rule "fl0" — the publish rule;
+//  * watchpoints/introspection work as on any engine node.
+//
+// Tables:
+//   member(N, Peer)            static membership edges (host-seeded)
+//   rumorSeen(N, Id)           duplicate suppression
+//   rumorStore(N, Id, O, P)    accepted rumor payloads
+//   rumorAckTbl(O, Id, N)      acks collected at the origin
+// Events:
+//   publish(N, Id, Payload)    host-injected origination
+//   rumor(N, Id, O, P, Hops)   the flooded message
+//   coverage(O, Id, Count)     emitted at the origin whenever coverage grows
+
+#ifndef SRC_OVERLAYS_FLOOD_H_
+#define SRC_OVERLAYS_FLOOD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+struct FloodConfig {
+  int max_hops = 16;
+  double rumor_lifetime = 300.0;  // rumorSeen / rumorStore / ack TTL
+  double ping_period = 5.0;       // liveness probes (feeds snapshot back-pointers)
+};
+
+// The OverLog program text.
+std::string FloodProgram();
+
+// Loads the flooding program on `node`.
+bool InstallFlood(Node* node, const FloodConfig& config, std::string* error);
+
+// Adds a (directed) membership edge node -> peer. Call both ways for symmetry.
+void AddMember(Node* node, const std::string& peer);
+
+// Originates a rumor at `node`.
+void PublishRumor(Node* node, uint64_t id, const std::string& payload);
+
+// True if `node` has accepted rumor `id`.
+bool HasRumor(Node* node, uint64_t id);
+
+// Coverage count the origin has collected for rumor `id` (0 if unknown).
+int64_t RumorCoverage(Node* origin, uint64_t id);
+
+}  // namespace p2
+
+#endif  // SRC_OVERLAYS_FLOOD_H_

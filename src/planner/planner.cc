@@ -1,0 +1,377 @@
+#include "src/planner/planner.h"
+
+#include <set>
+
+#include "src/common/strings.h"
+#include "src/lang/builtins.h"
+#include "src/net/node.h"
+
+namespace p2 {
+
+namespace {
+
+// Validates that every builtin call in `expr` names a known function.
+bool CheckBuiltins(const Expr& expr, const std::string& rule_id, std::string* error) {
+  if (expr.kind == Expr::Kind::kCall && !IsKnownBuiltin(expr.name)) {
+    *error = StrFormat("rule %s: unknown builtin %s", rule_id.c_str(), expr.name.c_str());
+    return false;
+  }
+  for (const ExprPtr& c : expr.children) {
+    if (c != nullptr && !CheckBuiltins(*c, rule_id, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckRuleBuiltins(const Rule& rule, std::string* error) {
+  for (const HeadArg& arg : rule.head.args) {
+    if (arg.expr != nullptr && !CheckBuiltins(*arg.expr, rule.id, error)) {
+      return false;
+    }
+  }
+  for (const BodyTerm& term : rule.body) {
+    if (term.kind == BodyTerm::Kind::kPredicate) {
+      for (const ExprPtr& arg : term.pred.args) {
+        if (!CheckBuiltins(*arg, rule.id, error)) {
+          return false;
+        }
+      }
+    } else if (term.expr != nullptr && !CheckBuiltins(*term.expr, rule.id, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// True if evaluating `expr` twice can give different results (it calls a volatile
+// builtin). Volatile assignments/filters must run once per join result, not once per
+// trigger — e.g. paper rule cs2 assigns a fresh f_rand() request ID per finger.
+bool IsVolatile(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kCall &&
+      (expr.name == "f_rand" || expr.name == "f_randID" || expr.name == "f_now")) {
+    return true;
+  }
+  for (const ExprPtr& c : expr.children) {
+    if (c != nullptr && IsVolatile(*c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Adds the variables that `pred` binds when matched (its plain-variable arguments).
+void AddBoundVars(const Predicate& pred, std::set<std::string>* bound) {
+  for (const ExprPtr& arg : pred.args) {
+    if (arg->kind == Expr::Kind::kVar) {
+      bound->insert(arg->name);
+    }
+  }
+}
+
+bool ExprReady(const Expr& expr, const std::set<std::string>& bound) {
+  std::vector<std::string> vars;
+  expr.CollectVars(&vars);
+  for (const std::string& v : vars) {
+    if (bound.count(v) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Builds the post-trigger op sequence for `rule`, excluding `trigger` (which may be
+// null for continuous aggregates). Assignments and filters are placed at the earliest
+// point where all their variables are bound.
+bool BuildOps(const Rule& rule, const Predicate* trigger, Node* node,
+              std::vector<StrandOp>* ops, int* num_stages, std::string* error) {
+  std::set<std::string> bound;
+  if (trigger != nullptr) {
+    AddBoundVars(*trigger, &bound);
+  }
+
+  // Count the joins so volatile terms can be deferred past the last one.
+  size_t total_joins = 0;
+  for (const BodyTerm& term : rule.body) {
+    if (term.kind == BodyTerm::Kind::kPredicate && &term.pred != trigger) {
+      ++total_joins;
+    }
+  }
+  // Volatile assignment targets must not feed a join pattern (the join would bind the
+  // variable from table rows instead).
+  std::set<std::string> join_vars;
+  for (const BodyTerm& term : rule.body) {
+    if (term.kind == BodyTerm::Kind::kPredicate && &term.pred != trigger) {
+      std::vector<std::string> vars;
+      for (const ExprPtr& arg : term.pred.args) {
+        arg->CollectVars(&vars);
+      }
+      join_vars.insert(vars.begin(), vars.end());
+    }
+  }
+  for (const BodyTerm& term : rule.body) {
+    if (term.kind == BodyTerm::Kind::kAssign && IsVolatile(*term.expr) &&
+        join_vars.count(term.var) > 0) {
+      *error = StrFormat("rule %s: volatile assignment to %s is used in a join pattern",
+                         rule.id.c_str(), term.var.c_str());
+      return false;
+    }
+  }
+
+  size_t joins_placed = 0;
+  struct PendingTerm {
+    const BodyTerm* term;
+  };
+  std::vector<PendingTerm> pending;
+
+  auto flush_ready = [&]() -> bool {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const BodyTerm& term = *it->term;
+        if (!ExprReady(*term.expr, bound)) {
+          ++it;
+          continue;
+        }
+        if (IsVolatile(*term.expr) && joins_placed < total_joins) {
+          ++it;  // defer past the last join: evaluate per result row
+          continue;
+        }
+        StrandOp op;
+        if (term.kind == BodyTerm::Kind::kAssign) {
+          if (bound.count(term.var) > 0) {
+            *error = StrFormat("rule %s: variable %s assigned but already bound",
+                               rule.id.c_str(), term.var.c_str());
+            return false;
+          }
+          op.kind = StrandOp::Kind::kAssign;
+          op.var = &term.var;
+          op.expr = term.expr.get();
+          bound.insert(term.var);
+        } else {
+          op.kind = StrandOp::Kind::kFilter;
+          op.expr = term.expr.get();
+        }
+        ops->push_back(op);
+        it = pending.erase(it);
+        progress = true;
+      }
+    }
+    return true;
+  };
+
+  int stage = 0;
+  std::vector<const BodyTerm*> negated;
+  for (const BodyTerm& term : rule.body) {
+    if (term.kind == BodyTerm::Kind::kPredicate) {
+      if (&term.pred == trigger) {
+        continue;
+      }
+      if (term.negated) {
+        // Stratified: negations run after every positive term, once all variables
+        // that can bind are bound (remaining ones are existential wildcards).
+        negated.push_back(&term);
+        continue;
+      }
+      if (!flush_ready()) {
+        return false;
+      }
+      Table* table = node->catalog().Get(term.pred.name);
+      if (table == nullptr) {
+        *error = StrFormat(
+            "rule %s: predicate %s is neither the rule's event nor a materialized table",
+            rule.id.c_str(), term.pred.name.c_str());
+        return false;
+      }
+      StrandOp op;
+      op.kind = StrandOp::Kind::kJoin;
+      op.pred = &term.pred;
+      op.table = table;
+      op.stage = ++stage;
+      // If every primary-key position is already bound here, the join degenerates to
+      // an O(1) key probe.
+      const std::vector<size_t>& key_fields = table->spec().key_fields;
+      if (!key_fields.empty()) {
+        bool covered = true;
+        for (size_t pos : key_fields) {
+          if (pos >= term.pred.args.size() || !ExprReady(*term.pred.args[pos], bound)) {
+            covered = false;
+            break;
+          }
+        }
+        op.key_lookup = covered;
+      }
+      ops->push_back(op);
+      ++joins_placed;
+      AddBoundVars(term.pred, &bound);
+      continue;
+    }
+    // Assignment / filter: place now if ready, else defer.
+    pending.push_back(PendingTerm{&term});
+    if (!flush_ready()) {
+      return false;
+    }
+  }
+  if (!flush_ready()) {
+    return false;
+  }
+  if (!pending.empty()) {
+    const BodyTerm& term = *pending.front().term;
+    *error = StrFormat("rule %s: term '%s' references variables that are never bound",
+                       rule.id.c_str(), term.ToString().c_str());
+    return false;
+  }
+  for (const BodyTerm* term : negated) {
+    Table* table = node->catalog().Get(term->pred.name);
+    if (table == nullptr) {
+      *error = StrFormat("rule %s: negated predicate %s must be materialized",
+                         rule.id.c_str(), term->pred.name.c_str());
+      return false;
+    }
+    StrandOp op;
+    op.kind = StrandOp::Kind::kNotExists;
+    op.pred = &term->pred;
+    op.table = table;
+    ops->push_back(op);
+  }
+  *num_stages = stage;
+  return true;
+}
+
+}  // namespace
+
+bool PlanProgram(const Program& program, Node* node, PlanResult* out, std::string* error) {
+  Catalog& catalog = node->catalog();
+  for (const Rule& rule : program.rules) {
+    if (!CheckRuleBuiltins(rule, error)) {
+      return false;
+    }
+    if (rule.head.name == "periodic") {
+      *error = StrFormat("rule %s: cannot derive the builtin periodic event", rule.id.c_str());
+      return false;
+    }
+    // Classify body predicates.
+    const Predicate* periodic = nullptr;
+    std::vector<const Predicate*> events;
+    std::vector<const Predicate*> tables;
+    for (const BodyTerm& term : rule.body) {
+      if (term.kind != BodyTerm::Kind::kPredicate) {
+        continue;
+      }
+      if (term.negated) {
+        if (!catalog.IsMaterialized(term.pred.name)) {
+          *error = StrFormat("rule %s: negated predicate %s must be materialized",
+                             rule.id.c_str(), term.pred.name.c_str());
+          return false;
+        }
+        continue;  // negated predicates are never triggers
+      }
+      if (term.pred.name == "periodic") {
+        if (periodic != nullptr) {
+          *error = StrFormat("rule %s: multiple periodic predicates", rule.id.c_str());
+          return false;
+        }
+        periodic = &term.pred;
+      } else if (catalog.IsMaterialized(term.pred.name)) {
+        tables.push_back(&term.pred);
+      } else {
+        events.push_back(&term.pred);
+      }
+    }
+    if (periodic != nullptr && !events.empty()) {
+      *error = StrFormat("rule %s: cannot combine periodic with another event",
+                         rule.id.c_str());
+      return false;
+    }
+    if (events.size() > 1) {
+      *error = StrFormat(
+          "rule %s: two transient events (%s, %s) cannot be joined — materialize one",
+          rule.id.c_str(), events[0]->name.c_str(), events[1]->name.c_str());
+      return false;
+    }
+    int agg_count = 0;
+    for (const HeadArg& arg : rule.head.args) {
+      if (arg.agg != AggKind::kNone) {
+        ++agg_count;
+      }
+    }
+    if (agg_count > 1) {
+      *error = StrFormat("rule %s: at most one aggregate per head", rule.id.c_str());
+      return false;
+    }
+    if (rule.is_delete && agg_count > 0) {
+      *error = StrFormat("rule %s: delete rules cannot aggregate", rule.id.c_str());
+      return false;
+    }
+
+    const Predicate* trigger =
+        periodic != nullptr ? periodic : (events.empty() ? nullptr : events[0]);
+
+    if (trigger != nullptr) {
+      if (periodic != nullptr) {
+        // periodic@N(E, T): arity 3, constant positive period.
+        if (periodic->args.size() != 3) {
+          *error = StrFormat("rule %s: periodic takes (E, Period)", rule.id.c_str());
+          return false;
+        }
+        Bindings empty;
+        EvalContext ctx;
+        Value period = EvalExpr(*periodic->args[2], empty, ctx);
+        if (!period.is_numeric() || period.ToDouble() <= 0) {
+          *error = StrFormat("rule %s: periodic period must be a positive constant",
+                             rule.id.c_str());
+          return false;
+        }
+        std::vector<StrandOp> ops;
+        int num_stages = 0;
+        if (!BuildOps(rule, trigger, node, &ops, &num_stages, error)) {
+          return false;
+        }
+        auto strand =
+            std::make_unique<Strand>(node, &rule, trigger, std::move(ops), num_stages);
+        out->periodics.push_back(PlanResult::PeriodicInstall{strand.get(), period.ToDouble()});
+        out->strands.push_back(std::move(strand));
+        continue;
+      }
+      std::vector<StrandOp> ops;
+      int num_stages = 0;
+      if (!BuildOps(rule, trigger, node, &ops, &num_stages, error)) {
+        return false;
+      }
+      out->strands.push_back(
+          std::make_unique<Strand>(node, &rule, trigger, std::move(ops), num_stages));
+      continue;
+    }
+
+    // No trigger: the body is entirely materialized.
+    if (tables.empty()) {
+      *error = StrFormat("rule %s: body has no predicates", rule.id.c_str());
+      return false;
+    }
+    if (agg_count > 0) {
+      // Continuous aggregate: full re-evaluation on any body-table change.
+      std::vector<StrandOp> ops;
+      int num_stages = 0;
+      if (!BuildOps(rule, nullptr, node, &ops, &num_stages, error)) {
+        return false;
+      }
+      out->agg_rules.push_back(
+          std::make_unique<ContinuousAggRule>(node, &rule, std::move(ops)));
+      continue;
+    }
+    // Delta strands: one per materialized body predicate.
+    for (const Predicate* delta : tables) {
+      std::vector<StrandOp> ops;
+      int num_stages = 0;
+      if (!BuildOps(rule, delta, node, &ops, &num_stages, error)) {
+        return false;
+      }
+      out->strands.push_back(
+          std::make_unique<Strand>(node, &rule, delta, std::move(ops), num_stages));
+    }
+  }
+  return true;
+}
+
+}  // namespace p2

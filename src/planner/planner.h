@@ -1,0 +1,42 @@
+// Planner: compiles parsed OverLog rules into executable strands (paper §2, Figure 1).
+//
+// For each rule the planner:
+//  * classifies body predicates as periodic timers, transient events, or materialized
+//    table lookups (consulting the node's catalog);
+//  * picks the trigger (the periodic or event predicate; or, when every predicate is
+//    materialized, generates one delta strand per table predicate — or a continuous
+//    aggregate when the head aggregates);
+//  * orders assignments and filters so each runs as soon as its variables are bound;
+//  * numbers the join stages so the tracer's taps line up with Figure 2.
+
+#ifndef SRC_PLANNER_PLANNER_H_
+#define SRC_PLANNER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dataflow/strand.h"
+#include "src/lang/ast.h"
+
+namespace p2 {
+
+class Node;
+
+struct PlanResult {
+  std::vector<std::unique_ptr<Strand>> strands;
+  std::vector<std::unique_ptr<ContinuousAggRule>> agg_rules;
+  struct PeriodicInstall {
+    Strand* strand;
+    double period;
+  };
+  std::vector<PeriodicInstall> periodics;
+};
+
+// Compiles all rules of `program` against `node`'s catalog. On failure returns false,
+// sets `error`, and leaves `out` partially filled but unused by the caller.
+bool PlanProgram(const Program& program, Node* node, PlanResult* out, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_PLANNER_PLANNER_H_

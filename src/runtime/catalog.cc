@@ -1,0 +1,44 @@
+#include "src/runtime/catalog.h"
+
+namespace p2 {
+
+bool Catalog::CreateTable(const TableSpec& spec) {
+  if (tables_.count(spec.name) > 0) {
+    return false;
+  }
+  auto table = std::make_unique<Table>(spec);
+  Table* raw = table.get();
+  tables_.emplace(spec.name, std::move(table));
+  order_.push_back(raw);
+  return true;
+}
+
+Table* Catalog::Get(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Table*> Catalog::AllTables() { return order_; }
+
+size_t Catalog::TotalRows(double now) {
+  size_t total = 0;
+  for (Table* t : order_) {
+    total += t->Size(now);
+  }
+  return total;
+}
+
+size_t Catalog::TotalBytes() const {
+  size_t total = 0;
+  for (Table* t : order_) {
+    total += t->ByteSize();
+  }
+  return total;
+}
+
+}  // namespace p2

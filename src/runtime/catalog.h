@@ -1,0 +1,51 @@
+// Catalog: the set of materialized tables on one node.
+//
+// A name is either materialized (it has a Table here) or it denotes a transient event
+// stream. The planner consults the catalog to decide which body predicates are joins
+// against stored state and which are rule triggers.
+
+#ifndef SRC_RUNTIME_CATALOG_H_
+#define SRC_RUNTIME_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/table.h"
+
+namespace p2 {
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Creates a table from `spec`. If a table with the same name already exists, the
+  // existing table is kept (first declaration wins) and false is returned.
+  bool CreateTable(const TableSpec& spec);
+
+  // Returns the table named `name`, or nullptr if the name is not materialized.
+  Table* Get(const std::string& name);
+  const Table* Get(const std::string& name) const;
+
+  bool IsMaterialized(const std::string& name) const { return tables_.count(name) > 0; }
+
+  // All tables, in creation order (stable iteration for introspection and tests).
+  std::vector<Table*> AllTables();
+
+  // Total rows across all tables at `now` (drives the "live tuples" figures).
+  size_t TotalRows(double now);
+
+  // Total approximate bytes across all tables.
+  size_t TotalBytes() const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<Table*> order_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_RUNTIME_CATALOG_H_

@@ -1,0 +1,164 @@
+#include "src/runtime/table.h"
+
+#include <cmath>
+
+namespace p2 {
+
+Table::Table(TableSpec spec) : spec_(std::move(spec)) {}
+
+bool Table::Key::operator==(const Key& other) const {
+  if (hash != other.hash || vals.size() != other.vals.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (!(vals[i] == other.vals[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Table::Key Table::MakeKey(const Tuple& t) const {
+  Key key;
+  if (spec_.key_fields.empty()) {
+    key.vals = t.fields();
+  } else {
+    key.vals.reserve(spec_.key_fields.size());
+    for (size_t pos : spec_.key_fields) {
+      key.vals.push_back(pos < t.arity() ? t.field(pos) : Value::Null());
+    }
+  }
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : key.vals) {
+    h = h * 1099511628211ULL ^ v.Hash();
+  }
+  key.hash = h;
+  return key;
+}
+
+void Table::Notify(TableChange change, const TupleRef& t) {
+  for (const Listener& fn : listeners_) {
+    fn(change, t);
+  }
+}
+
+InsertOutcome Table::Insert(const TupleRef& t, double now) {
+  ExpireStale(now);
+  Key key = MakeKey(*t);
+  double expires = std::isinf(spec_.lifetime_secs)
+                       ? std::numeric_limits<double>::infinity()
+                       : now + spec_.lifetime_secs;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Row& row = *it->second;
+    if (*row.tuple == *t) {
+      row.expires_at = expires;  // identical: refresh lifetime only, no delta
+      return InsertOutcome::kRefreshed;
+    }
+    row.tuple = t;
+    row.expires_at = expires;
+    Notify(TableChange::kInsert, t);
+    return InsertOutcome::kReplaced;
+  }
+  rows_.push_back(Row{t, expires, next_seq_++});
+  index_.emplace(std::move(key), std::prev(rows_.end()));
+  min_expiry_ = std::min(min_expiry_, expires);
+  EvictOverflow();
+  Notify(TableChange::kInsert, t);
+  return InsertOutcome::kNew;
+}
+
+void Table::EvictOverflow() {
+  while (rows_.size() > spec_.max_size) {
+    Row victim = rows_.front();
+    index_.erase(MakeKey(*victim.tuple));
+    rows_.pop_front();
+    Notify(TableChange::kEvict, victim.tuple);
+  }
+}
+
+size_t Table::DeleteMatching(const std::vector<Value>& pattern,
+                             const std::vector<bool>& bound, double now) {
+  ExpireStale(now);
+  size_t deleted = 0;
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    const Tuple& t = *it->tuple;
+    bool match = true;
+    for (size_t i = 0; i < pattern.size() && i < t.arity(); ++i) {
+      if (i < bound.size() && bound[i] && !(pattern[i] == t.field(i))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      TupleRef victim = it->tuple;
+      index_.erase(MakeKey(t));
+      it = rows_.erase(it);
+      ++deleted;
+      Notify(TableChange::kDelete, victim);
+    } else {
+      ++it;
+    }
+  }
+  return deleted;
+}
+
+size_t Table::ExpireStale(double now) {
+  if (now < min_expiry_) {
+    return 0;  // nothing can have expired yet
+  }
+  size_t expired = 0;
+  double next_min = std::numeric_limits<double>::infinity();
+  for (auto it = rows_.begin(); it != rows_.end();) {
+    if (it->expires_at <= now) {
+      TupleRef victim = it->tuple;
+      index_.erase(MakeKey(*victim));
+      it = rows_.erase(it);
+      ++expired;
+      Notify(TableChange::kExpire, victim);
+    } else {
+      next_min = std::min(next_min, it->expires_at);
+      ++it;
+    }
+  }
+  min_expiry_ = next_min;
+  return expired;
+}
+
+TupleRef Table::FindByKey(const ValueList& key_values, double now) {
+  ExpireStale(now);
+  Key key;
+  key.vals = key_values;
+  size_t h = 1469598103934665603ULL;
+  for (const Value& v : key.vals) {
+    h = h * 1099511628211ULL ^ v.Hash();
+  }
+  key.hash = h;
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : it->second->tuple;
+}
+
+std::vector<TupleRef> Table::Scan(double now) {
+  ExpireStale(now);
+  std::vector<TupleRef> out;
+  out.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    out.push_back(row.tuple);
+  }
+  return out;
+}
+
+size_t Table::Size(double now) {
+  ExpireStale(now);
+  return rows_.size();
+}
+
+size_t Table::ByteSize() const {
+  size_t bytes = 0;
+  for (const Row& row : rows_) {
+    bytes += row.tuple->ByteSize();
+  }
+  return bytes;
+}
+
+}  // namespace p2

@@ -1,0 +1,125 @@
+// Table: soft-state storage for materialized tuples (paper §2, `materialize`).
+//
+// A table is declared with a maximum tuple lifetime, a maximum size, and a primary key
+// (a subset of field positions). Inserting a tuple whose key already exists replaces the
+// old row; inserting an identical tuple merely refreshes its lifetime (and does NOT count
+// as a delta — this is what keeps recursive rule sets like the path-vector example from
+// deriving forever). When the table exceeds its maximum size, the oldest row is evicted.
+//
+// Listeners observe changes; the planner uses them to drive table-delta rule strands and
+// continuous aggregate re-evaluation, and the tracer uses them for ruleExec GC.
+
+#ifndef SRC_RUNTIME_TABLE_H_
+#define SRC_RUNTIME_TABLE_H_
+
+#include <functional>
+#include <limits>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+// Declaration of a materialized table, as written in a `materialize(...)` statement.
+struct TableSpec {
+  std::string name;
+  // Seconds a tuple stays alive after its last insert/refresh; infinity allowed.
+  double lifetime_secs = std::numeric_limits<double>::infinity();
+  // Maximum number of rows; the oldest row is evicted beyond this. SIZE_MAX = unbounded.
+  size_t max_size = std::numeric_limits<size_t>::max();
+  // 0-based field positions forming the primary key. Empty means the whole tuple.
+  std::vector<size_t> key_fields;
+};
+
+// What happened on an Insert.
+enum class InsertOutcome {
+  kNew,       // no row with this key existed
+  kReplaced,  // a row with this key but different contents was replaced
+  kRefreshed  // an identical row existed; only its lifetime was extended
+};
+
+// Kinds of change reported to listeners.
+enum class TableChange {
+  kInsert,  // a new or replacing row (a "delta" in rule-evaluation terms)
+  kDelete,  // explicitly deleted by a `delete` rule
+  kExpire,  // lifetime ran out
+  kEvict    // displaced by the size bound
+};
+
+class Table {
+ public:
+  // A listener is called synchronously after each change; it must not mutate tables
+  // directly (enqueue follow-up work instead).
+  using Listener = std::function<void(TableChange, const TupleRef&)>;
+
+  explicit Table(TableSpec spec);
+
+  const TableSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  // Inserts `t` at time `now`. Expired rows are purged first.
+  InsertOutcome Insert(const TupleRef& t, double now);
+
+  // Deletes all rows matching `pattern`: a row matches when every non-null pattern
+  // position equals the corresponding field. Returns the number of rows deleted.
+  // Positions beyond the row's arity are ignored.
+  size_t DeleteMatching(const std::vector<Value>& pattern,
+                        const std::vector<bool>& bound, double now);
+
+  // Purges rows whose lifetime has passed; fires kExpire for each. Returns count.
+  size_t ExpireStale(double now);
+
+  // Returns the current rows (after purging expired ones), in insertion order.
+  std::vector<TupleRef> Scan(double now);
+
+  // Point lookup by primary-key values (one Value per declared key field, in
+  // declaration order). Returns nullptr when absent. Only valid when the table has
+  // explicit key fields; the planner uses this to turn joins that bind the whole key
+  // into O(1) probes instead of scans.
+  TupleRef FindByKey(const ValueList& key_values, double now);
+
+  // Number of live rows at `now`.
+  size_t Size(double now);
+
+  // Approximate bytes held by live rows.
+  size_t ByteSize() const;
+
+  void AddListener(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+ private:
+  struct Row {
+    TupleRef tuple;
+    double expires_at;
+    uint64_t seq;  // monotonically increasing insert order
+  };
+
+  struct Key {
+    ValueList vals;
+    size_t hash;
+    bool operator==(const Key& other) const;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const { return k.hash; }
+  };
+
+  Key MakeKey(const Tuple& t) const;
+  void Notify(TableChange change, const TupleRef& t);
+  void EvictOverflow();
+
+  TableSpec spec_;
+  std::list<Row> rows_;  // insertion order
+  std::unordered_map<Key, std::list<Row>::iterator, KeyHash> index_;
+  std::vector<Listener> listeners_;
+  uint64_t next_seq_ = 0;
+  // Earliest possible expiry across live rows (a lower bound: refreshes may raise a
+  // row's true expiry without updating this). Lets ExpireStale — called on every
+  // insert/scan — return in O(1) when nothing can have expired yet.
+  double min_expiry_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace p2
+
+#endif  // SRC_RUNTIME_TABLE_H_

@@ -1,0 +1,82 @@
+#include "src/runtime/tuple.h"
+
+#include <functional>
+
+namespace p2 {
+
+std::atomic<uint64_t> Tuple::live_count_{0};
+std::atomic<uint64_t> Tuple::live_bytes_{0};
+std::atomic<uint64_t> Tuple::total_created_{0};
+std::atomic<uint64_t> Tuple::total_bytes_created_{0};
+
+Tuple::Tuple(std::string name, ValueList fields)
+    : name_(std::move(name)), fields_(std::move(fields)) {
+  byte_size_ = sizeof(Tuple) + name_.size();
+  for (const Value& v : fields_) {
+    byte_size_ += v.ByteSize();
+  }
+  live_count_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_add(byte_size_, std::memory_order_relaxed);
+  total_created_.fetch_add(1, std::memory_order_relaxed);
+  total_bytes_created_.fetch_add(byte_size_, std::memory_order_relaxed);
+}
+
+Tuple::~Tuple() {
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  live_bytes_.fetch_sub(byte_size_, std::memory_order_relaxed);
+}
+
+TupleRef Tuple::Make(std::string name, ValueList fields) {
+  return std::make_shared<const Tuple>(std::move(name), std::move(fields));
+}
+
+std::string Tuple::LocationSpecifier() const {
+  if (fields_.empty() || fields_[0].kind() != Value::Kind::kString) {
+    return std::string();
+  }
+  return fields_[0].AsString();
+}
+
+bool Tuple::operator==(const Tuple& other) const {
+  if (name_ != other.name_ || fields_.size() != other.fields_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (!(fields_[i] == other.fields_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = std::hash<std::string>()(name_);
+  for (const Value& v : fields_) {
+    h = h * 1099511628211ULL ^ v.Hash();
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = name_;
+  out += "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fields_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::ByteSize() const { return byte_size_; }
+
+uint64_t Tuple::LiveCount() { return live_count_.load(std::memory_order_relaxed); }
+uint64_t Tuple::LiveBytes() { return live_bytes_.load(std::memory_order_relaxed); }
+uint64_t Tuple::TotalCreated() { return total_created_.load(std::memory_order_relaxed); }
+uint64_t Tuple::TotalBytesCreated() {
+  return total_bytes_created_.load(std::memory_order_relaxed);
+}
+
+}  // namespace p2

@@ -1,0 +1,115 @@
+// Value: the dynamically typed scalar that fills tuple fields.
+//
+// P2's relational model is untyped at the language level; a tuple field may hold a node
+// address (string), a 64-bit ring identifier, a wall-clock time (double), a count, or a
+// nested list. Value is a small tagged union covering those cases, with the arithmetic
+// and comparison semantics the OverLog dialect needs:
+//
+//  * Id (+ - * ...) Id      -> modular 2^64 arithmetic (the Chord identifier ring).
+//  * Int/Double arithmetic  -> the usual numeric semantics with promotion to double.
+//  * String + anything      -> concatenation of printed forms (used by the paper's
+//                              snapshot rules to build composite keys, e.g. Remote + E).
+//  * `X in (A, B]`          -> ring-interval membership for Ids, linear for numbers.
+
+#ifndef SRC_RUNTIME_VALUE_H_
+#define SRC_RUNTIME_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kBool,
+    kInt,     // signed 64-bit
+    kId,      // unsigned 64-bit ring identifier / nonce / address-ish numeric
+    kDouble,  // wall-clock times, ratios
+    kString,  // node addresses, rule ids, state labels
+    kList,    // nested values (e.g. path vectors)
+  };
+
+  // Constructors. The default value is null.
+  Value() : kind_(Kind::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Int(int64_t v);
+  static Value Id(uint64_t v);
+  static Value Double(double v);
+  static Value Str(std::string s);
+  static Value List(ValueList items);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_numeric() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kId || kind_ == Kind::kDouble;
+  }
+
+  // Accessors; calling the wrong one aborts (programming error, not data error).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  uint64_t AsId() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const ValueList& AsList() const;
+
+  // Numeric coercions (valid for any numeric kind; bool coerces to 0/1).
+  double ToDouble() const;
+  uint64_t ToUint() const;
+  int64_t ToInt() const;
+
+  // Truthiness: null/false/0/"" are false, everything else true.
+  bool Truthy() const;
+
+  // Structural equality and a total order (kind-major, then value). Numeric kinds
+  // compare by value across kinds so that Int(3) == Id(3) == Double(3.0).
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  // Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  // Arithmetic following the dialect rules described in the header comment. Division or
+  // modulo by zero yields null.
+  static Value Add(const Value& a, const Value& b);
+  static Value Sub(const Value& a, const Value& b);
+  static Value Mul(const Value& a, const Value& b);
+  static Value Div(const Value& a, const Value& b);
+  static Value Mod(const Value& a, const Value& b);
+  static Value Neg(const Value& a);
+
+  // Ring / linear interval membership for `x in <A, B>` where each side may be open or
+  // closed. Id endpoints use modular (wrap-around) semantics; `(a, a]` with equal
+  // endpoints denotes the full ring.
+  static bool InInterval(const Value& x, const Value& lo, const Value& hi, bool open_left,
+                         bool open_right);
+
+  // Printing (used by traces, logs, marshaling tests, and string concatenation).
+  std::string ToString() const;
+
+  // Hash consistent with operator== (numeric kinds hash by canonical numeric value).
+  size_t Hash() const;
+
+  // Approximate heap footprint in bytes, for the memory-accounting benchmarks.
+  size_t ByteSize() const;
+
+ private:
+  Kind kind_;
+  bool b_ = false;
+  int64_t i_ = 0;
+  uint64_t u_ = 0;
+  double d_ = 0;
+  std::shared_ptr<const std::string> s_;  // shared: values are copied freely
+  std::shared_ptr<const ValueList> l_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_RUNTIME_VALUE_H_

@@ -1,0 +1,67 @@
+// ChordTestbed: spins up an N-node P2-Chord deployment on the simulated network —
+// the common substrate for the paper's experiments, the examples, and the tests.
+//
+// Mirrors the paper's §4 setup: a population of virtual nodes (21 by default) that
+// start staggered, stabilize every 5 s, fix fingers every 10 s, and ping every 5 s.
+// The last node added ("the 21st") is the measurement target in the benchmarks.
+
+#ifndef SRC_TESTBED_TESTBED_H_
+#define SRC_TESTBED_TESTBED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/chord/chord.h"
+#include "src/net/network.h"
+
+namespace p2 {
+
+struct TestbedConfig {
+  int num_nodes = 21;
+  NodeOptions node_options;
+  NetworkConfig net;
+  ChordConfig chord;
+  // Seconds between consecutive node joins.
+  double join_stagger = 0.5;
+  uint64_t seed = 7;
+};
+
+class ChordTestbed {
+ public:
+  explicit ChordTestbed(TestbedConfig config = TestbedConfig());
+
+  ChordTestbed(const ChordTestbed&) = delete;
+  ChordTestbed& operator=(const ChordTestbed&) = delete;
+
+  Network& network() { return net_; }
+  const std::vector<Node*>& nodes() const { return nodes_; }
+  Node* node(size_t i) { return nodes_[i]; }
+  Node* last_node() { return nodes_.back(); }
+  size_t size() const { return nodes_.size(); }
+
+  // Node addresses are "n0".."n<N-1>"; n0 is the landmark.
+  static std::string AddrOf(int i);
+
+  // Runs the simulation for `secs` simulated seconds.
+  void Run(double secs) { net_.RunFor(secs); }
+
+  // The ring IDs, address -> id.
+  std::map<std::string, uint64_t> Ids();
+
+  // Host-side ground truth: returns true if every node's bestSucc is the live node
+  // with the next-higher ID (i.e. the ring is correct).
+  bool RingIsCorrect();
+
+  // Number of nodes whose bestSucc matches ground truth.
+  int CorrectSuccessorCount();
+
+ private:
+  TestbedConfig config_;
+  Network net_;
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_TESTBED_TESTBED_H_

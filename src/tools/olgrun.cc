@@ -1,0 +1,32 @@
+// olgrun: command-line runner for OverLog deployments on the simulated network.
+//
+//   olgrun <scenario-file>      run a scenario script (see src/tools/scenario.h)
+//   olgrun --chord-program      print the built-in Chord OverLog program and exit
+//
+// Example scenarios live in examples/scenarios/.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/chord/chord.h"
+#include "src/tools/scenario.h"
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::strcmp(argv[1], "--chord-program") == 0) {
+    fputs(p2::ChordProgram().c_str(), stdout);
+    return 0;
+  }
+  if (argc != 2) {
+    fprintf(stderr,
+            "usage: %s <scenario-file>\n"
+            "       %s --chord-program\n",
+            argv[0], argv[0]);
+    return 2;
+  }
+  std::string error;
+  if (!p2::RunScenarioFile(argv[1], &error)) {
+    fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,595 @@
+#include "src/tools/scenario.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/apps/dht.h"
+#include "src/chord/chord.h"
+#include "src/common/strings.h"
+#include "src/overlays/flood.h"
+
+namespace p2 {
+
+namespace {
+
+// Splits a command line into whitespace-separated words, keeping "quoted strings" and
+// parenthesized tuple literals intact as single words.
+std::vector<std::string> Words(const std::string& line) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  for (char c : line) {
+    if (in_string) {
+      current += c;
+      if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      current += c;
+      in_string = true;
+      continue;
+    }
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) && depth == 0) {
+      if (!current.empty()) {
+        out.push_back(current);
+        current.clear();
+      }
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) {
+    out.push_back(current);
+  }
+  return out;
+}
+
+// Parses `k=v`; returns false if `word` has no '='.
+bool SplitKv(const std::string& word, std::string* k, std::string* v) {
+  size_t eq = word.find('=');
+  if (eq == std::string::npos) {
+    return false;
+  }
+  *k = word.substr(0, eq);
+  *v = word.substr(eq + 1);
+  return true;
+}
+
+bool IsNumber(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+// Parses one value of a tuple literal.
+bool ParseLiteralValue(const std::string& text, Value* out, std::string* error) {
+  if (text.empty()) {
+    *error = "empty value";
+    return false;
+  }
+  if (text.front() == '"') {
+    if (text.size() < 2 || text.back() != '"') {
+      *error = "unterminated string: " + text;
+      return false;
+    }
+    *out = Value::Str(text.substr(1, text.size() - 2));
+    return true;
+  }
+  if (StartsWith(text, "id:")) {
+    *out = Value::Id(std::strtoull(text.c_str() + 3, nullptr, 10));
+    return true;
+  }
+  if (text == "true") {
+    *out = Value::Bool(true);
+    return true;
+  }
+  if (text == "false") {
+    *out = Value::Bool(false);
+    return true;
+  }
+  if (IsNumber(text)) {
+    if (text.find('.') == std::string::npos && text.find('e') == std::string::npos) {
+      *out = Value::Int(std::strtoll(text.c_str(), nullptr, 10));
+    } else {
+      *out = Value::Double(std::strtod(text.c_str(), nullptr));
+    }
+    return true;
+  }
+  // Bare identifier: a string (node addresses, labels).
+  *out = Value::Str(text);
+  return true;
+}
+
+// Parses `name(v1, v2, ...)`.
+bool ParseTupleLiteral(const std::string& text, TupleRef* out, std::string* error) {
+  size_t open = text.find('(');
+  if (open == std::string::npos || text.back() != ')') {
+    *error = "expected name(v1, ...): " + text;
+    return false;
+  }
+  std::string name = text.substr(0, open);
+  std::string args = text.substr(open + 1, text.size() - open - 2);
+  ValueList fields;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  auto flush = [&]() -> bool {
+    // Trim whitespace.
+    size_t b = current.find_first_not_of(" \t");
+    size_t e = current.find_last_not_of(" \t");
+    if (b == std::string::npos) {
+      return current.empty();
+    }
+    Value v;
+    if (!ParseLiteralValue(current.substr(b, e - b + 1), &v, error)) {
+      return false;
+    }
+    fields.push_back(std::move(v));
+    current.clear();
+    return true;
+  };
+  for (char c : args) {
+    if (in_string) {
+      current += c;
+      if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      current += c;
+      continue;
+    }
+    if (c == ',' && depth == 0) {
+      if (!flush()) {
+        return false;
+      }
+      continue;
+    }
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+    }
+    current += c;
+  }
+  if (!flush()) {
+    return false;
+  }
+  *out = Tuple::Make(std::move(name), std::move(fields));
+  return true;
+}
+
+}  // namespace
+
+struct ScenarioRunner::Impl {
+  std::function<void(const std::string&)> out;
+  NetworkConfig net_config;
+  uint64_t node_seed = 1000;
+
+  void Print(const std::string& s) {
+    if (out) {
+      out(s);
+    } else {
+      fputs(s.c_str(), stdout);
+    }
+  }
+};
+
+ScenarioRunner::ScenarioRunner(std::function<void(const std::string&)> out)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out = std::move(out);
+}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+bool ScenarioRunner::RunScript(const std::string& script, std::string* error) {
+  std::istringstream in(script);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string line_error;
+    if (!RunLine(line, &line_error)) {
+      *error = StrFormat("line %d: %s", line_no, line_error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
+  std::string line = raw;
+  size_t hash = line.find('#');
+  if (hash != std::string::npos) {
+    line = line.substr(0, hash);
+  }
+  std::vector<std::string> words = Words(line);
+  if (words.empty()) {
+    return true;
+  }
+  const std::string& cmd = words[0];
+
+  auto need_network = [&]() -> bool {
+    if (network_ == nullptr) {
+      *error = "no nodes created yet";
+      return false;
+    }
+    return true;
+  };
+  // Resolves <addr|all> into a node list.
+  auto resolve = [&](const std::string& which, std::vector<Node*>* nodes) -> bool {
+    if (!need_network()) {
+      return false;
+    }
+    if (which == "all") {
+      *nodes = network_->AllNodes();
+      return true;
+    }
+    Node* node = network_->GetNode(which);
+    if (node == nullptr) {
+      *error = "unknown node: " + which;
+      return false;
+    }
+    nodes->push_back(node);
+    return true;
+  };
+
+  if (cmd == "net") {
+    if (network_ != nullptr) {
+      *error = "net must precede the first node";
+      return false;
+    }
+    for (size_t i = 1; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "expected k=v: " + words[i];
+        return false;
+      }
+      double d = std::strtod(v.c_str(), nullptr);
+      if (k == "latency") {
+        impl_->net_config.latency = d;
+      } else if (k == "jitter") {
+        impl_->net_config.jitter = d;
+      } else if (k == "loss") {
+        impl_->net_config.loss_rate = d;
+      } else if (k == "seed") {
+        impl_->net_config.seed = static_cast<uint64_t>(d);
+      } else {
+        *error = "unknown net option: " + k;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "node") {
+    if (words.size() < 2) {
+      *error = "node <addr> [trace] [seed=N]";
+      return false;
+    }
+    if (network_ == nullptr) {
+      network_ = std::make_unique<Network>(impl_->net_config);
+    }
+    NodeOptions opts;
+    opts.seed = impl_->node_seed++;
+    for (size_t i = 2; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (words[i] == "trace") {
+        opts.tracing = true;
+      } else if (SplitKv(words[i], &k, &v) && k == "seed") {
+        opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+      } else {
+        *error = "unknown node option: " + words[i];
+        return false;
+      }
+    }
+    network_->AddNode(words[1], opts);
+    return true;
+  }
+
+  if (cmd == "chord") {
+    if (words.size() < 2) {
+      *error = "chord <addr|all> [landmark=<addr>]";
+      return false;
+    }
+    std::vector<Node*> nodes;
+    if (!resolve(words[1], &nodes)) {
+      return false;
+    }
+    std::string landmark;
+    for (size_t i = 2; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (SplitKv(words[i], &k, &v) && k == "landmark") {
+        landmark = v;
+      } else {
+        *error = "unknown chord option: " + words[i];
+        return false;
+      }
+    }
+    for (Node* node : nodes) {
+      ChordConfig cfg;
+      cfg.landmark = (node->addr() == landmark) ? std::string() : landmark;
+      if (landmark.empty() && node != nodes.front()) {
+        cfg.landmark = nodes.front()->addr();
+      }
+      if (!InstallChord(node, cfg, error)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "dht" || cmd == "flood") {
+    if (words.size() != 2) {
+      *error = cmd + " <addr|all>";
+      return false;
+    }
+    std::vector<Node*> nodes;
+    if (!resolve(words[1], &nodes)) {
+      return false;
+    }
+    for (Node* node : nodes) {
+      bool ok = cmd == "dht" ? InstallDht(node, DhtConfig(), error)
+                             : InstallFlood(node, FloodConfig(), error);
+      if (!ok) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "put" || cmd == "get") {
+    std::vector<Node*> nodes;
+    size_t want_args = cmd == "put" ? 5u : 4u;
+    if (words.size() != want_args || !resolve(words[1], &nodes)) {
+      if (error->empty()) {
+        *error = cmd == "put" ? "put <addr> <key> <value> <reqid>"
+                              : "get <addr> <key> <reqid>";
+      }
+      return false;
+    }
+    uint64_t req = std::strtoull(words.back().c_str(), nullptr, 10);
+    if (cmd == "put") {
+      DhtPut(nodes[0], words[2], words[3], req);
+    } else {
+      DhtGet(nodes[0], words[2], req);
+    }
+    return true;
+  }
+
+  if (cmd == "member") {
+    std::vector<Node*> nodes;
+    if (words.size() != 3 || !resolve(words[1], &nodes)) {
+      if (error->empty()) {
+        *error = "member <addr> <peer>";
+      }
+      return false;
+    }
+    AddMember(nodes[0], words[2]);
+    return true;
+  }
+
+  if (cmd == "publish") {
+    std::vector<Node*> nodes;
+    if (words.size() != 4 || !resolve(words[1], &nodes)) {
+      if (error->empty()) {
+        *error = "publish <addr> <rumor-id> <payload>";
+      }
+      return false;
+    }
+    PublishRumor(nodes[0], std::strtoull(words[2].c_str(), nullptr, 10), words[3]);
+    return true;
+  }
+
+  if (cmd == "program" || cmd == "inline") {
+    if (words.size() < 3) {
+      *error = cmd + " <addr|all> <file or text> ...";
+      return false;
+    }
+    std::vector<Node*> nodes;
+    if (!resolve(words[1], &nodes)) {
+      return false;
+    }
+    std::string source;
+    ParamMap params;
+    if (cmd == "program") {
+      std::ifstream f(words[2]);
+      if (!f) {
+        *error = "cannot open " + words[2];
+        return false;
+      }
+      std::stringstream ss;
+      ss << f.rdbuf();
+      source = ss.str();
+      for (size_t i = 3; i < words.size(); ++i) {
+        std::string k;
+        std::string v;
+        if (!SplitKv(words[i], &k, &v)) {
+          *error = "expected k=v param: " + words[i];
+          return false;
+        }
+        Value value;
+        if (!ParseLiteralValue(v, &value, error)) {
+          return false;
+        }
+        params[k] = value;
+      }
+    } else {
+      // Re-join everything after the node selector as OverLog text.
+      size_t pos = raw.find(words[1]);
+      source = raw.substr(pos + words[1].size());
+    }
+    for (Node* node : nodes) {
+      if (!node->LoadProgram(source, params, error)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "inject") {
+    size_t arg = 1;
+    double at = -1;
+    std::string k;
+    std::string v;
+    if (arg < words.size() && SplitKv(words[arg], &k, &v) && k == "t") {
+      at = std::strtod(v.c_str(), nullptr);
+      ++arg;
+    }
+    if (arg + 1 >= words.size()) {
+      *error = "inject [t=<secs>] <addr> <tuple literal>";
+      return false;
+    }
+    std::vector<Node*> nodes;
+    if (!resolve(words[arg], &nodes)) {
+      return false;
+    }
+    TupleRef tuple;
+    if (!ParseTupleLiteral(words[arg + 1], &tuple, error)) {
+      return false;
+    }
+    for (Node* node : nodes) {
+      if (at < 0) {
+        node->InjectEvent(tuple);
+      } else {
+        network_->scheduler().At(at, [node, tuple] { node->InjectEvent(tuple); });
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "run") {
+    if (words.size() != 2 || !need_network()) {
+      if (*error == "") {
+        *error = "run <secs>";
+      }
+      return false;
+    }
+    network_->RunFor(std::strtod(words[1].c_str(), nullptr));
+    return true;
+  }
+
+  if (cmd == "crash" || cmd == "revive") {
+    std::vector<Node*> nodes;
+    if (words.size() != 2 || !resolve(words[1], &nodes)) {
+      return false;
+    }
+    for (Node* node : nodes) {
+      if (cmd == "crash") {
+        node->Crash();
+      } else {
+        node->Revive();
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "watchprint") {
+    std::vector<Node*> nodes;
+    if (words.size() != 2 || !resolve(words[1], &nodes)) {
+      return false;
+    }
+    for (Node* node : nodes) {
+      Impl* impl = impl_.get();
+      std::string addr = node->addr();
+      node->SetWatchSink([impl, addr](double t, const TupleRef& tuple) {
+        impl->Print(StrFormat("[%9.3f] %s: %s\n", t, addr.c_str(),
+                              tuple->ToString().c_str()));
+      });
+    }
+    return true;
+  }
+
+  if (cmd == "dump") {
+    std::vector<Node*> nodes;
+    if (words.size() != 3 || !resolve(words[1], &nodes)) {
+      if (*error == "") {
+        *error = "dump <addr|all> <table>";
+      }
+      return false;
+    }
+    for (Node* node : nodes) {
+      std::vector<TupleRef> rows = node->TableContents(words[2]);
+      impl_->Print(StrFormat("-- %s %s (%zu rows) --\n", node->addr().c_str(),
+                             words[2].c_str(), rows.size()));
+      for (const TupleRef& t : rows) {
+        impl_->Print("  " + t->ToString() + "\n");
+      }
+    }
+    return true;
+  }
+
+  if (cmd == "stats") {
+    std::vector<Node*> nodes;
+    if (words.size() != 2 || !resolve(words[1], &nodes)) {
+      return false;
+    }
+    for (Node* node : nodes) {
+      const NodeStats& s = node->stats();
+      impl_->Print(StrFormat(
+          "%s: sent=%llu recv=%llu triggers=%llu emitted=%llu dead=%llu busy=%.3fms\n",
+          node->addr().c_str(), static_cast<unsigned long long>(s.msgs_sent),
+          static_cast<unsigned long long>(s.msgs_received),
+          static_cast<unsigned long long>(s.strand_triggers),
+          static_cast<unsigned long long>(s.tuples_emitted),
+          static_cast<unsigned long long>(s.dead_letters),
+          static_cast<double>(s.busy_ns) / 1e6));
+    }
+    return true;
+  }
+
+  if (cmd == "expect") {
+    std::vector<Node*> nodes;
+    if (words.size() != 4 || !resolve(words[1], &nodes)) {
+      if (*error == "") {
+        *error = "expect <addr> <table> <count>";
+      }
+      return false;
+    }
+    size_t want = static_cast<size_t>(std::strtoull(words[3].c_str(), nullptr, 10));
+    size_t got = nodes[0]->TableContents(words[2]).size();
+    if (got != want) {
+      *error = StrFormat("expect failed: %s.%s has %zu rows, wanted %zu",
+                         words[1].c_str(), words[2].c_str(), got, want);
+      return false;
+    }
+    ++expectations_passed_;
+    return true;
+  }
+
+  *error = "unknown command: " + cmd;
+  return false;
+}
+
+bool RunScenarioFile(const std::string& path, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  ScenarioRunner runner;
+  return runner.RunScript(ss.str(), error);
+}
+
+}  // namespace p2

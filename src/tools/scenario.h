@@ -1,0 +1,73 @@
+// Scenario interpreter: drives a simulated multi-node deployment from a small script,
+// making the engine usable without writing C++ (the moral equivalent of P2's
+// runOverLog harness).
+//
+// Scenario language (one command per line, `#` comments):
+//
+//   net latency=0.02 jitter=0.01 loss=0 seed=42   # before any node; optional
+//   node <addr> [trace] [seed=N]                  # create a node
+//   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
+//   dht <addr|all>                                # DHT put/get layer (needs chord)
+//   put <addr> <key> <value> <reqid>              # DHT operations
+//   get <addr> <key> <reqid>
+//   flood <addr|all>                              # epidemic dissemination overlay
+//   member <addr> <peer>                          # add a flood membership edge
+//   publish <addr> <rumor-id> <payload>           # originate a rumor
+//   program <addr|all> <file.olg> [k=v ...]       # load an OverLog file with params
+//   inline <addr|all> <overlog text to end of line>
+//   inject [t=<secs>] <addr> <name>(v1, v2, ...)  # inject a tuple (now or at t)
+//   run <secs>                                    # advance virtual time
+//   crash <addr> | revive <addr>
+//   watchprint <addr|all>                         # print watch() hits as they happen
+//   dump <addr|all> <table>                       # print a table's rows
+//   stats <addr|all>                              # print node counters
+//   expect <addr> <table> <count>                 # fail unless the table has N rows
+//
+// Tuple literal values: numbers (Int/Double), "strings", id:<u64> (Id), true/false,
+// and bare identifiers (treated as strings, convenient for addresses).
+
+#ifndef SRC_TOOLS_SCENARIO_H_
+#define SRC_TOOLS_SCENARIO_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/net/network.h"
+
+namespace p2 {
+
+class ScenarioRunner {
+ public:
+  // `out` receives all printed output (dump/stats/watchprint); defaults to stdout.
+  explicit ScenarioRunner(std::function<void(const std::string&)> out = nullptr);
+  ~ScenarioRunner();
+
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Runs a whole script. Returns false and sets `error` on the first failing line.
+  bool RunScript(const std::string& script, std::string* error);
+
+  // Runs one command line (empty lines and comments succeed trivially).
+  bool RunLine(const std::string& line, std::string* error);
+
+  // The network under interpretation (valid after the first `node` command).
+  Network* network() { return network_.get(); }
+
+  // Number of `expect` commands that have passed so far.
+  int expectations_passed() const { return expectations_passed_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::unique_ptr<Network> network_;
+  int expectations_passed_ = 0;
+};
+
+// Loads a scenario file and runs it; convenience for the CLI.
+bool RunScenarioFile(const std::string& path, std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_TOOLS_SCENARIO_H_

@@ -1,0 +1,106 @@
+#include "src/trace/introspect.h"
+
+#include <cmath>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+void InstallIntrospectionTables(Node* node) {
+  Catalog& catalog = node->catalog();
+
+  TableSpec rules;
+  rules.name = "sysRule";
+  rules.key_fields = {0, 1};  // NAddr, RuleID
+  catalog.CreateTable(rules);
+
+  TableSpec tables;
+  tables.name = "sysTable";
+  tables.key_fields = {0, 1};  // NAddr, Name
+  catalog.CreateTable(tables);
+
+  TableSpec elements;
+  elements.name = "sysElement";
+  elements.key_fields = {0, 1, 2};  // NAddr, RuleID, Stage
+  catalog.CreateTable(elements);
+}
+
+void PublishStaticIntrospection(Node* node) {
+  Table* rules = node->catalog().Get("sysRule");
+  Table* elements = node->catalog().Get("sysElement");
+  double now = node->Now();
+  const std::string& addr = node->addr();
+
+  if (rules != nullptr) {
+    for (const Rule* rule : node->loaded_rules()) {
+      rules->Insert(Tuple::Make("sysRule", {Value::Str(addr), Value::Str(rule->id),
+                                            Value::Str(rule->ToString())}),
+                    now);
+    }
+  }
+  if (elements != nullptr) {
+    for (const Strand* strand : node->strands()) {
+      int idx = 0;
+      elements->Insert(
+          Tuple::Make("sysElement",
+                      {Value::Str(addr), Value::Str(strand->rule_id()), Value::Int(idx++),
+                       Value::Str("entry"), Value::Str(strand->trigger_name())}),
+          now);
+      for (const StrandOp& op : strand->ops()) {
+        std::string kind;
+        std::string detail;
+        switch (op.kind) {
+          case StrandOp::Kind::kJoin:
+            kind = op.key_lookup ? "probe" : "join";
+            detail = op.pred->name;
+            break;
+          case StrandOp::Kind::kNotExists:
+            kind = "antijoin";
+            detail = "not " + op.pred->name;
+            break;
+          case StrandOp::Kind::kAssign:
+            kind = "assign";
+            detail = *op.var + " := " + op.expr->ToString();
+            break;
+          case StrandOp::Kind::kFilter:
+            kind = "filter";
+            detail = op.expr->ToString();
+            break;
+        }
+        elements->Insert(
+            Tuple::Make("sysElement",
+                        {Value::Str(addr), Value::Str(strand->rule_id()), Value::Int(idx++),
+                         Value::Str(kind), Value::Str(detail)}),
+            now);
+      }
+      elements->Insert(
+          Tuple::Make("sysElement",
+                      {Value::Str(addr), Value::Str(strand->rule_id()), Value::Int(idx),
+                       Value::Str("project"), Value::Str(strand->rule().head.ToString())}),
+          now);
+    }
+  }
+}
+
+void RefreshTableIntrospection(Node* node) {
+  Table* sys = node->catalog().Get("sysTable");
+  if (sys == nullptr) {
+    return;
+  }
+  double now = node->Now();
+  const std::string& addr = node->addr();
+  for (Table* table : node->catalog().AllTables()) {
+    const TableSpec& spec = table->spec();
+    Value lifetime = std::isinf(spec.lifetime_secs) ? Value::Int(-1)
+                                                    : Value::Double(spec.lifetime_secs);
+    Value max_size = spec.max_size == std::numeric_limits<size_t>::max()
+                         ? Value::Int(-1)
+                         : Value::Int(static_cast<int64_t>(spec.max_size));
+    sys->Insert(Tuple::Make("sysTable", {Value::Str(addr), Value::Str(spec.name), lifetime,
+                                         max_size,
+                                         Value::Int(static_cast<int64_t>(table->Size(now)))}),
+                now);
+  }
+}
+
+}  // namespace p2

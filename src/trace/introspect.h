@@ -1,0 +1,28 @@
+// Introspection: engine state reflected as queryable tables (paper §2.1).
+//
+//   sysRule(NAddr, RuleID, Text)                      — every loaded rule
+//   sysTable(NAddr, Name, Lifetime, MaxSize, Count)   — every table + current size
+//   sysElement(NAddr, RuleID, Stage, Kind, Detail)    — every dataflow element
+//
+// sysRule and sysElement rows are written when programs are installed; sysTable row
+// counts are refreshed on each soft-state sweep.
+
+#ifndef SRC_TRACE_INTROSPECT_H_
+#define SRC_TRACE_INTROSPECT_H_
+
+namespace p2 {
+
+class Node;
+
+// Creates the sys* tables on `node` (idempotent).
+void InstallIntrospectionTables(Node* node);
+
+// Re-publishes sysRule and sysElement rows for everything currently loaded.
+void PublishStaticIntrospection(Node* node);
+
+// Refreshes sysTable rows (current counts). Called from the node's sweep.
+void RefreshTableIntrospection(Node* node);
+
+}  // namespace p2
+
+#endif  // SRC_TRACE_INTROSPECT_H_

@@ -1,0 +1,126 @@
+// Tracer: execution tracing of rule strands (paper §2.1).
+//
+// The planner inserts three kinds of taps on every rule strand: the strand input (the
+// triggering event), each precondition fetched by a join stage, and the strand output.
+// From these taps the tracer reconstructs rule executions and records them as rows of
+// the queryable `ruleExec` table:
+//
+//   ruleExec(NAddr, RuleID, CauseID, EffectID, CauseTime, OutTime, IsEvent)
+//
+// one row linking the triggering event to each output, plus one row per precondition
+// that enabled the output. Tuples are referred to by node-unique IDs memoized in the
+// TupleStore; the mapping, including cross-network provenance, lives in the queryable
+// `tupleTable` table:
+//
+//   tupleTable(NAddr, TupleID, SrcAddr, SrcTupleID, DstAddr)
+//
+// Pipelined execution (paper §2.1.2) is handled with multiple tracing records per
+// strand: each record is associated with a contiguous window of join stages; stage
+// completion signals ("the element seeks new input") advance record windows, and
+// preconditions/outputs are matched to records by stage association. The number of
+// records per strand is bounded (the paper's "fixed number of execution records"
+// optimization).
+//
+// tupleTable rows are reference-counted by the ruleExec rows that mention them and are
+// dropped when the last referring row expires (paper §2.1.3).
+
+#ifndef SRC_TRACE_TRACER_H_
+#define SRC_TRACE_TRACER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/table.h"
+#include "src/runtime/tuple.h"
+#include "src/trace/tuple_store.h"
+
+namespace p2 {
+
+class Strand;
+
+// Names a strand to the tracer without coupling the tracer to strand internals.
+struct TraceTarget {
+  const void* strand = nullptr;  // identity
+  std::string rule_id;
+  int num_stages = 0;  // join stages, 1-based indices 1..num_stages
+};
+
+class Tracer {
+ public:
+  // `node_addr` labels rows; `rule_exec` / `tuple_table` are the destination tables;
+  // `store` assigns tuple IDs; `now` is read through the pointer at tap time.
+  Tracer(std::string node_addr, TupleStore* store, size_t max_records_per_rule);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Wires the destination tables (done by the node once the catalog exists). The
+  // tracer registers a listener on `rule_exec` to drive reference-count GC.
+  void AttachTables(Table* rule_exec, Table* tuple_table);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // --- taps (called by strand execution) ---
+  void OnInput(const TraceTarget& t, const TupleRef& tuple, double now);
+  void OnPrecondition(const TraceTarget& t, int stage, const TupleRef& tuple, double now);
+  void OnStageComplete(const TraceTarget& t, int stage);
+  void OnOutput(const TraceTarget& t, const TupleRef& tuple, double now);
+
+  // --- arrivals (called by the node's delivery path) ---
+  // Memoizes `tuple` and records its provenance row in tupleTable. `src_tuple_id` is
+  // the ID the tuple had at `src_addr` (0 means locally created: the local ID is used).
+  uint64_t MemoizeArrival(const TupleRef& tuple, const std::string& src_addr,
+                          uint64_t src_tuple_id, double now);
+
+  // Number of ruleExec rows written since construction.
+  uint64_t rule_exec_rows_written() const { return rows_written_; }
+
+ private:
+  struct Record {
+    bool free = true;
+    uint64_t seq = 0;          // creation order, for bounded reuse
+    int first_stage = 0;       // window [first_stage, last_stage]; 0 = no stages yet
+    int last_stage = 0;
+    uint64_t event_id = 0;
+    TupleRef event;
+    double event_time = 0;
+    // Per-stage fetched preconditions (index 1..num_stages).
+    std::vector<std::optional<std::pair<uint64_t, double>>> preconds;
+    std::vector<TupleRef> precond_tuples;
+  };
+
+  struct RuleRecords {
+    std::vector<Record> records;
+  };
+
+  Record* FindRecordForStage(RuleRecords& rr, int stage);
+  Record* AllocateRecord(const TraceTarget& t, RuleRecords& rr);
+  void EmitRuleExec(const TraceTarget& t, Record& rec, const TupleRef& output, double now);
+  void WriteRow(const std::string& rule_id, uint64_t cause_id, const TupleRef& cause,
+                uint64_t effect_id, const TupleRef& effect, double cause_time,
+                double out_time, bool is_event, double now);
+  void AddRef(uint64_t id);
+  void DropRef(uint64_t id, double now);
+
+  std::string node_addr_;
+  TupleStore* store_;
+  Table* rule_exec_ = nullptr;
+  Table* tuple_table_ = nullptr;
+  size_t max_records_per_rule_;
+  bool enabled_ = false;
+  uint64_t next_record_seq_ = 1;
+  uint64_t rows_written_ = 0;
+  bool in_gc_ = false;
+  std::unordered_map<const void*, RuleRecords> per_rule_;
+  std::unordered_map<uint64_t, int> refcounts_;
+  double last_now_ = 0;
+};
+
+}  // namespace p2
+
+#endif  // SRC_TRACE_TRACER_H_

@@ -1,0 +1,46 @@
+#include "src/trace/tuple_store.h"
+
+namespace p2 {
+
+uint64_t TupleStore::Intern(const TupleRef& t) {
+  size_t h = t->Hash();
+  auto& bucket = by_content_[h];
+  for (const auto& [stored, id] : bucket) {
+    if (*stored == *t) {
+      return id;
+    }
+  }
+  uint64_t id = next_id_++;
+  bucket.emplace_back(t, id);
+  by_id_.emplace(id, t);
+  return id;
+}
+
+TupleRef TupleStore::Lookup(uint64_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+void TupleStore::Remove(uint64_t id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return;
+  }
+  size_t h = it->second->Hash();
+  auto bucket_it = by_content_.find(h);
+  if (bucket_it != by_content_.end()) {
+    auto& bucket = bucket_it->second;
+    for (auto vit = bucket.begin(); vit != bucket.end(); ++vit) {
+      if (vit->second == id) {
+        bucket.erase(vit);
+        break;
+      }
+    }
+    if (bucket.empty()) {
+      by_content_.erase(bucket_it);
+    }
+  }
+  by_id_.erase(it);
+}
+
+}  // namespace p2

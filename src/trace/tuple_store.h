@@ -1,0 +1,48 @@
+// TupleStore: per-node tuple memoization (paper §2.1.3).
+//
+// "Each P2 node assigns tuples a node-unique ID when they are first created (tuples are
+// immutable in P2). This ID is used to memoize the tuple, and it is this ID that is
+// stored in the ruleExec table rather than the tuple itself."
+//
+// Interning is content-based: two structurally equal tuples receive the same ID, so the
+// ID recorded when a tuple is produced by one rule matches the ID recorded when the same
+// tuple triggers another.
+
+#ifndef SRC_TRACE_TUPLE_STORE_H_
+#define SRC_TRACE_TUPLE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/runtime/tuple.h"
+
+namespace p2 {
+
+class TupleStore {
+ public:
+  TupleStore() = default;
+  TupleStore(const TupleStore&) = delete;
+  TupleStore& operator=(const TupleStore&) = delete;
+
+  // Returns the node-unique ID for `t`, assigning a fresh one on first sight.
+  uint64_t Intern(const TupleRef& t);
+
+  // Returns the memoized tuple, or nullptr if unknown / removed.
+  TupleRef Lookup(uint64_t id) const;
+
+  // Drops a memoized tuple (reference-count GC, driven by the tracer).
+  void Remove(uint64_t id);
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, TupleRef> by_id_;
+  // content hash -> (tuple, id) buckets
+  std::unordered_map<size_t, std::vector<std::pair<TupleRef, uint64_t>>> by_content_;
+};
+
+}  // namespace p2
+
+#endif  // SRC_TRACE_TUPLE_STORE_H_

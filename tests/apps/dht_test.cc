@@ -1,0 +1,141 @@
+// DHT application tests: the paper's hash-table metaphor made concrete — including
+// surviving an owner crash through successor replication.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/dht.h"
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+class DhtTest : public ::testing::Test {
+ protected:
+  void Start(int nodes, bool replicate = true) {
+    TestbedConfig tb;
+    tb.num_nodes = nodes;
+    tb.node_options.introspection = false;
+    bed_ = std::make_unique<ChordTestbed>(tb);
+    bed_->Run(100);
+    ASSERT_TRUE(bed_->RingIsCorrect());
+    DhtConfig cfg;
+    cfg.replicate = replicate;
+    for (Node* node : bed_->nodes()) {
+      std::string error;
+      ASSERT_TRUE(InstallDht(node, cfg, &error)) << error;
+      node->SubscribeEvent("dhtPutAck", [this](const TupleRef& t) {
+        acks_[t->field(2).AsId()] = t->field(3).AsString();  // req -> owner
+      });
+      node->SubscribeEvent("dhtGetResp", [this](const TupleRef& t) {
+        if (t->field(4).Truthy()) {
+          values_[t->field(3).AsId()] = t->field(2).AsString();
+        } else {
+          misses_.insert(t->field(3).AsId());
+        }
+      });
+    }
+  }
+
+  std::unique_ptr<ChordTestbed> bed_;
+  std::map<uint64_t, std::string> acks_;    // put req id -> owner addr
+  std::map<uint64_t, std::string> values_;  // get req id -> value
+  std::set<uint64_t> misses_;
+};
+
+TEST_F(DhtTest, PutThenGetFromAnyNode) {
+  Start(8);
+  DhtPut(bed_->node(1), "color", "teal", 1);
+  DhtPut(bed_->node(2), "animal", "capybara", 2);
+  bed_->Run(5);
+  EXPECT_EQ(acks_.size(), 2u);
+  // Read both keys back from *different* nodes than wrote them.
+  DhtGet(bed_->node(6), "color", 10);
+  DhtGet(bed_->node(0), "animal", 11);
+  DhtGet(bed_->node(3), "nonexistent", 12);
+  bed_->Run(5);
+  EXPECT_EQ(values_[10], "teal");
+  EXPECT_EQ(values_[11], "capybara");
+  EXPECT_TRUE(misses_.count(12) > 0);
+}
+
+TEST_F(DhtTest, OverwriteReplacesValue) {
+  Start(6);
+  DhtPut(bed_->node(0), "k", "v1", 1);
+  bed_->Run(5);
+  DhtPut(bed_->node(3), "k", "v2", 2);
+  bed_->Run(5);
+  DhtGet(bed_->node(5), "k", 10);
+  bed_->Run(5);
+  EXPECT_EQ(values_[10], "v2");
+}
+
+TEST_F(DhtTest, SameKeyAlwaysLandsOnOneOwner) {
+  Start(8);
+  // Puts from every node for the same key must be acked by the same owner.
+  for (uint64_t i = 0; i < bed_->size(); ++i) {
+    DhtPut(bed_->node(i), "sharedKey", "v" + std::to_string(i), 100 + i);
+  }
+  bed_->Run(8);
+  ASSERT_EQ(acks_.size(), bed_->size());
+  std::string owner = acks_.begin()->second;
+  for (const auto& [req, who] : acks_) {
+    EXPECT_EQ(who, owner);
+  }
+}
+
+TEST_F(DhtTest, ReplicationSurvivesOwnerCrash) {
+  Start(8, /*replicate=*/true);
+  DhtPut(bed_->node(1), "precious", "data", 1);
+  bed_->Run(5);
+  ASSERT_EQ(acks_.count(1), 1u);
+  Node* owner = bed_->network().GetNode(acks_[1]);
+  ASSERT_NE(owner, nullptr);
+  owner->Crash();
+  bed_->Run(60);  // failure detection + ring healing: the replica inherits the range
+  DhtGet(bed_->node(2), "precious", 10);
+  bed_->Run(8);
+  EXPECT_EQ(values_[10], "data");
+}
+
+TEST_F(DhtTest, WithoutReplicationOwnerCrashLosesData) {
+  Start(8, /*replicate=*/false);
+  DhtPut(bed_->node(1), "fragile", "data", 1);
+  bed_->Run(5);
+  ASSERT_EQ(acks_.count(1), 1u);
+  Node* owner = bed_->network().GetNode(acks_[1]);
+  owner->Crash();
+  bed_->Run(60);
+  DhtGet(bed_->node(2), "fragile", 10);
+  bed_->Run(8);
+  EXPECT_TRUE(misses_.count(10) > 0);
+  EXPECT_EQ(values_.count(10), 0u);
+}
+
+TEST_F(DhtTest, ManyKeysDistributeAcrossNodes) {
+  Start(8);
+  for (uint64_t i = 0; i < 40; ++i) {
+    DhtPut(bed_->node(i % bed_->size()), "key" + std::to_string(i),
+           "val" + std::to_string(i), 1000 + i);
+  }
+  bed_->Run(10);
+  EXPECT_EQ(acks_.size(), 40u);
+  // At least a few distinct owners (40 random hashes over 8 nodes).
+  std::set<std::string> owners;
+  for (const auto& [req, who] : acks_) {
+    owners.insert(who);
+  }
+  EXPECT_GE(owners.size(), 3u);
+  // Every key reads back correctly.
+  for (uint64_t i = 0; i < 40; ++i) {
+    DhtGet(bed_->node((i + 3) % bed_->size()), "key" + std::to_string(i), 2000 + i);
+  }
+  bed_->Run(10);
+  for (uint64_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(values_[2000 + i], "val" + std::to_string(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,291 @@
+// Integration tests for P2-Chord: ring formation, lookup correctness, failure
+// handling, and the testbed harness itself.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+TestbedConfig SmallConfig(int n) {
+  TestbedConfig cfg;
+  cfg.num_nodes = n;
+  cfg.node_options.introspection = false;
+  cfg.net.latency = 0.02;
+  cfg.net.jitter = 0.01;
+  return cfg;
+}
+
+// Ground truth: the live node whose ID is the closest clockwise successor of `key`.
+std::string TrueOwner(const std::map<std::string, uint64_t>& ids, uint64_t key) {
+  std::string best;
+  uint64_t best_dist = ~0ULL;
+  for (const auto& [addr, id] : ids) {
+    uint64_t dist = id - key;  // distance from key forward to id (wrapping)
+    if (best.empty() || dist < best_dist) {
+      best = addr;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+TEST(ChordTest, TwoNodesFormARing) {
+  ChordTestbed bed(SmallConfig(2));
+  bed.Run(30);
+  EXPECT_TRUE(bed.RingIsCorrect())
+      << "correct successors: " << bed.CorrectSuccessorCount() << "/2";
+  // Mutual predecessor/successor relationship.
+  EXPECT_EQ(BestSuccAddr(bed.node(0)), "n1");
+  EXPECT_EQ(BestSuccAddr(bed.node(1)), "n0");
+  EXPECT_EQ(PredAddr(bed.node(0)), "n1");
+  EXPECT_EQ(PredAddr(bed.node(1)), "n0");
+}
+
+TEST(ChordTest, TenNodeRingConverges) {
+  ChordTestbed bed(SmallConfig(10));
+  bed.Run(60);
+  EXPECT_TRUE(bed.RingIsCorrect())
+      << "correct successors: " << bed.CorrectSuccessorCount() << "/10";
+}
+
+TEST(ChordTest, LookupsResolveToTrueOwner) {
+  ChordTestbed bed(SmallConfig(8));
+  bed.Run(80);  // settle, incl. finger convergence
+  ASSERT_TRUE(bed.RingIsCorrect());
+  std::map<std::string, uint64_t> ids = bed.Ids();
+
+  // Issue lookups from every node for a deterministic set of keys; collect results.
+  std::map<uint64_t, std::string> results;  // req id -> result addr
+  std::map<uint64_t, uint64_t> wanted;      // req id -> key
+  for (size_t i = 0; i < bed.size(); ++i) {
+    bed.node(i)->SubscribeEvent("lookupResults", [&, i](const TupleRef& t) {
+      // lookupResults(ReqAddr, K, SID, SAddr, E, RespAddr)
+      results[t->field(4).AsId()] = t->field(3).AsString();
+    });
+  }
+  Rng rng(99);
+  uint64_t req = 1;
+  for (size_t i = 0; i < bed.size(); ++i) {
+    for (int k = 0; k < 4; ++k) {
+      uint64_t key = rng.Next();
+      wanted[req] = key;
+      IssueLookup(bed.node(i), key, req);
+      ++req;
+    }
+  }
+  bed.Run(20);
+  int correct = 0;
+  for (const auto& [req_id, key] : wanted) {
+    auto it = results.find(req_id);
+    if (it != results.end() && it->second == TrueOwner(ids, key)) {
+      ++correct;
+    }
+  }
+  // All lookups must resolve, and resolve correctly, on a converged ring.
+  EXPECT_EQ(correct, static_cast<int>(wanted.size()));
+}
+
+TEST(ChordTest, FingersPopulate) {
+  ChordTestbed bed(SmallConfig(8));
+  bed.Run(80);
+  for (Node* node : bed.nodes()) {
+    EXPECT_GE(node->TableContents("finger").size(), 2u) << node->addr();
+    EXPECT_GE(node->TableContents("uniqueFinger").size(), 1u) << node->addr();
+  }
+}
+
+TEST(ChordTest, NodeFailureIsDetectedAndRouted) {
+  ChordTestbed bed(SmallConfig(6));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  std::map<std::string, uint64_t> ids = bed.Ids();
+
+  // Kill n3 by detaching it: no more processing (we simulate by dropping its traffic —
+  // the simplest fault injection is to stop its timers; here we remove it from the
+  // address map by pointing traffic at a black hole).
+  // The engine has no remove-node API (nodes never leave in the paper's experiments),
+  // so we emulate failure by making the node drop every delivery: disable via loss is
+  // global, so instead verify the faultyNode path with an unreachable address.
+  Node* observer = bed.node(1);
+  observer->InjectEvent(Tuple::Make(
+      "pingNode", {Value::Str(observer->addr()), Value::Str("ghost99")}));
+  bed.Run(30);
+  bool found = false;
+  for (const TupleRef& t : observer->TableContents("faultyNode")) {
+    if (t->field(1) == Value::Str("ghost99")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The ghost must have been purged from pingNode by rule fn4.
+  for (const TupleRef& t : observer->TableContents("pingNode")) {
+    EXPECT_NE(t->field(1), Value::Str("ghost99"));
+  }
+  (void)ids;
+}
+
+TEST(ChordTest, RingSurvivesMessageLoss) {
+  TestbedConfig cfg = SmallConfig(6);
+  cfg.net.loss_rate = 0.05;
+  ChordTestbed bed(cfg);
+  bed.Run(120);
+  // With 5% loss and soft-state refresh the ring still converges.
+  EXPECT_GE(bed.CorrectSuccessorCount(), 5);
+}
+
+TEST(ChordTest, IdsAreDeterministicPerAddress) {
+  // Chord derives identifiers from addresses (like hashing the IP): two independent
+  // deployments with the same addresses agree on every ID.
+  ChordTestbed bed1(SmallConfig(5));
+  bed1.Run(5);
+  TestbedConfig other = SmallConfig(5);
+  other.seed = 9999;  // different RNG streams; same addresses
+  other.net.seed = 777;
+  ChordTestbed bed2(other);
+  bed2.Run(5);
+  EXPECT_EQ(bed1.Ids(), bed2.Ids());
+}
+
+TEST(ChordTest, IdsAreDistinct) {
+  ChordTestbed bed(SmallConfig(12));
+  bed.Run(10);
+  std::map<std::string, uint64_t> ids = bed.Ids();
+  ASSERT_EQ(ids.size(), 12u);
+  std::set<uint64_t> distinct;
+  for (const auto& [addr, id] : ids) {
+    distinct.insert(id);
+  }
+  EXPECT_EQ(distinct.size(), 12u);
+}
+
+TEST(ChordTest, RingHealsAfterNodeCrash) {
+  ChordTestbed bed(SmallConfig(8));
+  bed.Run(100);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  std::map<std::string, uint64_t> ids = bed.Ids();
+
+  // Crash a mid-ring node (not the landmark: departed landmarks only affect joins).
+  Node* victim = bed.node(4);
+  victim->Crash();
+  bed.Run(60);  // failure detection (3 missed pings) + stabilization around the gap
+
+  // Every survivor's best successor must be the next *live* node on the ring, and the
+  // dead node must be marked faulty by at least its predecessor.
+  std::vector<std::pair<uint64_t, std::string>> ring;
+  for (const auto& [addr, id] : ids) {
+    if (addr != victim->addr()) {
+      ring.emplace_back(id, addr);
+    }
+  }
+  std::sort(ring.begin(), ring.end());
+  int correct = 0;
+  for (size_t i = 0; i < ring.size(); ++i) {
+    Node* node = bed.network().GetNode(ring[i].second);
+    if (BestSuccAddr(node) == ring[(i + 1) % ring.size()].second) {
+      ++correct;
+    }
+  }
+  EXPECT_EQ(correct, static_cast<int>(ring.size()));
+  int faulty_observers = 0;
+  for (Node* node : bed.nodes()) {
+    if (node == victim) {
+      continue;
+    }
+    for (const TupleRef& t : node->TableContents("faultyNode")) {
+      if (t->field(1) == Value::Str(victim->addr())) {
+        ++faulty_observers;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(faulty_observers, 1);
+
+  // Lookups route around the hole.
+  Node* requester = bed.node(1);
+  std::map<uint64_t, std::string> results;
+  requester->SubscribeEvent("lookupResults", [&](const TupleRef& t) {
+    results[t->field(4).AsId()] = t->field(3).AsString();
+  });
+  Rng rng(17);
+  std::map<std::string, uint64_t> live_ids;
+  for (const auto& [addr, id] : ids) {
+    if (addr != victim->addr()) {
+      live_ids[addr] = id;
+    }
+  }
+  std::map<uint64_t, uint64_t> wanted;
+  for (uint64_t req = 1; req <= 6; ++req) {
+    wanted[req] = rng.Next();
+    IssueLookup(requester, wanted[req], req);
+  }
+  bed.Run(15);
+  int resolved = 0;
+  for (const auto& [req, key] : wanted) {
+    auto it = results.find(req);
+    if (it != results.end() && it->second == TrueOwner(live_ids, key)) {
+      ++resolved;
+    }
+  }
+  EXPECT_GE(resolved, 5);  // at most one lookup may race a stale finger
+}
+
+TEST(ChordTest, RevivedNodeRejoinsViaStabilization) {
+  ChordTestbed bed(SmallConfig(6));
+  bed.Run(100);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  Node* victim = bed.node(3);
+  victim->Crash();
+  bed.Run(60);
+  victim->Revive();
+  // On revival the node still knows its old neighbors (pred/bestSucc survive the
+  // fail-stop) and stabilization re-announces it to the ring.
+  bed.Run(90);
+  EXPECT_TRUE(bed.RingIsCorrect())
+      << "correct successors: " << bed.CorrectSuccessorCount() << "/6";
+}
+
+// Size sweep: rings of every size converge and resolve lookups correctly.
+class RingSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingSizeSweep, ConvergesAndResolves) {
+  int n = GetParam();
+  ChordTestbed bed(SmallConfig(n));
+  bed.Run(100);
+  EXPECT_EQ(bed.CorrectSuccessorCount(), n)
+      << bed.CorrectSuccessorCount() << "/" << n;
+  std::map<std::string, uint64_t> ids = bed.Ids();
+  Node* requester = bed.node(n / 2);
+  std::map<uint64_t, std::string> results;
+  requester->SubscribeEvent("lookupResults", [&](const TupleRef& t) {
+    results[t->field(4).AsId()] = t->field(3).AsString();
+  });
+  Rng rng(n * 31 + 5);
+  std::map<uint64_t, uint64_t> wanted;
+  for (uint64_t req = 1; req <= 6; ++req) {
+    wanted[req] = rng.Next();
+    IssueLookup(requester, wanted[req], req);
+  }
+  bed.Run(15);
+  for (const auto& [req, key] : wanted) {
+    auto it = results.find(req);
+    ASSERT_NE(it, results.end()) << "lookup lost, n=" << n;
+    EXPECT_EQ(it->second, TrueOwner(ids, key)) << "n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RingSizeSweep, ::testing::Values(3, 5, 9, 13));
+
+TEST(ChordTest, PaperScaleTwentyOneNodes) {
+  // The paper's population: 21 virtual nodes (§4).
+  ChordTestbed bed(SmallConfig(21));
+  bed.Run(120);
+  EXPECT_GE(bed.CorrectSuccessorCount(), 20)
+      << "correct successors: " << bed.CorrectSuccessorCount() << "/21";
+}
+
+}  // namespace
+}  // namespace p2

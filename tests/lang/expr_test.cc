@@ -1,0 +1,126 @@
+#include "src/lang/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/lang/builtins.h"
+#include "src/lang/parser.h"
+
+namespace p2 {
+namespace {
+
+// Parses a filter expression by wrapping it in a rule body.
+ExprPtr ParseExpr(const std::string& text) {
+  Program program;
+  std::string error;
+  EXPECT_TRUE(ParseProgram("r1 out@N() :- ev@N(A, B, C, S), " + text + ".", &program,
+                           &error))
+      << error;
+  EXPECT_EQ(program.rules[0].body.back().kind, BodyTerm::Kind::kFilter);
+  return std::move(program.rules[0].body.back().expr);
+}
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& text) {
+    ExprPtr e = ParseExpr(text);
+    return EvalExpr(*e, binds_, ctx_);
+  }
+  Bindings binds_;
+  Rng rng_{1};
+  std::string addr_ = "n1";
+  EvalContext ctx_{12.5, &rng_, &addr_};
+};
+
+TEST_F(ExprEvalTest, ArithmeticAndPrecedence) {
+  EXPECT_EQ(Eval("1 + 2 * 3"), Value::Int(7));
+  EXPECT_EQ(Eval("(1 + 2) * 3"), Value::Int(9));
+  EXPECT_EQ(Eval("10 % 4"), Value::Int(2));
+  EXPECT_EQ(Eval("-3 + 1"), Value::Int(-2));
+}
+
+TEST_F(ExprEvalTest, VariablesResolve) {
+  binds_.Set("A", Value::Int(5));
+  EXPECT_EQ(Eval("A + 1"), Value::Int(6));
+}
+
+TEST_F(ExprEvalTest, UnboundVariableIsNullAndFiltersFalse) {
+  EXPECT_TRUE(Eval("Z").is_null());
+  EXPECT_FALSE(Eval("Z > 1").Truthy());
+}
+
+TEST_F(ExprEvalTest, ComparisonsAndLogicals) {
+  binds_.Set("A", Value::Int(5));
+  EXPECT_TRUE(Eval("A == 5").AsBool());
+  EXPECT_TRUE(Eval("A != 4").AsBool());
+  EXPECT_TRUE(Eval("(A > 10) || (A > 1)").AsBool());
+  EXPECT_FALSE(Eval("(A > 10) && (A > 1)").AsBool());
+  EXPECT_TRUE(Eval("!(A > 10)").AsBool());
+}
+
+TEST_F(ExprEvalTest, ShortCircuitGuardsNullOperands) {
+  // The paper's sb9-style guard: (PAddr == "-") || (PID2 in (PID, NID)) must not
+  // fault when the right side has unbound variables.
+  binds_.Set("S", Value::Str("-"));
+  EXPECT_TRUE(Eval("(S == \"-\") || (Z in (Y, X))").AsBool());
+}
+
+TEST_F(ExprEvalTest, BuiltinNow) {
+  EXPECT_EQ(Eval("f_now()"), Value::Double(12.5));
+  EXPECT_TRUE(Eval("f_now() - 2 < f_now()").AsBool());
+}
+
+TEST_F(ExprEvalTest, BuiltinRandProducesIds) {
+  Value a = Eval("f_rand()");
+  Value b = Eval("f_rand()");
+  EXPECT_EQ(a.kind(), Value::Kind::kId);
+  EXPECT_FALSE(a == b);
+}
+
+TEST_F(ExprEvalTest, BuiltinPow2) {
+  EXPECT_EQ(Eval("f_pow2(3)"), Value::Id(8));
+  EXPECT_EQ(Eval("f_pow2(63)"), Value::Id(1ULL << 63));
+  EXPECT_EQ(Eval("f_pow2(64)"), Value::Id(0));
+}
+
+TEST_F(ExprEvalTest, BuiltinMinMaxAbsSizeStr) {
+  EXPECT_EQ(Eval("f_min(3, 5)"), Value::Int(3));
+  EXPECT_EQ(Eval("f_max(3, 5)"), Value::Int(5));
+  EXPECT_EQ(Eval("f_abs(0 - 4)"), Value::Int(4));
+  EXPECT_EQ(Eval("f_size([1, 2, 3])"), Value::Int(3));
+  EXPECT_EQ(Eval("f_str(42)"), Value::Str("42"));
+  EXPECT_EQ(Eval("f_local()"), Value::Str("n1"));
+}
+
+TEST_F(ExprEvalTest, UnknownBuiltinIsNull) {
+  std::vector<Value> args;
+  EXPECT_TRUE(CallBuiltin("f_nope", args, ctx_).is_null());
+  EXPECT_FALSE(IsKnownBuiltin("f_nope"));
+  EXPECT_TRUE(IsKnownBuiltin("f_now"));
+}
+
+TEST_F(ExprEvalTest, IntervalOnBoundVars) {
+  binds_.Set("A", Value::Id(10));
+  binds_.Set("B", Value::Id(5));
+  binds_.Set("C", Value::Id(15));
+  EXPECT_TRUE(Eval("A in (B, C]").AsBool());
+  EXPECT_FALSE(Eval("B in (A, C]").AsBool());
+}
+
+TEST(BindingsTest, SetFindTruncate) {
+  Bindings b;
+  EXPECT_EQ(b.Find("X"), nullptr);
+  b.Set("X", Value::Int(1));
+  b.Set("Y", Value::Int(2));
+  ASSERT_NE(b.Find("X"), nullptr);
+  EXPECT_EQ(*b.Find("Y"), Value::Int(2));
+  b.Set("X", Value::Int(9));  // overwrite in place
+  EXPECT_EQ(*b.Find("X"), Value::Int(9));
+  EXPECT_EQ(b.size(), 2u);
+  b.TruncateTo(1);
+  EXPECT_EQ(b.Find("Y"), nullptr);
+  EXPECT_NE(b.Find("X"), nullptr);
+}
+
+}  // namespace
+}  // namespace p2

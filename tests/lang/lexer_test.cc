@@ -1,0 +1,88 @@
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+std::vector<Token> MustLex(const std::string& src) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_TRUE(Lex(src, &tokens, &error)) << error;
+  return tokens;
+}
+
+TEST(LexerTest, Identifiers) {
+  std::vector<Token> t = MustLex("foo Bar _x f_now");
+  ASSERT_EQ(t.size(), 5u);  // + EOF
+  EXPECT_EQ(t[0].kind, TokKind::kIdent);
+  EXPECT_EQ(t[0].text, "foo");
+  EXPECT_EQ(t[3].text, "f_now");
+  EXPECT_EQ(t[4].kind, TokKind::kEof);
+}
+
+TEST(LexerTest, NumbersIntegerAndFloat) {
+  std::vector<Token> t = MustLex("42 3.5 1e3 7");
+  EXPECT_TRUE(t[0].is_integer);
+  EXPECT_DOUBLE_EQ(t[0].number, 42);
+  EXPECT_FALSE(t[1].is_integer);
+  EXPECT_DOUBLE_EQ(t[1].number, 3.5);
+  EXPECT_FALSE(t[2].is_integer);
+  EXPECT_DOUBLE_EQ(t[2].number, 1000);
+  EXPECT_TRUE(t[3].is_integer);
+}
+
+TEST(LexerTest, DotAfterNumberIsStatementEnd) {
+  // `keys(1).` must lex the final dot separately.
+  std::vector<Token> t = MustLex("keys(1).");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[4].kind, TokKind::kDot);
+}
+
+TEST(LexerTest, Strings) {
+  std::vector<Token> t = MustLex("\"hello\" \"-\" \"a\\\"b\"");
+  EXPECT_EQ(t[0].text, "hello");
+  EXPECT_EQ(t[1].text, "-");
+  EXPECT_EQ(t[2].text, "a\"b");
+}
+
+TEST(LexerTest, Operators) {
+  std::vector<Token> t = MustLex(":- := == != <= >= < > && || + - * / % ! @");
+  TokKind expected[] = {TokKind::kColonDash, TokKind::kColonEq, TokKind::kEqEq,
+                        TokKind::kNe,        TokKind::kLe,      TokKind::kGe,
+                        TokKind::kLt,        TokKind::kGt,      TokKind::kAndAnd,
+                        TokKind::kOrOr,      TokKind::kPlus,    TokKind::kMinus,
+                        TokKind::kStar,      TokKind::kSlash,   TokKind::kPercent,
+                        TokKind::kBang,      TokKind::kAt};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(t[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, Comments) {
+  std::vector<Token> t = MustLex("a /* block\ncomment */ b // line\nc # hash\nd");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+  EXPECT_EQ(t[3].text, "d");
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  std::vector<Token> t = MustLex("a\nb\n\nc");
+  EXPECT_EQ(t[0].line, 1);
+  EXPECT_EQ(t[1].line, 2);
+  EXPECT_EQ(t[2].line, 4);
+}
+
+TEST(LexerTest, ErrorsReported) {
+  std::vector<Token> tokens;
+  std::string error;
+  EXPECT_FALSE(Lex("\"unterminated", &tokens, &error));
+  EXPECT_NE(error.find("unterminated"), std::string::npos);
+  EXPECT_FALSE(Lex("a $ b", &tokens, &error));
+  EXPECT_FALSE(Lex("/* never closed", &tokens, &error));
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,98 @@
+// Proactive routing-consistency probes (paper §3.1.4): a converged ring yields a
+// consistency metric of 1.0; degraded conditions drive it below 1 and trip the alarm.
+
+#include <gtest/gtest.h>
+
+#include "src/mon/consistency.h"
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+ConsistencyConfig FastProbes() {
+  ConsistencyConfig cfg;
+  cfg.probe_period = 4.0;
+  cfg.tally_period = 2.0;
+  cfg.tally_age = 2.0;
+  return cfg;
+}
+
+TEST(ConsistencyTest, ConvergedRingScoresOne) {
+  TestbedConfig tb;
+  tb.num_nodes = 8;
+  tb.node_options.introspection = false;
+  ChordTestbed bed(tb);
+  bed.Run(100);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  Node* prober = bed.node(3);
+  std::string error;
+  ASSERT_TRUE(InstallConsistencyProbes(prober, FastProbes(), &error)) << error;
+  std::vector<double> metrics;
+  prober->SubscribeEvent("consistency", [&](const TupleRef& t) {
+    metrics.push_back(t->field(2).ToDouble());
+  });
+  int alarms = 0;
+  prober->SubscribeEvent("consAlarm", [&](const TupleRef&) { ++alarms; });
+  bed.Run(30);
+  ASSERT_GE(metrics.size(), 3u);
+  for (double m : metrics) {
+    EXPECT_DOUBLE_EQ(m, 1.0);
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(ConsistencyTest, ProbeStateIsReclaimed) {
+  // cs10/cs11 delete tallied probe state; tables must not grow without bound.
+  TestbedConfig tb;
+  tb.num_nodes = 6;
+  tb.node_options.introspection = false;
+  ChordTestbed bed(tb);
+  bed.Run(80);
+  Node* prober = bed.node(1);
+  std::string error;
+  ASSERT_TRUE(InstallConsistencyProbes(prober, FastProbes(), &error)) << error;
+  bed.Run(40);
+  // With probes every 4 s and tallies every 2 s, tallied probes leave only the
+  // soft-state remnants (conRespTable etc.), bounded well under one probe's worth
+  // per outstanding window.
+  EXPECT_LE(prober->TableContents("lookupCluster").size(), 2u);
+  EXPECT_LE(prober->TableContents("conLookupTable").size(),
+            prober->TableContents("uniqueFinger").size() * 2);
+}
+
+TEST(ConsistencyTest, HeavyLossDegradesMetricAndRaisesAlarm) {
+  TestbedConfig tb;
+  tb.num_nodes = 8;
+  tb.node_options.introspection = false;
+  ChordTestbed bed(tb);
+  bed.Run(100);
+  ASSERT_TRUE(bed.RingIsCorrect());
+
+  // Degrade the prober's view directly: wipe a random subset of responses by making
+  // some lookups unanswerable — we emulate it by injecting bogus unique fingers that
+  // point at black holes, so a fraction of the probe's lookups never return.
+  Node* prober = bed.node(2);
+  for (int i = 0; i < 6; ++i) {
+    prober->InjectEvent(Tuple::Make(
+        "uniqueFinger", {Value::Str(prober->addr()),
+                         Value::Str("blackhole" + std::to_string(i)),
+                         Value::Id(1000 + static_cast<uint64_t>(i))}));
+  }
+  ConsistencyConfig cfg = FastProbes();
+  cfg.alarm_threshold = 0.95;
+  std::string error;
+  ASSERT_TRUE(InstallConsistencyProbes(prober, cfg, &error)) << error;
+  std::vector<double> metrics;
+  prober->SubscribeEvent("consistency", [&](const TupleRef& t) {
+    metrics.push_back(t->field(2).ToDouble());
+  });
+  int alarms = 0;
+  prober->SubscribeEvent("consAlarm", [&](const TupleRef&) { ++alarms; });
+  bed.Run(10);  // within the fingers' lifetime
+  ASSERT_GE(metrics.size(), 1u);
+  EXPECT_LT(metrics[0], 1.0);
+  EXPECT_GT(alarms, 0);
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,198 @@
+// State-oscillation detectors (paper §3.1.3): single oscillations, the repeat
+// threshold, and collaborative "chaotic" declarations.
+
+#include <gtest/gtest.h>
+
+#include "src/mon/oscillation.h"
+#include "src/net/network.h"
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+// A minimal harness standing in for Chord: just the tables the detectors reference.
+constexpr char kHarness[] = R"(
+materialize(faultyNode, 60, 70, keys(1, 2)).
+materialize(succ, infinity, 32, keys(1, 3)).
+materialize(pred, infinity, 1, keys(1)).
+)";
+
+class OscillationTest : public ::testing::Test {
+ protected:
+  OscillationTest() : net_(NetworkConfig{0.005, 0.0, 0.0, 42}) {}
+
+  Node* MakeNode(const std::string& addr, const OscillationConfig& cfg) {
+    NodeOptions opts;
+    opts.introspection = false;
+    Node* node = net_.AddNode(addr, opts);
+    std::string error;
+    EXPECT_TRUE(node->LoadProgram(kHarness, &error)) << error;
+    EXPECT_TRUE(InstallOscillationChecks(node, cfg, &error)) << error;
+    return node;
+  }
+
+  // The victim `bad` was recently declared faulty at `node`.
+  void MarkFaulty(Node* node, const std::string& bad) {
+    node->InjectEvent(Tuple::Make(
+        "faultyNode",
+        {Value::Str(node->addr()), Value::Str(bad), Value::Double(net_.Now())}));
+  }
+
+  // Gossip re-offers the dead neighbor (the recycled-dead-neighbor pattern).
+  void GossipDeadNeighbor(Node* node, const std::string& bad) {
+    node->InjectEvent(Tuple::Make(
+        "sendPred", {Value::Str(node->addr()), Value::Id(99), Value::Str(bad)}));
+  }
+
+  Network net_;
+};
+
+TEST_F(OscillationTest, SingleOscillationRecorded) {
+  OscillationConfig cfg;
+  cfg.check_period = 1.0;
+  Node* n = MakeNode("n1", cfg);
+  MarkFaulty(n, "deadbeef");
+  net_.RunFor(0.1);
+  GossipDeadNeighbor(n, "deadbeef");
+  net_.RunFor(0.1);
+  std::vector<TupleRef> oscills = n->TableContents("oscill");
+  ASSERT_EQ(oscills.size(), 1u);
+  EXPECT_EQ(oscills[0]->field(1), Value::Str("deadbeef"));
+}
+
+TEST_F(OscillationTest, GossipOfHealthyNeighborIsNotAnOscillation) {
+  OscillationConfig cfg;
+  Node* n = MakeNode("n1", cfg);
+  GossipDeadNeighbor(n, "alive");  // never marked faulty
+  net_.RunFor(0.1);
+  EXPECT_TRUE(n->TableContents("oscill").empty());
+}
+
+TEST_F(OscillationTest, ReturnSuccAlsoTriggersDetection) {
+  OscillationConfig cfg;
+  Node* n = MakeNode("n1", cfg);
+  MarkFaulty(n, "deadbeef");
+  net_.RunFor(0.1);
+  n->InjectEvent(Tuple::Make(
+      "returnSucc", {Value::Str("n1"), Value::Id(5), Value::Str("deadbeef")}));
+  net_.RunFor(0.1);
+  EXPECT_EQ(n->TableContents("oscill").size(), 1u);
+}
+
+TEST_F(OscillationTest, RepeatThresholdRequiresThree) {
+  OscillationConfig cfg;
+  cfg.check_period = 1.0;
+  cfg.repeat_threshold = 3;
+  Node* n = MakeNode("n1", cfg);
+  int repeats = 0;
+  n->SubscribeEvent("repeatOscill", [&](const TupleRef&) { ++repeats; });
+  MarkFaulty(n, "bad");
+  for (int i = 0; i < 2; ++i) {
+    net_.RunFor(0.3);  // distinct timestamps -> distinct oscill rows
+    GossipDeadNeighbor(n, "bad");
+  }
+  net_.RunFor(1.5);  // a check period passes
+  EXPECT_EQ(repeats, 0) << "two oscillations are below the threshold";
+  GossipDeadNeighbor(n, "bad");
+  net_.RunFor(1.5);
+  EXPECT_GT(repeats, 0);
+}
+
+TEST_F(OscillationTest, OscillationsAgeOutOfTheWindow) {
+  OscillationConfig cfg;
+  cfg.history_window = 2.0;
+  cfg.check_period = 1.0;
+  Node* n = MakeNode("n1", cfg);
+  int repeats = 0;
+  n->SubscribeEvent("repeatOscill", [&](const TupleRef&) { ++repeats; });
+  MarkFaulty(n, "bad");
+  // Three oscillations, but spread wider than the history window.
+  for (int i = 0; i < 3; ++i) {
+    GossipDeadNeighbor(n, "bad");
+    net_.RunFor(1.6);
+    MarkFaulty(n, "bad");  // keep the faultyNode row alive
+  }
+  EXPECT_EQ(repeats, 0);
+}
+
+TEST_F(OscillationTest, RepeatReportsPropagateToNeighborhood) {
+  OscillationConfig cfg;
+  cfg.check_period = 1.0;
+  Node* reporter = MakeNode("r1", cfg);
+  Node* succ_nbr = MakeNode("s1", cfg);
+  Node* pred_nbr = MakeNode("p1", cfg);
+  // reporter's ring neighborhood.
+  reporter->InjectEvent(Tuple::Make(
+      "succ", {Value::Str("r1"), Value::Id(10), Value::Str("s1")}));
+  reporter->InjectEvent(Tuple::Make(
+      "pred", {Value::Str("r1"), Value::Id(5), Value::Str("p1")}));
+  MarkFaulty(reporter, "bad");
+  for (int i = 0; i < 3; ++i) {
+    net_.RunFor(0.3);
+    GossipDeadNeighbor(reporter, "bad");
+  }
+  net_.RunFor(2.0);
+  // os5-os7: the report lands in the reporter's own table and both neighbors'.
+  for (Node* node : {reporter, succ_nbr, pred_nbr}) {
+    std::vector<TupleRef> rows = node->TableContents("nbrOscill");
+    ASSERT_GE(rows.size(), 1u) << node->addr();
+    EXPECT_EQ(rows[0]->field(1), Value::Str("bad"));
+    EXPECT_EQ(rows[0]->field(2), Value::Str("r1"));
+  }
+}
+
+TEST_F(OscillationTest, ChaoticRequiresManyReporters) {
+  OscillationConfig cfg;
+  cfg.chaotic_threshold = 3;  // strictly more than 3 reporters
+  Node* n = MakeNode("n1", cfg);
+  int chaotic = 0;
+  n->SubscribeEvent("chaotic", [&](const TupleRef& t) {
+    ++chaotic;
+    EXPECT_EQ(t->field(1), Value::Str("bad"));
+  });
+  auto report = [&](const std::string& reporter) {
+    n->InjectEvent(Tuple::Make(
+        "nbrOscill", {Value::Str("n1"), Value::Str("bad"), Value::Str(reporter)}));
+  };
+  report("r1");
+  report("r2");
+  report("r3");
+  net_.RunFor(0.2);
+  EXPECT_EQ(chaotic, 0) << "three reporters are not more than three";
+  report("r4");
+  net_.RunFor(0.2);
+  EXPECT_GT(chaotic, 0);
+}
+
+// End-to-end: a genuinely oscillating Chord deployment. We force the pattern by
+// repeatedly feeding a dead node through gossip on a live ring.
+TEST_F(OscillationTest, EndToEndOnChordRing) {
+  TestbedConfig tb;
+  tb.num_nodes = 5;
+  tb.node_options.introspection = false;
+  ChordTestbed bed(tb);
+  bed.Run(60);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  Node* node = bed.node(2);
+  OscillationConfig cfg;
+  cfg.check_period = 2.0;
+  cfg.collaborative = false;
+  std::string error;
+  ASSERT_TRUE(InstallOscillationChecks(node, cfg, &error)) << error;
+  int repeats = 0;
+  node->SubscribeEvent("repeatOscill", [&](const TupleRef&) { ++repeats; });
+  // The dead neighbor: marked faulty, then recycled via gossip three times.
+  node->InjectEvent(Tuple::Make(
+      "faultyNode",
+      {Value::Str(node->addr()), Value::Str("zombie"), Value::Double(bed.network().Now())}));
+  for (int i = 0; i < 3; ++i) {
+    bed.Run(0.5);
+    node->InjectEvent(Tuple::Make(
+        "sendPred", {Value::Str(node->addr()), Value::Id(123), Value::Str("zombie")}));
+  }
+  bed.Run(5);
+  EXPECT_GT(repeats, 0);
+}
+
+}  // namespace
+}  // namespace p2

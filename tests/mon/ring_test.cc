@@ -1,0 +1,186 @@
+// Ring well-formedness detectors (paper §3.1.1): a healthy ring raises no alarms; a
+// corrupted predecessor pointer is caught by both the active probe and the passive
+// stabilization check; ID-ordering checks (§3.1.2) pass a full traversal on a healthy
+// ring and flag closer-ID anomalies.
+
+#include <gtest/gtest.h>
+
+#include "src/mon/ordering.h"
+#include "src/mon/ring_checks.h"
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+TestbedConfig Config(int n) {
+  TestbedConfig cfg;
+  cfg.num_nodes = n;
+  cfg.node_options.introspection = false;
+  return cfg;
+}
+
+TEST(RingChecksTest, HealthyRingRaisesNoAlarms) {
+  ChordTestbed bed(Config(8));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  int alarms = 0;
+  for (Node* node : bed.nodes()) {
+    RingCheckConfig cfg;
+    cfg.probe_period = 3.0;
+    std::string error;
+    ASSERT_TRUE(InstallRingChecks(node, cfg, &error)) << error;
+    node->SubscribeEvent("inconsistentPred", [&](const TupleRef&) { ++alarms; });
+  }
+  bed.Run(30);
+  EXPECT_EQ(alarms, 0);
+  EXPECT_TRUE(bed.RingIsCorrect());
+}
+
+TEST(RingChecksTest, ActiveProbeDetectsCorruptedPred) {
+  ChordTestbed bed(Config(8));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  // Active probing is a distributed protocol: rp2 answers at the probed predecessor,
+  // so the rules are installed fleet-wide (the paper's deployment model).
+  Node* victim = bed.node(3);
+  RingCheckConfig cfg;
+  cfg.probe_period = 0.5;
+  cfg.passive = false;
+  std::string error;
+  for (Node* node : bed.nodes()) {
+    ASSERT_TRUE(InstallRingChecks(node, cfg, &error)) << error;
+  }
+  int alarms = 0;
+  victim->SubscribeEvent("inconsistentPred", [&](const TupleRef&) { ++alarms; });
+  bed.Run(5);
+  ASSERT_EQ(alarms, 0);
+  // Corrupt the predecessor pointer: point it at a far-away (but live) node. Chord
+  // heals the pointer as soon as the true predecessor's next notify arrives, so the
+  // fault is re-injected at several phases; the 0.5 s probe catches at least one
+  // corruption window.
+  Node* far = bed.node(6);
+  ASSERT_NE(PredAddr(victim), far->addr());
+  for (int i = 0; i < 5; ++i) {
+    victim->InjectEvent(Tuple::Make("pred", {Value::Str(victim->addr()),
+                                             Value::Id(ChordId(far)),
+                                             Value::Str(far->addr())}));
+    bed.Run(1.1);
+  }
+  bed.Run(5);
+  EXPECT_GT(alarms, 0);
+}
+
+TEST(RingChecksTest, PassiveCheckDetectsCorruptedPred) {
+  ChordTestbed bed(Config(8));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  Node* victim = bed.node(2);
+  RingCheckConfig cfg;
+  cfg.active = false;  // rp4 only: zero extra messages
+  std::string error;
+  ASSERT_TRUE(InstallRingChecks(victim, cfg, &error)) << error;
+  int alarms = 0;
+  victim->SubscribeEvent("inconsistentPred", [&](const TupleRef&) { ++alarms; });
+  bed.Run(10);
+  ASSERT_EQ(alarms, 0);
+  Node* far = nullptr;
+  for (Node* candidate : bed.nodes()) {
+    if (candidate != victim && candidate->addr() != PredAddr(victim) &&
+        candidate->addr() != BestSuccAddr(victim)) {
+      far = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(far, nullptr);
+  // The true predecessor's next stabilizeRequest exposes the mismatch at zero
+  // additional message cost (rp4 only piggy-backs on existing traffic). Chord heals
+  // the pointer within a notify round, so re-corrupt across several phases to
+  // guarantee a stabilizeRequest lands inside a corruption window.
+  for (int i = 0; i < 6; ++i) {
+    victim->InjectEvent(Tuple::Make("pred", {Value::Str(victim->addr()),
+                                             Value::Id(ChordId(far)),
+                                             Value::Str(far->addr())}));
+    bed.Run(1.3);
+  }
+  bed.Run(5);
+  EXPECT_GT(alarms, 0);
+}
+
+TEST(OrderingTest, HealthyRingTraversalFindsOneWrap) {
+  ChordTestbed bed(Config(8));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  for (Node* node : bed.nodes()) {
+    std::string error;
+    ASSERT_TRUE(InstallOrderingChecks(node, &error)) << error;
+  }
+  Node* initiator = bed.node(0);
+  int ok = 0;
+  int problems = 0;
+  initiator->SubscribeEvent("orderingOk", [&](const TupleRef&) { ++ok; });
+  initiator->SubscribeEvent("orderingProblem", [&](const TupleRef&) { ++problems; });
+  StartRingTraversal(initiator, 777);
+  bed.Run(10);
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(problems, 0);
+}
+
+TEST(OrderingTest, TraversalReportsWrongWrapCount) {
+  ChordTestbed bed(Config(6));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  for (Node* node : bed.nodes()) {
+    std::string error;
+    ASSERT_TRUE(InstallOrderingChecks(node, &error)) << error;
+  }
+  // Corrupt successor pointers so the traversal path is non-monotone in ID space and
+  // still returns to the initiator: r0 -> r2 -> r1 (wrap down) -> r5 -> r0 (the true
+  // wrap). Two wraps total; a correct ring would see exactly one.
+  std::map<std::string, uint64_t> ids = bed.Ids();
+  std::vector<std::pair<uint64_t, std::string>> ring;
+  for (const auto& [addr, id] : ids) {
+    ring.emplace_back(id, addr);
+  }
+  std::sort(ring.begin(), ring.end());
+  auto redirect = [&](int from, int to) {
+    Node* node = bed.network().GetNode(ring[from].second);
+    node->InjectEvent(Tuple::Make("bestSucc", {Value::Str(node->addr()),
+                                               Value::Id(ring[to].first),
+                                               Value::Str(ring[to].second)}));
+  };
+  redirect(0, 2);
+  redirect(2, 1);
+  redirect(1, 5);  // ring[5] (max ID) naturally points back at ring[0]
+  Node* initiator = bed.network().GetNode(ring[0].second);
+  int problems = 0;
+  initiator->SubscribeEvent("orderingProblem", [&](const TupleRef& t) {
+    ++problems;
+    EXPECT_EQ(t->field(4), Value::Int(2));  // two wrap-arounds observed
+  });
+  StartRingTraversal(initiator, 778);
+  bed.Run(2);  // before stabilization heals the pointers
+  EXPECT_GT(problems, 0);
+}
+
+TEST(OrderingTest, CloserIdFlagsUnknownCloserNode) {
+  ChordTestbed bed(Config(8));
+  bed.Run(80);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  Node* observer = bed.node(4);
+  std::string error;
+  ASSERT_TRUE(InstallOrderingChecks(observer, &error)) << error;
+  int alarms = 0;
+  observer->SubscribeEvent("closerID", [&](const TupleRef&) { ++alarms; });
+  // Synthesize a lookup response naming a node strictly between the observer's pred
+  // and succ that the observer does not know: a ghost with ID = observer's ID - 1.
+  uint64_t ghost_id = ChordId(observer) - 1;
+  observer->InjectEvent(Tuple::Make(
+      "lookupResults",
+      {Value::Str(observer->addr()), Value::Id(ghost_id), Value::Id(ghost_id),
+       Value::Str("ghost"), Value::Id(4242), Value::Str("ghost")}));
+  bed.Run(1);
+  EXPECT_EQ(alarms, 1);
+}
+
+}  // namespace
+}  // namespace p2

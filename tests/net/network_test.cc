@@ -1,0 +1,169 @@
+// Simulated-network transport tests: FIFO channels, latency bounds, loss accounting,
+// and fleet statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace p2 {
+namespace {
+
+NodeOptions Quiet() {
+  NodeOptions opts;
+  opts.introspection = false;
+  return opts;
+}
+
+TEST(NetworkTest, ChannelsAreFifoDespiteJitter) {
+  NetworkConfig cfg;
+  cfg.latency = 0.01;
+  cfg.jitter = 0.05;  // jitter larger than the base latency: reordering would be easy
+  Network net(cfg);
+  Node* a = net.AddNode("a", Quiet());
+  Node* b = net.AddNode("b", Quiet());
+  std::string error;
+  ASSERT_TRUE(a->LoadProgram("r1 seq@Other(NAddr, X) :- go@NAddr(Other, X).", &error));
+  std::vector<int64_t> arrivals;
+  b->SubscribeEvent("seq", [&](const TupleRef& t) {
+    arrivals.push_back(t->field(2).AsInt());
+  });
+  for (int i = 0; i < 50; ++i) {
+    a->InjectEvent(
+        Tuple::Make("go", {Value::Str("a"), Value::Str("b"), Value::Int(i)}));
+  }
+  net.RunFor(2.0);
+  ASSERT_EQ(arrivals.size(), 50u);
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i], static_cast<int64_t>(i)) << "reordered at " << i;
+  }
+}
+
+TEST(NetworkTest, DeliveryRespectsLatencyBounds) {
+  NetworkConfig cfg;
+  cfg.latency = 0.5;
+  cfg.jitter = 0.25;
+  Network net(cfg);
+  Node* a = net.AddNode("a", Quiet());
+  Node* b = net.AddNode("b", Quiet());
+  std::string error;
+  ASSERT_TRUE(a->LoadProgram("r1 hi@Other(NAddr) :- go@NAddr(Other).", &error));
+  double arrived_at = -1;
+  b->SubscribeEvent("hi", [&](const TupleRef&) { arrived_at = net.Now(); });
+  a->InjectEvent(Tuple::Make("go", {Value::Str("a"), Value::Str("b")}));
+  net.RunFor(2.0);
+  ASSERT_GE(arrived_at, 0.0);
+  EXPECT_GE(arrived_at, 0.5);
+  EXPECT_LE(arrived_at, 0.76);
+}
+
+TEST(NetworkTest, LossIsCountedAndBounded) {
+  NetworkConfig cfg;
+  cfg.latency = 0.01;
+  cfg.loss_rate = 0.5;
+  cfg.seed = 7;
+  Network net(cfg);
+  Node* a = net.AddNode("a", Quiet());
+  Node* b = net.AddNode("b", Quiet());
+  std::string error;
+  ASSERT_TRUE(a->LoadProgram("r1 hi@Other(NAddr, X) :- go@NAddr(Other, X).", &error));
+  int arrived = 0;
+  b->SubscribeEvent("hi", [&](const TupleRef&) { ++arrived; });
+  const int kSent = 200;
+  for (int i = 0; i < kSent; ++i) {
+    a->InjectEvent(
+        Tuple::Make("go", {Value::Str("a"), Value::Str("b"), Value::Int(i)}));
+  }
+  net.RunFor(3.0);
+  EXPECT_EQ(net.total_msgs(), static_cast<uint64_t>(kSent));
+  EXPECT_EQ(net.dropped_msgs() + static_cast<uint64_t>(arrived),
+            static_cast<uint64_t>(kSent));
+  // A fair coin: between 25% and 75% delivered with overwhelming probability.
+  EXPECT_GT(arrived, kSent / 4);
+  EXPECT_LT(arrived, 3 * kSent / 4);
+}
+
+TEST(NetworkTest, UnknownDestinationCountsAsDropped) {
+  Network net;
+  Node* a = net.AddNode("a", Quiet());
+  std::string error;
+  ASSERT_TRUE(a->LoadProgram("r1 hi@Other(NAddr) :- go@NAddr(Other).", &error));
+  a->InjectEvent(Tuple::Make("go", {Value::Str("a"), Value::Str("nowhere")}));
+  net.RunFor(1.0);
+  EXPECT_EQ(net.dropped_msgs(), 1u);
+  EXPECT_EQ(a->stats().msgs_sent, 1u);  // the sender still paid for it
+  EXPECT_GT(a->stats().bytes_sent, 0u);
+}
+
+TEST(NetworkTest, SelfAddressedTuplesNeverTouchTheWire) {
+  Network net;
+  Node* a = net.AddNode("a", Quiet());
+  std::string error;
+  ASSERT_TRUE(a->LoadProgram("r1 echo@NAddr(X) :- go@NAddr(X).", &error));
+  int echoes = 0;
+  a->SubscribeEvent("echo", [&](const TupleRef&) { ++echoes; });
+  a->InjectEvent(Tuple::Make("go", {Value::Str("a"), Value::Int(1)}));
+  net.RunFor(1.0);
+  EXPECT_EQ(echoes, 1);
+  EXPECT_EQ(net.total_msgs(), 0u);
+  EXPECT_EQ(a->stats().msgs_sent, 0u);
+}
+
+TEST(NetworkTest, SumStatsAndAllNodes) {
+  Network net;
+  net.AddNode("a", Quiet());
+  net.AddNode("c", Quiet());
+  net.AddNode("b", Quiet());
+  std::vector<Node*> nodes = net.AllNodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0]->addr(), "a");  // address order
+  EXPECT_EQ(nodes[1]->addr(), "b");
+  EXPECT_EQ(nodes[2]->addr(), "c");
+  nodes[0]->stats().dead_letters = 2;
+  nodes[2]->stats().dead_letters = 3;
+  EXPECT_EQ(net.SumStats(&NodeStats::dead_letters), 5u);
+}
+
+TEST(NetworkTest, DuplicateAddNodeReturnsExisting) {
+  Network net;
+  Node* a1 = net.AddNode("a", Quiet());
+  Node* a2 = net.AddNode("a", Quiet());
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(NetworkTest, DeterministicAcrossRuns) {
+  // Identical seeds and scripts must give identical message counts and final state.
+  auto run_once = [](uint64_t* msgs, uint64_t* bytes) {
+    NetworkConfig cfg;
+    cfg.seed = 99;
+    cfg.jitter = 0.02;
+    cfg.loss_rate = 0.1;
+    Network net(cfg);
+    NodeOptions opts;
+    opts.introspection = false;
+    opts.seed = 5;
+    Node* a = net.AddNode("a", opts);
+    Node* b = net.AddNode("b", opts);
+    std::string error;
+    ASSERT_TRUE(a->LoadProgram(
+        "r1 ping@Other(NAddr, E) :- periodic@NAddr(E, 1), peer@NAddr(Other).\n"
+        "materialize(peer, infinity, 1, keys(1)).",
+        &error));
+    ASSERT_TRUE(b->LoadProgram("r2 pong@Other(NAddr) :- ping@NAddr(Other, E).", &error));
+    a->InjectEvent(Tuple::Make("peer", {Value::Str("a"), Value::Str("b")}));
+    net.RunFor(30);
+    *msgs = net.total_msgs();
+    *bytes = net.total_bytes();
+  };
+  uint64_t m1 = 0;
+  uint64_t b1 = 0;
+  uint64_t m2 = 0;
+  uint64_t b2 = 0;
+  run_once(&m1, &b1);
+  run_once(&m2, &b2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(b1, b2);
+  EXPECT_GT(m1, 0u);
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,100 @@
+#include "src/net/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+void RoundTripValue(const Value& v) {
+  std::string bytes;
+  EncodeValue(v, &bytes);
+  size_t pos = 0;
+  Value out;
+  ASSERT_TRUE(DecodeValue(bytes, &pos, &out)) << v.ToString();
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(out.kind(), v.kind());
+  EXPECT_EQ(out, v);
+}
+
+TEST(WireTest, ValueRoundTrips) {
+  RoundTripValue(Value::Null());
+  RoundTripValue(Value::Bool(true));
+  RoundTripValue(Value::Bool(false));
+  RoundTripValue(Value::Int(-1234567890123));
+  RoundTripValue(Value::Id(~0ULL));
+  RoundTripValue(Value::Double(3.14159e-7));
+  RoundTripValue(Value::Str(""));
+  RoundTripValue(Value::Str("hello \"world\"\n"));
+  RoundTripValue(Value::List({Value::Int(1), Value::Str("x"),
+                              Value::List({Value::Id(7)})}));
+}
+
+TEST(WireTest, TupleRoundTrips) {
+  TupleRef t = Tuple::Make(
+      "lookupResults", {Value::Str("n3"), Value::Id(42), Value::Id(17),
+                        Value::Str("n5"), Value::Id(999), Value::Str("n9")});
+  std::string bytes;
+  EncodeTuple(*t, &bytes);
+  size_t pos = 0;
+  TupleRef out;
+  ASSERT_TRUE(DecodeTuple(bytes, &pos, &out));
+  EXPECT_TRUE(*out == *t);
+}
+
+TEST(WireTest, EnvelopeRoundTrips) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.src_tuple_id = 77;
+  env.is_delete = true;
+  env.bound_mask = 0b1011;
+  env.tuple = Tuple::Make("succ", {Value::Str("n2"), Value::Id(5), Value::Str("n3")});
+  std::string bytes = EncodeEnvelope(env);
+  WireEnvelope out;
+  ASSERT_TRUE(DecodeEnvelope(bytes, &out));
+  EXPECT_EQ(out.src_addr, "n1");
+  EXPECT_EQ(out.src_tuple_id, 77u);
+  EXPECT_TRUE(out.is_delete);
+  EXPECT_EQ(out.bound_mask, 0b1011u);
+  EXPECT_TRUE(*out.tuple == *env.tuple);
+}
+
+TEST(WireTest, TruncatedInputRejected) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.tuple = Tuple::Make("x", {Value::Str("n2"), Value::Int(1)});
+  std::string bytes = EncodeEnvelope(env);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireEnvelope out;
+    EXPECT_FALSE(DecodeEnvelope(bytes.substr(0, cut), &out)) << cut;
+  }
+}
+
+TEST(WireTest, TrailingGarbageRejected) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.tuple = Tuple::Make("x", {Value::Str("n2")});
+  std::string bytes = EncodeEnvelope(env) + "zz";
+  WireEnvelope out;
+  EXPECT_FALSE(DecodeEnvelope(bytes, &out));
+}
+
+TEST(WireTest, MalformedTagRejected) {
+  std::string bytes = "\xFF";
+  size_t pos = 0;
+  Value out;
+  EXPECT_FALSE(DecodeValue(bytes, &pos, &out));
+}
+
+TEST(WireTest, OversizedListLengthRejected) {
+  // kind=kList with a huge count but no payload.
+  std::string bytes;
+  bytes.push_back(6);  // Kind::kList
+  uint32_t huge = 0x7fffffff;
+  bytes.append(reinterpret_cast<const char*>(&huge), 4);
+  size_t pos = 0;
+  Value out;
+  EXPECT_FALSE(DecodeValue(bytes, &pos, &out));
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,208 @@
+// Epidemic dissemination overlay tests, including the paper's §3.4 generality claim:
+// the unchanged snapshot and profiler programs monitor a non-Chord overlay.
+
+#include <gtest/gtest.h>
+
+#include "src/mon/profiler.h"
+#include "src/mon/snapshot.h"
+#include "src/overlays/flood.h"
+#include "src/net/network.h"
+
+namespace p2 {
+namespace {
+
+class FloodTest : public ::testing::Test {
+ protected:
+  FloodTest() : net_(NetworkConfig{0.01, 0.005, 0.0, 11}) {}
+
+  // Builds N flood nodes with no edges yet.
+  void Build(int n, FloodConfig config = FloodConfig()) {
+    for (int i = 0; i < n; ++i) {
+      NodeOptions opts;
+      opts.introspection = false;
+      opts.seed = 100 + i;
+      Node* node = net_.AddNode("f" + std::to_string(i), opts);
+      std::string error;
+      ASSERT_TRUE(InstallFlood(node, config, &error)) << error;
+      nodes_.push_back(node);
+    }
+  }
+
+  void Edge(int a, int b) {
+    AddMember(nodes_[a], nodes_[b]->addr());
+    AddMember(nodes_[b], nodes_[a]->addr());
+  }
+
+  void Line() {
+    for (size_t i = 0; i + 1 < nodes_.size(); ++i) {
+      Edge(i, i + 1);
+    }
+  }
+
+  Network net_;
+  std::vector<Node*> nodes_;
+};
+
+TEST_F(FloodTest, RumorReachesAllNodesOnALine) {
+  Build(8);
+  Line();
+  net_.RunFor(0.5);
+  PublishRumor(nodes_[0], 42, "hello");
+  net_.RunFor(3.0);
+  for (Node* node : nodes_) {
+    EXPECT_TRUE(HasRumor(node, 42)) << node->addr();
+  }
+  EXPECT_EQ(RumorCoverage(nodes_[0], 42), 8);  // every acceptance acked, incl. origin
+}
+
+TEST_F(FloodTest, HopBoundLimitsSpread) {
+  FloodConfig config;
+  config.max_hops = 3;
+  Build(8, config);
+  Line();
+  net_.RunFor(0.5);
+  PublishRumor(nodes_[0], 7, "short-lived");
+  net_.RunFor(3.0);
+  // Hops: f0 accepts at 0, f1 at 1, f2 at 2, f3 at 3; fl4 requires H < 3 so the copy
+  // accepted at hop 3 is not forwarded.
+  for (int i = 0; i <= 3; ++i) {
+    EXPECT_TRUE(HasRumor(nodes_[i], 7)) << i;
+  }
+  for (size_t i = 4; i < nodes_.size(); ++i) {
+    EXPECT_FALSE(HasRumor(nodes_[i], 7)) << i;
+  }
+}
+
+TEST_F(FloodTest, DuplicateSuppressionBoundsTraffic) {
+  // A dense graph: without the negation guard each copy would re-flood and traffic
+  // would explode; with it, forwarding happens once per node.
+  Build(6);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (size_t j = i + 1; j < nodes_.size(); ++j) {
+      Edge(i, j);
+    }
+  }
+  net_.RunFor(0.5);
+  uint64_t msgs_before = net_.total_msgs();
+  PublishRumor(nodes_[0], 9, "dense");
+  net_.RunFor(3.0);
+  uint64_t rumor_msgs = net_.total_msgs() - msgs_before;
+  // Upper bound: each of 6 nodes forwards its one fresh copy to 5 peers (30 rumor
+  // messages) plus the 6 acks (5 remote) plus background pings within the window.
+  EXPECT_LE(rumor_msgs, 60u);
+  for (Node* node : nodes_) {
+    EXPECT_TRUE(HasRumor(node, 9));
+  }
+}
+
+TEST_F(FloodTest, MultipleRumorsAreIndependent) {
+  Build(5);
+  Line();
+  net_.RunFor(0.5);
+  PublishRumor(nodes_[0], 1, "a");
+  PublishRumor(nodes_[4], 2, "b");
+  net_.RunFor(3.0);
+  for (Node* node : nodes_) {
+    EXPECT_TRUE(HasRumor(node, 1));
+    EXPECT_TRUE(HasRumor(node, 2));
+  }
+  EXPECT_EQ(RumorCoverage(nodes_[0], 1), 5);
+  EXPECT_EQ(RumorCoverage(nodes_[4], 2), 5);
+}
+
+TEST_F(FloodTest, CoverageEventsTrackGrowth) {
+  Build(4);
+  Line();
+  net_.RunFor(0.5);
+  std::vector<int64_t> counts;
+  nodes_[0]->SubscribeEvent("coverage", [&](const TupleRef& t) {
+    if (t->field(1) == Value::Id(5)) {
+      counts.push_back(t->field(2).ToInt());
+    }
+  });
+  PublishRumor(nodes_[0], 5, "x");
+  net_.RunFor(3.0);
+  ASSERT_FALSE(counts.empty());
+  // Monotone growth ending at full coverage.
+  for (size_t i = 1; i < counts.size(); ++i) {
+    EXPECT_GE(counts[i], counts[i - 1]);
+  }
+  EXPECT_EQ(counts.back(), 4);
+}
+
+// §3.4 generality: the UNCHANGED Chandy-Lamport snapshot program runs on this
+// overlay (it only needs the pingNode/pingReq vocabulary).
+TEST_F(FloodTest, UnchangedSnapshotProgramWorksOnFloodOverlay) {
+  Build(5);
+  Line();
+  net_.RunFor(6.0);  // a ping round populates back-pointers
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    SnapshotConfig cfg;
+    cfg.snap_period = 5.0;
+    cfg.initiator = (i == 0);
+    cfg.chord_state = false;  // no Chord tables here
+    cfg.extra_captures = {{"rumorSeen", 1}, {"member", 1}};
+    std::string error;
+    ASSERT_TRUE(InstallSnapshot(nodes_[i], cfg, &error)) << error;
+  }
+  PublishRumor(nodes_[2], 1234, "snapshot me");
+  net_.RunFor(20.0);
+  for (Node* node : nodes_) {
+    EXPECT_GE(LatestDoneSnapshot(node), 1) << node->addr();
+    // The captured state includes the rumor's acceptance and the membership edges.
+    bool captured_rumor = false;
+    for (const TupleRef& t : node->TableContents("snapCap_rumorSeen")) {
+      if (t->field(2) == Value::Id(1234)) {
+        captured_rumor = true;
+      }
+    }
+    EXPECT_TRUE(captured_rumor) << node->addr();
+    EXPECT_GE(node->TableContents("snapCap_member").size(), 1u) << node->addr();
+  }
+}
+
+// §3.4 generality: the generic execution profiler decomposes rumor-propagation
+// latency back to the publish rule, across nodes.
+TEST_F(FloodTest, ProfilerDecomposesRumorPropagation) {
+  // Fresh network with tracing on.
+  Network traced(NetworkConfig{0.01, 0.0, 0.0, 12});
+  std::vector<Node*> nodes;
+  for (int i = 0; i < 4; ++i) {
+    NodeOptions opts;
+    opts.introspection = false;
+    opts.tracing = true;
+    nodes.push_back(traced.AddNode("f" + std::to_string(i), opts));
+    std::string error;
+    ASSERT_TRUE(InstallFlood(nodes.back(), FloodConfig(), &error)) << error;
+    ProfilerConfig prof;
+    prof.target_rule = "fl0";  // the publish rule
+    ASSERT_TRUE(InstallProfiler(nodes.back(), prof, &error)) << error;
+  }
+  for (int i = 0; i + 1 < 4; ++i) {
+    AddMember(nodes[i], nodes[i + 1]->addr());
+    AddMember(nodes[i + 1], nodes[i]->addr());
+  }
+  traced.RunFor(0.5);
+  // Capture the rumor's arrival at the far end.
+  TupleRef captured;
+  double at = -1;
+  nodes[3]->SubscribeEvent("rumorFresh", [&](const TupleRef& t) {
+    captured = t;
+    at = traced.Now();
+  });
+  PublishRumor(nodes[0], 77, "trace me");
+  traced.RunFor(3.0);
+  ASSERT_NE(captured, nullptr);
+  std::vector<TupleRef> reports;
+  for (Node* node : nodes) {
+    node->SubscribeEvent("report", [&](const TupleRef& t) { reports.push_back(t); });
+  }
+  StartTrace(nodes[3], captured, at);
+  traced.RunFor(3.0);
+  ASSERT_GE(reports.size(), 1u);
+  double net_t = reports[0]->field(3).ToDouble();
+  EXPECT_GE(net_t, 0.03 - 1e-9);  // three network hops at >= 10 ms each
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,50 @@
+#include "src/runtime/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TableSpec Spec(const std::string& name) {
+  TableSpec spec;
+  spec.name = name;
+  spec.key_fields = {0};
+  return spec;
+}
+
+TEST(CatalogTest, CreateGetAndFirstDeclarationWins) {
+  Catalog catalog;
+  EXPECT_TRUE(catalog.CreateTable(Spec("a")));
+  EXPECT_FALSE(catalog.CreateTable(Spec("a")));  // duplicate kept, not replaced
+  EXPECT_TRUE(catalog.CreateTable(Spec("b")));
+  EXPECT_NE(catalog.Get("a"), nullptr);
+  EXPECT_EQ(catalog.Get("missing"), nullptr);
+  EXPECT_TRUE(catalog.IsMaterialized("b"));
+  EXPECT_FALSE(catalog.IsMaterialized("c"));
+}
+
+TEST(CatalogTest, AllTablesPreservesCreationOrder) {
+  Catalog catalog;
+  catalog.CreateTable(Spec("z"));
+  catalog.CreateTable(Spec("a"));
+  catalog.CreateTable(Spec("m"));
+  std::vector<Table*> tables = catalog.AllTables();
+  ASSERT_EQ(tables.size(), 3u);
+  EXPECT_EQ(tables[0]->name(), "z");
+  EXPECT_EQ(tables[1]->name(), "a");
+  EXPECT_EQ(tables[2]->name(), "m");
+}
+
+TEST(CatalogTest, TotalsAggregateAcrossTables) {
+  Catalog catalog;
+  catalog.CreateTable(Spec("a"));
+  catalog.CreateTable(Spec("b"));
+  catalog.Get("a")->Insert(Tuple::Make("a", {Value::Str("k1")}), 0);
+  catalog.Get("a")->Insert(Tuple::Make("a", {Value::Str("k2")}), 0);
+  catalog.Get("b")->Insert(Tuple::Make("b", {Value::Str("k1")}), 0);
+  EXPECT_EQ(catalog.TotalRows(1), 3u);
+  EXPECT_GT(catalog.TotalBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace p2

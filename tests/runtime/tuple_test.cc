@@ -1,0 +1,51 @@
+#include "src/runtime/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace p2 {
+namespace {
+
+TEST(TupleTest, BasicAccessors) {
+  TupleRef t = Tuple::Make("link", {Value::Str("n1"), Value::Str("n2"), Value::Int(3)});
+  EXPECT_EQ(t->name(), "link");
+  EXPECT_EQ(t->arity(), 3u);
+  EXPECT_EQ(t->field(2), Value::Int(3));
+  EXPECT_EQ(t->LocationSpecifier(), "n1");
+}
+
+TEST(TupleTest, LocationSpecifierRequiresStringFirstField) {
+  EXPECT_EQ(Tuple::Make("x", {Value::Int(1)})->LocationSpecifier(), "");
+  EXPECT_EQ(Tuple::Make("x", {})->LocationSpecifier(), "");
+}
+
+TEST(TupleTest, StructuralEqualityAndHash) {
+  TupleRef a = Tuple::Make("p", {Value::Str("n"), Value::Int(1)});
+  TupleRef b = Tuple::Make("p", {Value::Str("n"), Value::Int(1)});
+  TupleRef c = Tuple::Make("p", {Value::Str("n"), Value::Int(2)});
+  TupleRef d = Tuple::Make("q", {Value::Str("n"), Value::Int(1)});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_EQ(a->Hash(), b->Hash());
+  EXPECT_FALSE(*a == *c);
+  EXPECT_FALSE(*a == *d);
+}
+
+TEST(TupleTest, ToString) {
+  TupleRef t = Tuple::Make("succ", {Value::Str("n1"), Value::Id(5), Value::Str("n2")});
+  EXPECT_EQ(t->ToString(), "succ(n1, 5, n2)");
+}
+
+TEST(TupleTest, LiveAccountingTracksCreationAndDestruction) {
+  uint64_t before_count = Tuple::LiveCount();
+  uint64_t before_bytes = Tuple::LiveBytes();
+  {
+    TupleRef t = Tuple::Make("acct", {Value::Str("n"), Value::Str("payload")});
+    EXPECT_EQ(Tuple::LiveCount(), before_count + 1);
+    EXPECT_GT(Tuple::LiveBytes(), before_bytes);
+    EXPECT_GE(t->ByteSize(), sizeof(Tuple));
+  }
+  EXPECT_EQ(Tuple::LiveCount(), before_count);
+  EXPECT_EQ(Tuple::LiveBytes(), before_bytes);
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,183 @@
+// Scenario interpreter tests: the olgrun command language end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/tools/scenario.h"
+
+namespace p2 {
+namespace {
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  ScenarioTest() : runner_([this](const std::string& s) { output_ += s; }) {}
+
+  bool Run(const std::string& script) {
+    error_.clear();
+    return runner_.RunScript(script, &error_);
+  }
+
+  ScenarioRunner runner_;
+  std::string output_;
+  std::string error_;
+};
+
+TEST_F(ScenarioTest, CommentsAndBlanksAreNoops) {
+  EXPECT_TRUE(Run("# a comment\n\n   \n")) << error_;
+}
+
+TEST_F(ScenarioTest, NodesProgramsInjectionAndExpect) {
+  const char* script = R"(
+net latency=0.005 jitter=0
+node a
+node b
+inline all materialize(s, infinity, 10, keys(1,2)).
+inline a fwd s@Other(X) :- go@NAddr(Other, X).
+inject a go(a, b, 42)
+run 1
+expect b s 1
+dump b s
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 1);
+  EXPECT_NE(output_.find("s(b, 42)"), std::string::npos);
+}
+
+TEST_F(ScenarioTest, TupleLiteralValueKinds) {
+  const char* script = R"(
+node a
+inline a materialize(t, infinity, 10, keys(1,2)).
+inject a t(a, 5, 2.5, "hello world", id:18446744073709551615, true, bare)
+run 0.5
+expect a t 1
+dump a t
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_NE(output_.find("t(a, 5, 2.5, hello world, 18446744073709551615, true, bare)"),
+            std::string::npos);
+}
+
+TEST_F(ScenarioTest, TimedInjection) {
+  const char* script = R"(
+node a
+inline a materialize(t, infinity, 10, keys(1,2)).
+inject t=3 a t(a, 1)
+run 1
+expect a t 0
+run 5
+expect a t 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 2);
+}
+
+TEST_F(ScenarioTest, CrashAndRevive) {
+  const char* script = R"(
+node a
+node b
+inline b materialize(s, infinity, 10, keys(1,2)).
+inline a fwd s@Other(X) :- go@NAddr(Other, X).
+crash b
+inject a go(a, b, 1)
+run 1
+expect b s 0
+revive b
+inject a go(a, b, 2)
+run 1
+expect b s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 2);
+}
+
+TEST_F(ScenarioTest, ChordCommandFormsRing) {
+  const char* script = R"(
+node n0
+node n1
+node n2
+chord all landmark=n0
+run 60
+expect n0 bestSucc 1
+expect n1 bestSucc 1
+expect n2 bestSucc 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 3);
+}
+
+TEST_F(ScenarioTest, WatchprintStreamsTuples) {
+  const char* script = R"(
+node a
+inline a watch(alert).
+inline a w1 alert@N(X) :- boom@N(X).
+watchprint a
+inject a boom(a, 9)
+run 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_NE(output_.find("alert(a, 9)"), std::string::npos);
+}
+
+TEST_F(ScenarioTest, ErrorsAreReportedWithLineNumbers) {
+  // Each bad script gets a fresh interpreter (state persists within a runner).
+  auto fails = [](const std::string& script, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    bool ok = runner.RunScript(script, &error);
+    EXPECT_FALSE(ok) << script;
+    if (!fragment.empty()) {
+      EXPECT_NE(error.find(fragment), std::string::npos) << error;
+    }
+  };
+  fails("node a\nbogus command\n", "line 2");
+  fails("run 5\n", "no nodes");
+  fails("node a\nexpect a missing 3\n", "expect failed");
+  fails("node a\ninject a not-a-tuple\n", "");
+  fails("node a\nprogram a /no/such/file.olg\n", "cannot open");
+  fails("node a\nnet latency=1\n", "net must precede");
+}
+
+TEST_F(ScenarioTest, StatsPrints) {
+  ASSERT_TRUE(Run("node a\nrun 1\nstats a\n")) << error_;
+  EXPECT_NE(output_.find("a: sent="), std::string::npos);
+}
+
+// Regression guard: every shipped scenario file must keep running clean (their
+// `expect` lines are the assertions). Program paths inside scenarios are relative to
+// the repository root.
+class ShippedScenarios : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShippedScenarios, RunsClean) {
+  std::string path = std::string(P2_SOURCE_DIR) + "/" + GetParam();
+  // Scenarios reference program files relative to the repo root.
+  std::string script;
+  {
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good()) << path;
+    std::stringstream ss;
+    ss << f.rdbuf();
+    script = ss.str();
+  }
+  // Rewrite relative program paths to absolute ones.
+  size_t pos = 0;
+  while ((pos = script.find("examples/scenarios/", pos)) != std::string::npos) {
+    script.replace(pos, strlen("examples/scenarios/"),
+                   std::string(P2_SOURCE_DIR) + "/examples/scenarios/");
+    pos += strlen(P2_SOURCE_DIR) + strlen("/examples/scenarios/");
+  }
+  ScenarioRunner runner([](const std::string&) {});
+  std::string error;
+  EXPECT_TRUE(runner.RunScript(script, &error)) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, ShippedScenarios,
+                         ::testing::Values("examples/scenarios/pathvector.scn",
+                                           "examples/scenarios/chord_ring.scn",
+                                           "examples/scenarios/dht_demo.scn",
+                                           "examples/scenarios/rumor.scn"));
+
+}  // namespace
+}  // namespace p2

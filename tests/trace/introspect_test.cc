@@ -1,0 +1,102 @@
+// Introspection tables (paper §2.1): rules, tables, and dataflow elements reflected as
+// queryable state — including querying them from OverLog itself.
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace p2 {
+namespace {
+
+class IntrospectTest : public ::testing::Test {
+ protected:
+  IntrospectTest() : net_(NetworkConfig{0.01, 0.0, 0.0, 42}) {
+    NodeOptions opts;
+    opts.introspection = true;
+    node_ = net_.AddNode("n1", opts);
+  }
+
+  void Load(const std::string& program) {
+    std::string error;
+    ASSERT_TRUE(node_->LoadProgram(program, &error)) << error;
+  }
+
+  Network net_;
+  Node* node_;
+};
+
+TEST_F(IntrospectTest, SysRuleReflectsLoadedRules) {
+  Load("r1 out@N(X) :- in@N(X).\n"
+       "r2 out2@N(X) :- in@N(X), X > 3.");
+  net_.RunFor(0.1);
+  std::vector<TupleRef> rows = node_->TableContents("sysRule");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->field(1), Value::Str("r1"));
+  EXPECT_NE(rows[1]->field(2).AsString().find("X > 3"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, SysTableReflectsCountsAndRefreshes) {
+  Load("materialize(s, infinity, 10, keys(1,2)).");
+  for (int i = 0; i < 3; ++i) {
+    node_->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(2.0);  // at least one sweep
+  bool found = false;
+  for (const TupleRef& t : node_->TableContents("sysTable")) {
+    if (t->field(1) == Value::Str("s")) {
+      found = true;
+      EXPECT_EQ(t->field(4), Value::Int(3));
+      EXPECT_EQ(t->field(3), Value::Int(10));  // max size
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(IntrospectTest, SysElementReflectsStrandStructure) {
+  Load("materialize(tbl, infinity, 10, keys(1,2)).\n"
+       "r1 out@N(X, Y) :- in@N(X), tbl@N(Y), Y > 2.");
+  net_.RunFor(0.1);
+  // Expect: entry(in), join(tbl), filter, project — in stage order.
+  std::vector<std::string> kinds;
+  for (const TupleRef& t : node_->TableContents("sysElement")) {
+    if (t->field(1) == Value::Str("r1")) {
+      kinds.push_back(t->field(3).AsString());
+    }
+  }
+  ASSERT_EQ(kinds.size(), 4u);
+  EXPECT_EQ(kinds[0], "entry");
+  EXPECT_EQ(kinds[1], "join");
+  EXPECT_EQ(kinds[2], "filter");
+  EXPECT_EQ(kinds[3], "project");
+}
+
+TEST_F(IntrospectTest, IntrospectionQueryableFromOverLog) {
+  // A monitoring rule over sysTable: flag any table holding more than 5 rows.
+  Load("materialize(s, infinity, 100, keys(1,2)).\n"
+       "watchful bigTable@N(Name, C) :- periodic@N(E, 1), sysTable@N(Name, L, M, C), "
+       "C > 5, Name == \"s\".");
+  std::vector<TupleRef> alarms;
+  node_->SubscribeEvent("bigTable", [&](const TupleRef& t) { alarms.push_back(t); });
+  for (int i = 0; i < 4; ++i) {
+    node_->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(3.0);
+  EXPECT_TRUE(alarms.empty());
+  for (int i = 4; i < 10; ++i) {
+    node_->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(3.0);
+  ASSERT_FALSE(alarms.empty());
+  EXPECT_EQ(alarms[0]->field(2), Value::Int(10));
+}
+
+TEST_F(IntrospectTest, DisabledIntrospectionCreatesNoTables) {
+  NodeOptions opts;
+  opts.introspection = false;
+  Node* quiet = net_.AddNode("n2", opts);
+  EXPECT_FALSE(quiet->catalog().IsMaterialized("sysRule"));
+  EXPECT_FALSE(quiet->catalog().IsMaterialized("sysTable"));
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,323 @@
+// Execution-tracing tests: ruleExec causality rows (paper §2.1.1, Figure 2),
+// pipelined tracer records (§2.1.2, Figure 3), and cross-network tuple provenance
+// with reference-count GC (§2.1.3).
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace p2 {
+namespace {
+
+NodeOptions TracingOptions() {
+  NodeOptions opts;
+  opts.tracing = true;
+  opts.introspection = false;
+  return opts;
+}
+
+class TracerEngineTest : public ::testing::Test {
+ protected:
+  TracerEngineTest() : net_(NetworkConfig{0.01, 0.0, 0.0, 42}) {
+    node_ = net_.AddNode("n1", TracingOptions());
+  }
+
+  void Load(const std::string& program) {
+    std::string error;
+    ASSERT_TRUE(node_->LoadProgram(program, &error)) << error;
+  }
+
+  // Rows of ruleExec for a given rule id.
+  std::vector<TupleRef> RuleExecRows(Node* node, const std::string& rule) {
+    std::vector<TupleRef> out;
+    for (const TupleRef& t : node->TableContents("ruleExec")) {
+      if (t->field(1) == Value::Str(rule)) {
+        out.push_back(t);
+      }
+    }
+    return out;
+  }
+
+  Network net_;
+  Node* node_;
+};
+
+// Figure 2: rule r1 head@Z(Y) :- event@N(Y), prec@N(Z). One event + one precondition
+// produce two ruleExec rows sharing the same effect.
+TEST_F(TracerEngineTest, Figure2EventAndPreconditionRows) {
+  Load(
+      "materialize(prec, infinity, 10, keys(1,2)).\n"
+      "r1 head@Z(Y) :- event@N(Y), prec@N(Z).");
+  node_->InjectEvent(Tuple::Make("prec", {Value::Str("n1"), Value::Str("n1")}));
+  net_.RunFor(0.1);
+  node_->InjectEvent(Tuple::Make("event", {Value::Str("n1"), Value::Int(9)}));
+  net_.RunFor(0.1);
+  std::vector<TupleRef> rows = RuleExecRows(node_, "r1");
+  ASSERT_EQ(rows.size(), 2u);
+  // Both rows share the effect ID; one is the event cause, one the precondition.
+  EXPECT_EQ(rows[0]->field(3), rows[1]->field(3));
+  int event_rows = 0;
+  for (const TupleRef& t : rows) {
+    if (t->field(6) == Value::Bool(true)) {
+      ++event_rows;
+      // The cause must be the memoized event tuple.
+      TupleRef cause = node_->store().Lookup(t->field(2).AsId());
+      ASSERT_NE(cause, nullptr);
+      EXPECT_EQ(cause->name(), "event");
+    } else {
+      TupleRef cause = node_->store().Lookup(t->field(2).AsId());
+      ASSERT_NE(cause, nullptr);
+      EXPECT_EQ(cause->name(), "prec");
+    }
+  }
+  EXPECT_EQ(event_rows, 1);
+  // Cause time <= output time.
+  for (const TupleRef& t : rows) {
+    EXPECT_LE(t->field(4).AsDouble(), t->field(5).AsDouble());
+  }
+}
+
+// A two-join rule (Figure 3's shape): each output is attributed to the precondition
+// pair on its own derivation path.
+TEST_F(TracerEngineTest, TwoJoinPreconditionAttribution) {
+  Load(
+      "materialize(prec1, infinity, 10, keys(1,2,3)).\n"
+      "materialize(prec2, infinity, 10, keys(1,2,3)).\n"
+      "r2 head@N(X, Y, Z) :- event@N(X), prec1@N(X, Y), prec2@N(Y, Z).");
+  auto put = [&](const std::string& name, int a, int b) {
+    node_->InjectEvent(
+        Tuple::Make(name, {Value::Str("n1"), Value::Int(a), Value::Int(b)}));
+  };
+  put("prec1", 1, 10);
+  put("prec1", 1, 20);
+  put("prec2", 10, 100);
+  put("prec2", 20, 200);
+  net_.RunFor(0.1);
+  node_->InjectEvent(Tuple::Make("event", {Value::Str("n1"), Value::Int(1)}));
+  net_.RunFor(0.1);
+  // Two outputs; each has 3 rows (event + 2 preconditions) = 6 rows.
+  std::vector<TupleRef> rows = RuleExecRows(node_, "r2");
+  ASSERT_EQ(rows.size(), 6u);
+  // For each output, the recorded prec2 cause must match the derivation path:
+  // head(1,10,100) was enabled by prec2(10,100), head(1,20,200) by prec2(20,200).
+  for (const TupleRef& row : rows) {
+    TupleRef cause = node_->store().Lookup(row->field(2).AsId());
+    TupleRef effect = node_->store().Lookup(row->field(3).AsId());
+    ASSERT_NE(cause, nullptr);
+    ASSERT_NE(effect, nullptr);
+    if (cause->name() == "prec2") {
+      EXPECT_EQ(cause->field(1), effect->field(2));  // Y matches
+      EXPECT_EQ(cause->field(2), effect->field(3));  // Z matches
+    }
+    if (cause->name() == "prec1") {
+      EXPECT_EQ(cause->field(2), effect->field(2));  // Y matches
+    }
+  }
+}
+
+TEST_F(TracerEngineTest, NoRowsWhenExecutionProducesNoOutput) {
+  Load(
+      "materialize(prec, infinity, 10, keys(1,2)).\n"
+      "r1 head@N(Y) :- event@N(Y), prec@N(Y).");
+  node_->InjectEvent(Tuple::Make("event", {Value::Str("n1"), Value::Int(9)}));
+  net_.RunFor(0.1);
+  EXPECT_TRUE(RuleExecRows(node_, "r1").empty());  // empty join: no output, no rows
+}
+
+TEST_F(TracerEngineTest, TracingDisabledWritesNothing) {
+  NodeOptions opts;
+  opts.tracing = false;
+  opts.introspection = false;
+  Node* quiet = net_.AddNode("n2", opts);
+  std::string error;
+  ASSERT_TRUE(quiet->LoadProgram("r9 out@N(X) :- in@N(X).", &error)) << error;
+  quiet->InjectEvent(Tuple::Make("in", {Value::Str("n2"), Value::Int(1)}));
+  net_.RunFor(0.1);
+  EXPECT_TRUE(quiet->TableContents("ruleExec").empty());
+  EXPECT_TRUE(quiet->TableContents("tupleTable").empty());
+}
+
+TEST_F(TracerEngineTest, CrossNetworkProvenance) {
+  Node* remote = net_.AddNode("n2", TracingOptions());
+  std::string error;
+  ASSERT_TRUE(node_->LoadProgram("s1 hop@Other(NAddr, X) :- go@NAddr(Other, X).", &error))
+      << error;
+  ASSERT_TRUE(remote->LoadProgram("s2 landed@N(From, X) :- hop@N(From, X).", &error))
+      << error;
+  node_->InjectEvent(
+      Tuple::Make("go", {Value::Str("n1"), Value::Str("n2"), Value::Int(5)}));
+  net_.RunFor(1.0);
+  // The receiver's tupleTable must record the hop tuple as arriving from n1 with n1's
+  // local ID for it.
+  TupleRef hop = Tuple::Make("hop", {Value::Str("n2"), Value::Str("n1"), Value::Int(5)});
+  uint64_t remote_id = remote->store().Intern(hop);
+  uint64_t origin_id = node_->store().Intern(hop);
+  bool found = false;
+  for (const TupleRef& t : remote->TableContents("tupleTable")) {
+    if (t->field(1) == Value::Id(remote_id)) {
+      found = true;
+      EXPECT_EQ(t->field(2), Value::Str("n1"));
+      EXPECT_EQ(t->field(3), Value::Id(origin_id));
+      EXPECT_EQ(t->field(4), Value::Str("n2"));  // destination = location specifier
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TracerEngineTest, RefcountGcDropsTupleTableRows) {
+  NodeOptions opts = TracingOptions();
+  opts.rule_exec_lifetime = 2.0;  // short-lived provenance
+  Node* fast = net_.AddNode("n3", opts);
+  std::string error;
+  ASSERT_TRUE(fast->LoadProgram("g1 out@N(X) :- in@N(X).", &error)) << error;
+  fast->InjectEvent(Tuple::Make("in", {Value::Str("n3"), Value::Int(1)}));
+  net_.RunFor(0.5);
+  EXPECT_FALSE(fast->TableContents("ruleExec").empty());
+  size_t store_before = fast->store().size();
+  EXPECT_GT(store_before, 0u);
+  net_.RunFor(5.0);  // ruleExec rows expire -> refcounts drop -> memo freed
+  EXPECT_TRUE(fast->TableContents("ruleExec").empty());
+  EXPECT_LT(fast->store().size(), store_before);
+  EXPECT_TRUE(fast->TableContents("tupleTable").empty());
+}
+
+// --- synthetic pipelined-record scenarios (paper §2.1.2, Figure 3) ---
+
+class PipelinedTracerTest : public ::testing::Test {
+ protected:
+  PipelinedTracerTest() : store_(), tracer_("n1", &store_, 8) {
+    TableSpec exec_spec;
+    exec_spec.name = "ruleExec";
+    rule_exec_ = std::make_unique<Table>(exec_spec);
+    TableSpec memo_spec;
+    memo_spec.name = "tupleTable";
+    memo_spec.key_fields = {1};
+    tuple_table_ = std::make_unique<Table>(memo_spec);
+    tracer_.AttachTables(rule_exec_.get(), tuple_table_.get());
+    tracer_.set_enabled(true);
+    target_.strand = this;
+    target_.rule_id = "r2";
+    target_.num_stages = 2;
+  }
+
+  TupleRef T(const std::string& name, int v) {
+    return Tuple::Make(name, {Value::Str("n1"), Value::Int(v)});
+  }
+
+  std::vector<TupleRef> Rows() { return rule_exec_->Scan(99); }
+
+  TupleStore store_;
+  Tracer tracer_;
+  std::unique_ptr<Table> rule_exec_;
+  std::unique_ptr<Table> tuple_table_;
+  TraceTarget target_;
+};
+
+TEST_F(PipelinedTracerTest, InterleavedEventsKeepSeparateRecords) {
+  // Figure 3's configuration: event A has finished looking up matches in prec1 and is
+  // still processing matches in prec2 (record window [2,2]) while event B has started
+  // processing matches in prec1 (record window [1,1]).
+  TupleRef ev_a = T("event", 1);
+  TupleRef ev_b = T("event", 2);
+  TupleRef p1_a = T("prec1", 11);
+  TupleRef p1_b = T("prec1", 22);
+  TupleRef p2_a1 = T("prec2", 111);
+  TupleRef p2_a2 = T("prec2", 112);
+  TupleRef out_a1 = T("head", 1111);
+  TupleRef out_a2 = T("head", 1112);
+
+  tracer_.OnInput(target_, ev_a, 1.0);
+  tracer_.OnPrecondition(target_, 1, p1_a, 1.1);
+  tracer_.OnPrecondition(target_, 2, p2_a1, 1.2);
+  tracer_.OnOutput(target_, out_a1, 1.25);
+  tracer_.OnStageComplete(target_, 1);             // join1 seeks new input: A -> [2,2]
+  tracer_.OnInput(target_, ev_b, 1.3);             // B enters at stage 1
+  tracer_.OnPrecondition(target_, 1, p1_b, 1.35);  // belongs to B's record
+  tracer_.OnPrecondition(target_, 2, p2_a2, 1.4);  // belongs to A's record
+  tracer_.OnOutput(target_, out_a2, 1.5);          // A's output (highest stage)
+
+  uint64_t out2_id = store_.Intern(out_a2);
+  int ev_rows = 0;
+  int rows_for_out2 = 0;
+  for (const TupleRef& row : Rows()) {
+    if (!(row->field(3) == Value::Id(out2_id))) {
+      continue;
+    }
+    ++rows_for_out2;
+    TupleRef cause = store_.Lookup(row->field(2).AsId());
+    ASSERT_NE(cause, nullptr);
+    // B's event and B's prec1 must NOT appear as causes of A's output.
+    EXPECT_FALSE(*cause == *ev_b);
+    EXPECT_FALSE(*cause == *p1_b);
+    EXPECT_FALSE(*cause == *p2_a1);  // flushed by the fresh prec2 match
+    if (row->field(6) == Value::Bool(true)) {
+      ++ev_rows;
+      EXPECT_TRUE(*cause == *ev_a);
+    }
+  }
+  EXPECT_EQ(rows_for_out2, 3);  // event A + prec1_a + prec2_a2
+  EXPECT_EQ(ev_rows, 1);
+}
+
+TEST_F(PipelinedTracerTest, StageCompletionRetiresDrainedRecords) {
+  TupleRef ev = T("event", 1);
+  tracer_.OnInput(target_, ev, 1.0);
+  tracer_.OnPrecondition(target_, 1, T("prec1", 1), 1.1);
+  tracer_.OnPrecondition(target_, 2, T("prec2", 1), 1.2);
+  tracer_.OnStageComplete(target_, 1);
+  tracer_.OnStageComplete(target_, 2);
+  // The record has drained; a new event's preconditions must not inherit state.
+  TupleRef ev2 = T("event", 2);
+  tracer_.OnInput(target_, ev2, 2.0);
+  tracer_.OnPrecondition(target_, 1, T("prec1", 2), 2.1);
+  tracer_.OnPrecondition(target_, 2, T("prec2", 2), 2.2);
+  TupleRef out2 = T("head", 2);
+  tracer_.OnOutput(target_, out2, 2.3);
+  std::vector<TupleRef> rows = Rows();
+  ASSERT_EQ(rows.size(), 3u);
+  for (const TupleRef& row : rows) {
+    TupleRef cause = store_.Lookup(row->field(2).AsId());
+    ASSERT_NE(cause, nullptr);
+    EXPECT_FALSE(*cause == *ev);  // old event not blamed
+  }
+}
+
+TEST_F(PipelinedTracerTest, MidStrandPreconditionFlushesRightwardFields) {
+  // Paper §2.1.1: observing a precondition in the middle invalidates fields to its
+  // right.
+  tracer_.OnInput(target_, T("event", 1), 1.0);
+  tracer_.OnPrecondition(target_, 1, T("prec1", 1), 1.1);
+  tracer_.OnPrecondition(target_, 2, T("prec2", 1), 1.2);
+  TupleRef out1 = T("head", 1);
+  tracer_.OnOutput(target_, out1, 1.3);
+  // New prec1 match: prec2 field must flush; an output before a fresh prec2 match
+  // yields only event + prec1 rows.
+  tracer_.OnPrecondition(target_, 1, T("prec1", 9), 1.4);
+  TupleRef out2 = T("head", 9);
+  tracer_.OnOutput(target_, out2, 1.5);
+  uint64_t out2_id = store_.Intern(out2);
+  int rows_for_out2 = 0;
+  for (const TupleRef& row : Rows()) {
+    if (row->field(3) == Value::Id(out2_id)) {
+      ++rows_for_out2;
+      TupleRef cause = store_.Lookup(row->field(2).AsId());
+      EXPECT_NE(cause->name(), "prec2");
+    }
+  }
+  EXPECT_EQ(rows_for_out2, 2);  // event + fresh prec1 only
+}
+
+TEST_F(PipelinedTracerTest, RecordCountIsBounded) {
+  // More concurrent inputs than records: the oldest record is reused, never more
+  // than the configured bound (the paper's fixed-record optimization).
+  for (int i = 0; i < 100; ++i) {
+    tracer_.OnInput(target_, T("event", i), 1.0 + i);
+  }
+  // No crash and no unbounded growth; outputs still attribute to the newest record.
+  TupleRef out = T("head", 7);
+  tracer_.OnOutput(target_, out, 200.0);
+  EXPECT_GE(Rows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace p2
