@@ -9,11 +9,17 @@
 //   Tx messages      -> network messages sent fleet-wide during the measurement
 //                       window (the paper's Figs 6-7 count transmissions).
 
+// Every bench binary additionally writes a machine-readable BENCH_<name>.json
+// artifact (one row per measurement window) so runs can be diffed and trended
+// across commits — see BenchArtifact below and docs/OBSERVABILITY.md.
+
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "src/testbed/testbed.h"
 
@@ -70,6 +76,60 @@ inline void PrintRow(const std::string& x, const WindowMetrics& m) {
   printf("%-10s %12.3f %9.3f %11.4f %13.4f %12.0f %10.0f\n", x.c_str(), m.cpu_ms_per_s,
          m.cpu_pct, m.memory_mb, m.alloc_mb_per_s, m.live_tuples, m.tx_msgs);
 }
+
+// Machine-readable measurement record. Collect one row per (series, x) window and
+// call Write() at the end of main; the artifact lands in the working directory (or
+// $P2_BENCH_OUT_DIR) as BENCH_<name>.json:
+//
+//   {"bench":"fig4_periodic_rules","schema":"p2mon-bench-v1","rows":[
+//     {"series":"default","x":"50","x_value":50,"cpu_ms_per_s":...,...}, ...]}
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& series, const std::string& x, double x_value,
+           const WindowMetrics& m) {
+    rows_.push_back(Row{series, x, x_value, m});
+  }
+
+  // Writes BENCH_<name>.json; prints the path (or the failure) to stderr.
+  bool Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("P2_BENCH_OUT_DIR")) {
+      path = std::string(dir) + "/" + path;
+    }
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "bench artifact: cannot open %s\n", path.c_str());
+      return false;
+    }
+    fprintf(f, "{\"bench\":\"%s\",\"schema\":\"p2mon-bench-v1\",\"rows\":[", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      fprintf(f,
+              "%s\n  {\"series\":\"%s\",\"x\":\"%s\",\"x_value\":%g,"
+              "\"cpu_ms_per_s\":%g,\"cpu_pct\":%g,\"memory_mb\":%g,"
+              "\"alloc_mb_per_s\":%g,\"live_tuples\":%g,\"tx_msgs\":%g}",
+              i == 0 ? "" : ",", r.series.c_str(), r.x.c_str(), r.x_value,
+              r.m.cpu_ms_per_s, r.m.cpu_pct, r.m.memory_mb, r.m.alloc_mb_per_s,
+              r.m.live_tuples, r.m.tx_msgs);
+    }
+    fprintf(f, "\n]}\n");
+    std::fclose(f);
+    fprintf(stderr, "bench artifact: wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string x;
+    double x_value;
+    WindowMetrics m;
+  };
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace p2
 

@@ -29,6 +29,7 @@ void Main() {
   printf("=== Figure 5: piggy-backed rules on a shared 1 s event ===\n");
   PrintHeader("21-node P2-Chord; rules installed on the last-joined node",
               "#rules");
+  BenchArtifact artifact("fig5_piggyback_rules");
   for (int n : {0, 50, 100, 150, 200, 250}) {
     ChordTestbed bed(PaperTestbed());
     bed.Run(40);
@@ -43,7 +44,9 @@ void Main() {
     bed.Run(5);
     WindowMetrics m = MeasureWindow(&bed, target, 120.0);
     PrintRow(StrFormat("%d", n), m);
+    artifact.Add("piggyback", StrFormat("%d", n), n, m);
   }
+  artifact.Write();
 }
 
 }  // namespace

@@ -25,6 +25,7 @@ void Main() {
   };
   const Point points[] = {{"None", 0},     {"1/32", 1.0 / 32}, {"1/4", 0.25},
                           {"1/2", 0.5},    {"3/4", 0.75},      {"1", 1.0}};
+  BenchArtifact artifact("fig6_consistency_probe");
   for (const Point& p : points) {
     ChordTestbed bed(PaperTestbed());
     bed.Run(40);
@@ -43,7 +44,9 @@ void Main() {
     bed.Run(5);
     WindowMetrics m = MeasureWindow(&bed, target, 64.0);
     PrintRow(p.label, m);
+    artifact.Add("probe", p.label, p.rate, m);
   }
+  artifact.Write();
 }
 
 }  // namespace

@@ -42,6 +42,11 @@ void Main() {
   PrintRow("off", off.metrics);
   PrintRow("on", on.metrics);
 
+  BenchArtifact artifact("logging_overhead");
+  artifact.Add("tracing", "off", 0, off.metrics);
+  artifact.Add("tracing", "on", 1, on.metrics);
+  artifact.Write();
+
   // The paper's percentages are relative to a full OS process (0.98% CPU, 8 MB RSS
   // baseline). The simulation accounts only engine work and engine state, so the
   // honest comparison is on absolute deltas; the paper's absolute increases were

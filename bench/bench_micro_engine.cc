@@ -1,8 +1,16 @@
 // Engine microbenchmarks (not in the paper): the cost of the building blocks the
 // figure-level benchmarks are made of, plus ablations for design choices called out
-// in DESIGN.md §6 (tracing taps on/off, continuous-aggregate recomputation).
+// in DESIGN.md §6 (tracing taps on/off, continuous-aggregate recomputation, the
+// metrics registry on/off).
+//
+// Unless the caller passes --benchmark_out, results are also written to
+// BENCH_micro_engine.json (Google Benchmark's JSON format) to match the
+// BENCH_<name>.json artifacts the figure-level benches produce.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
 
 #include "src/chord/chord.h"
 #include "src/lang/parser.h"
@@ -95,13 +103,16 @@ void BM_WireRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_WireRoundTrip);
 
 // One strand execution: event joins a 16-row table and emits. `tracing` toggles the
-// tracer taps — the per-execution cost of making the system diagnosable.
-void StrandTriggerBench(benchmark::State& state, bool tracing) {
+// tracer taps — the per-execution cost of making the system diagnosable. `metrics`
+// toggles the metrics registry (two clock reads + a few integer adds per trigger);
+// the NoMetrics variant exists to pin that overhead below 5%.
+void StrandTriggerBench(benchmark::State& state, bool tracing, bool metrics = true) {
   NetworkConfig net_cfg;
   net_cfg.latency = 0.001;
   Network net(net_cfg);
   NodeOptions opts;
   opts.tracing = tracing;
+  opts.metrics = metrics;
   opts.introspection = false;
   opts.rule_exec_lifetime = 0.5;  // keep the trace tables from growing unboundedly
   Node* node = net.AddNode("n1", opts);
@@ -133,6 +144,11 @@ BENCHMARK(BM_StrandTrigger_Untraced);
 
 void BM_StrandTrigger_Traced(benchmark::State& state) { StrandTriggerBench(state, true); }
 BENCHMARK(BM_StrandTrigger_Traced);
+
+void BM_StrandTrigger_NoMetrics(benchmark::State& state) {
+  StrandTriggerBench(state, false, /*metrics=*/false);
+}
+BENCHMARK(BM_StrandTrigger_NoMetrics);
 
 // Ablation: a join whose pattern covers the table's primary key becomes an O(1)
 // probe; the same join against an unkeyed table scans. Table size = range(0).
@@ -241,4 +257,23 @@ BENCHMARK(BM_ContinuousAggReeval)->Arg(16)->Arg(128)->Arg(1024);
 }  // namespace
 }  // namespace p2
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to writing the JSON artifact unless the caller chose their own output.
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  static char out_flag[] = "--benchmark_out=BENCH_micro_engine.json";
+  static char fmt_flag[] = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag);
+    args.push_back(fmt_flag);
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include "src/lang/ast.h"
 #include "src/lang/expr.h"
 #include "src/runtime/table.h"
+#include "src/trace/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace p2 {
@@ -75,6 +76,11 @@ class Strand {
   // Runs the strand for one triggering tuple.
   void Trigger(const TupleRef& event);
 
+  // Telemetry handle (owned by the node's MetricsRegistry; null when metrics are
+  // disabled). The node times each Trigger into it — see Node::TriggerStrand.
+  RuleMetrics* metrics() const { return metrics_; }
+  void set_metrics(RuleMetrics* m) { metrics_ = m; }
+
  private:
   void RunOps(size_t op_index, Bindings& binds);
   void EmitLeaf(const Bindings& binds);
@@ -86,6 +92,7 @@ class Strand {
   const Predicate* trigger_;
   std::vector<StrandOp> ops_;
   int num_stages_;
+  RuleMetrics* metrics_ = nullptr;
   TraceTarget trace_target_;
   std::vector<bool> stage_open_;  // per join stage: processed input, not yet "sought new"
 
@@ -116,6 +123,10 @@ class ContinuousAggRule {
   // Recomputes the group-by and emits changed groups.
   void Reevaluate();
 
+  // Telemetry handle, as on Strand (execs counts re-evaluations).
+  RuleMetrics* metrics() const { return metrics_; }
+  void set_metrics(RuleMetrics* m) { metrics_ = m; }
+
   bool dirty = false;  // coalesces re-evaluation requests (managed by the node)
 
  private:
@@ -125,6 +136,7 @@ class ContinuousAggRule {
   Node* node_;
   const Rule* rule_;
   std::vector<StrandOp> ops_;
+  RuleMetrics* metrics_ = nullptr;
   AggKind agg_kind_ = AggKind::kNone;
   const Expr* agg_expr_ = nullptr;
   size_t agg_position_ = 0;

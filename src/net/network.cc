@@ -26,6 +26,9 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
   size_t size = bytes.size();
   ++total_msgs_;
   total_bytes_ += size;
+  ChannelState& channel = channels_[std::make_pair(src, dst)];
+  ++channel.msgs;
+  channel.bytes += size;
   if (config_.loss_rate > 0 && rng_.NextDouble() < config_.loss_rate) {
     ++dropped_msgs_;
     return size;
@@ -40,15 +43,25 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
     return size;
   }
   double deliver_at = sched_.Now() + config_.latency + config_.jitter * rng_.NextDouble();
-  auto key = std::make_pair(src, dst);
-  auto it = channel_last_.find(key);
-  if (it != channel_last_.end() && deliver_at <= it->second) {
-    deliver_at = it->second + 1e-9;  // FIFO: never overtake an earlier message
+  if (deliver_at <= channel.last_delivery) {
+    deliver_at = channel.last_delivery + 1e-9;  // FIFO: never overtake an earlier message
   }
-  channel_last_[key] = deliver_at;
+  channel.last_delivery = deliver_at;
+  ++channel.delivered_msgs;
+  channel.delivered_bytes += size;
   sched_.At(deliver_at,
             [dst_node, bytes = std::move(bytes)] { dst_node->ReceiveBytes(bytes); });
   return size;
+}
+
+std::vector<Network::ChannelTraffic> Network::ChannelsSnapshot() const {
+  std::vector<ChannelTraffic> out;
+  out.reserve(channels_.size());
+  for (const auto& [key, state] : channels_) {
+    out.push_back({key.first, key.second, state.msgs, state.bytes,
+                   state.delivered_msgs, state.delivered_bytes});
+  }
+  return out;
 }
 
 uint64_t Network::SumStats(uint64_t NodeStats::* field) const {

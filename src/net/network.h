@@ -9,15 +9,18 @@
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/net/node.h"
 #include "src/net/scheduler.h"
 #include "src/net/wire.h"
+#include "src/trace/metrics.h"
 
 namespace p2 {
 
@@ -61,6 +64,24 @@ class Network {
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t dropped_msgs() const { return dropped_msgs_; }
 
+  // Per-(src,dst) channel traffic. `msgs`/`bytes` count every transmission attempt
+  // (the sender pays whether or not the message is later dropped); `delivered_*`
+  // count messages actually scheduled for receipt.
+  struct ChannelTraffic {
+    std::string src;
+    std::string dst;
+    uint64_t msgs = 0;
+    uint64_t bytes = 0;
+    uint64_t delivered_msgs = 0;
+    uint64_t delivered_bytes = 0;
+  };
+  std::vector<ChannelTraffic> ChannelsSnapshot() const;
+
+  // Structured telemetry export: when set, every node writes one MetricsSnapshot to
+  // `sink` per soft-state sweep. Non-owning; the sink must outlive the network.
+  void SetMetricsSink(MetricsSink* sink) { metrics_sink_ = sink; }
+  MetricsSink* metrics_sink() const { return metrics_sink_; }
+
   // Sum of a statistic across nodes.
   uint64_t SumStats(uint64_t NodeStats::* field) const;
 
@@ -80,12 +101,22 @@ class Network {
   Scheduler sched_;
   Rng rng_;
   std::map<std::string, std::unique_ptr<Node>> nodes_;
-  // FIFO enforcement: last scheduled delivery time per (src, dst) channel.
-  std::map<std::pair<std::string, std::string>, double> channel_last_;
+  // Per-(src, dst) channel state: FIFO enforcement (last scheduled delivery time)
+  // plus traffic counters. The map lookup was already paid for FIFO ordering, so the
+  // counters ride along for free on the send path.
+  struct ChannelState {
+    double last_delivery = -std::numeric_limits<double>::infinity();
+    uint64_t msgs = 0;
+    uint64_t bytes = 0;
+    uint64_t delivered_msgs = 0;
+    uint64_t delivered_bytes = 0;
+  };
+  std::map<std::pair<std::string, std::string>, ChannelState> channels_;
   uint64_t total_msgs_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_msgs_ = 0;
   ExternalSender external_sender_;
+  MetricsSink* metrics_sink_ = nullptr;
 };
 
 }  // namespace p2

@@ -1,23 +1,12 @@
 #include "src/net/node.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "src/net/network.h"
 #include "src/planner/planner.h"
 #include "src/trace/introspect.h"
 
 namespace p2 {
-
-namespace {
-
-uint64_t MonotonicNs() {
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                                   std::chrono::steady_clock::now().time_since_epoch())
-                                   .count());
-}
-
-}  // namespace
 
 BusyTimer::BusyTimer(NodeStats* stats) : stats_(stats), start_ns_(MonotonicNs()) {}
 
@@ -28,6 +17,9 @@ Node::Node(std::string addr, Network* network, NodeOptions options)
   tracer_ = std::make_unique<Tracer>(addr_, &store_, options_.tracer_records_per_rule);
   InstallBuiltinTables();
   tracer_->set_enabled(options_.tracing);
+  if (options_.metrics) {
+    trigger_hist_ = metrics_.GetHistogram("strand_trigger_ns");
+  }
   if (options_.introspection) {
     InstallIntrospectionTables(this);
   }
@@ -156,8 +148,11 @@ bool Node::UnloadProgram(uint64_t program_id) {
       agg_ids_.erase(it);
     }
   }
-  // Free the rule ids and drop introspection rows.
+  // Free the rule ids and drop introspection rows and rule metrics. The unloaded
+  // strands are inert (they can never trigger again), so invalidating their
+  // RuleMetrics handles is safe.
   Table* sys_rule = catalog_.Get("sysRule");
+  Table* sys_rule_stat = catalog_.Get("sysRuleStat");
   for (const Rule& rule : found->program->rules) {
     loaded_rules_.erase(
         std::remove(loaded_rules_.begin(), loaded_rules_.end(), &rule),
@@ -166,6 +161,11 @@ bool Node::UnloadProgram(uint64_t program_id) {
       sys_rule->DeleteMatching({Value::Str(addr_), Value::Str(rule.id)}, {true, true},
                                Now());
     }
+    if (sys_rule_stat != nullptr) {
+      sys_rule_stat->DeleteMatching({Value::Str(addr_), Value::Str(rule.id)},
+                                    {true, true}, Now());
+    }
+    metrics_.DropRuleMetrics(rule.id);
   }
   return true;
 }
@@ -179,10 +179,16 @@ void Node::RegisterStrand(std::unique_ptr<Strand> strand) {
   strands_.push_back(std::move(strand));
   strand_ptrs_.push_back(raw);
   triggers_[raw->trigger_name()].push_back(raw);
+  if (options_.metrics) {
+    raw->set_metrics(metrics_.GetRuleMetrics(raw->rule_id()));
+  }
 }
 
 void Node::RegisterAggRule(std::unique_ptr<ContinuousAggRule> rule) {
   ContinuousAggRule* raw = rule.get();
+  if (options_.metrics) {
+    raw->set_metrics(metrics_.GetRuleMetrics(raw->rule_id()));
+  }
   agg_rules_.push_back(std::move(rule));
   uint64_t agg_id = next_agg_id_++;
   agg_by_id_[agg_id] = raw;
@@ -217,6 +223,26 @@ void Node::MarkAggDirty(ContinuousAggRule* rule) {
   } else {
     queue_.push_back(std::move(p));
   }
+  NoteQueueDepth();
+}
+
+void Node::TriggerStrand(Strand* strand, const TupleRef& event) {
+  ++stats_.strand_triggers;
+  RuleMetrics* m = strand->metrics();
+  if (m == nullptr) {
+    strand->Trigger(event);
+    return;
+  }
+  // Head emissions route synchronously (RouteTuple bumps tuples_emitted before
+  // enqueueing), so the delta over the Trigger call is exactly this rule's output.
+  uint64_t emitted_before = stats_.tuples_emitted;
+  uint64_t start_ns = MonotonicNs();
+  strand->Trigger(event);
+  uint64_t elapsed = MonotonicNs() - start_ns;
+  ++m->execs;
+  m->busy_ns += elapsed;
+  m->emits += stats_.tuples_emitted - emitted_before;
+  trigger_hist_->Observe(elapsed);
 }
 
 void Node::RegisterPeriodic(Strand* strand, double period) {
@@ -241,9 +267,9 @@ void Node::SchedulePeriodic(Strand* strand, double period) {
         p.strand = strand;
         p.tuple = tick;
         low_queue_.push_back(std::move(p));
+        NoteQueueDepth();
       } else {
-        ++stats_.strand_triggers;
-        strand->Trigger(tick);
+        TriggerStrand(strand, tick);
       }
       Drain();
     }
@@ -264,11 +290,17 @@ void Node::Sweep() {
   }
   BusyTimer busy(&stats_);
   double now = Now();
+  size_t expired = 0;
   for (Table* table : catalog_.AllTables()) {
-    table->ExpireStale(now);
+    expired += table->ExpireStale(now);
   }
+  stats_.tuples_expired += expired;
   if (options_.introspection) {
     RefreshTableIntrospection(this);
+    RefreshStatIntrospection(this);
+  }
+  if (options_.metrics && network_->metrics_sink() != nullptr) {
+    network_->metrics_sink()->Write(SnapshotNodeMetrics(this));
   }
   Drain();
 }
@@ -324,10 +356,12 @@ void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask
                                     }
                                     BusyTimer busy(&stats_);
                                     queue_.push_back(std::move(p));
+                                    NoteQueueDepth();
                                     Drain();
                                   });
     } else {
       queue_.push_back(std::move(p));
+      NoteQueueDepth();
     }
     return;
   }
@@ -361,6 +395,7 @@ void Node::ReceiveBytes(const std::string& bytes) {
   p.is_delete = env.is_delete;
   p.bound_mask = env.bound_mask;
   queue_.push_back(std::move(p));
+  NoteQueueDepth();
   Drain();
 }
 
@@ -379,15 +414,26 @@ void Node::Drain() {
     if (p.kind == Pending::Kind::kAggReeval) {
       auto it = agg_by_id_.find(p.agg_id);
       if (it != agg_by_id_.end()) {
-        it->second->dirty = false;
-        it->second->Reevaluate();
+        ContinuousAggRule* agg = it->second;
+        agg->dirty = false;
+        RuleMetrics* m = agg->metrics();
+        if (m == nullptr) {
+          agg->Reevaluate();
+        } else {
+          uint64_t emitted_before = stats_.tuples_emitted;
+          uint64_t start_ns = MonotonicNs();
+          agg->Reevaluate();
+          uint64_t elapsed = MonotonicNs() - start_ns;
+          ++m->execs;
+          m->busy_ns += elapsed;
+          m->emits += stats_.tuples_emitted - emitted_before;
+        }
       }
       continue;
     }
     if (p.kind == Pending::Kind::kLowTrigger) {
       if (inactive_strands_.count(p.strand) == 0) {
-        ++stats_.strand_triggers;
-        p.strand->Trigger(p.tuple);
+        TriggerStrand(p.strand, p.tuple);
       }
       continue;
     }
@@ -457,10 +503,10 @@ void Node::DispatchEvent(const TupleRef& tuple) {
         p.strand = strand;
         p.tuple = tuple;
         low_queue_.push_back(std::move(p));
+        NoteQueueDepth();
         continue;
       }
-      ++stats_.strand_triggers;
-      strand->Trigger(tuple);
+      TriggerStrand(strand, tuple);
     }
   }
   auto subs = subscribers_.find(tuple->name());

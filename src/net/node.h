@@ -25,6 +25,7 @@
 #include "src/lang/parser.h"
 #include "src/net/wire.h"
 #include "src/runtime/catalog.h"
+#include "src/trace/metrics.h"
 #include "src/trace/tracer.h"
 #include "src/trace/tuple_store.h"
 
@@ -43,8 +44,13 @@ struct NodeOptions {
   size_t rule_exec_max = 100000;
   // Bound on tracer records per rule (paper's "fixed number of execution records").
   size_t tracer_records_per_rule = 8;
-  // Install introspection tables (sysRule / sysTable / sysElement).
+  // Install introspection tables (sysRule / sysTable / sysElement, plus the
+  // telemetry tables sysStat / sysRuleStat / sysTableStat).
   bool introspection = true;
+  // Maintain per-rule execution metrics (trigger counts, busy-ns, emits) and the
+  // trigger-latency histogram. Updates are plain integer adds plus two monotonic
+  // clock reads per strand trigger; disable only for microbenchmark ablations.
+  bool metrics = true;
   // Modeled delay for locally routed tuples (seconds of virtual time spent in the
   // node's queues between rule strands). Zero keeps local hand-off instantaneous;
   // nonzero makes the profiler's LocalT component (paper §3.2) observable.
@@ -63,6 +69,9 @@ struct NodeStats {
   uint64_t agg_reevals = 0;
   uint64_t dead_letters = 0;
   uint64_t decode_errors = 0;
+  uint64_t tuples_expired = 0;  // soft state purged by sweeps (lazy expiry counted
+                                // per table in TableCounters, not here)
+  uint64_t queue_hwm = 0;       // high-water mark of the pending-work queues
   uint64_t busy_ns = 0;  // wall-clock nanoseconds spent executing this node's dataflow
 };
 
@@ -78,6 +87,9 @@ class Node {
   NodeOptions& options() { return options_; }
   NodeStats& stats() { return stats_; }
   Catalog& catalog() { return catalog_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  // Current pending-work backlog (primary + low-priority queues).
+  size_t QueueDepth() const { return queue_.size() + low_queue_.size(); }
   Tracer& tracer() { return *tracer_; }
   TupleStore& store() { return store_; }
   Rng& rng() { return rng_; }
@@ -161,6 +173,11 @@ class Node {
   // Drains the pending-work queue. Called from scheduler callbacks.
   void Drain();
 
+  // Fires `strand` for `event`, accounting the trigger into NodeStats and — when
+  // metrics are enabled — the strand's RuleMetrics and the node's trigger-latency
+  // histogram. Every strand trigger in the engine goes through here.
+  void TriggerStrand(Strand* strand, const TupleRef& event);
+
  private:
   struct Pending {
     enum class Kind { kDeliver, kAggReeval, kLowTrigger };
@@ -181,10 +198,20 @@ class Node {
   void Sweep();
   void InstallBuiltinTables();
 
+  // Tracks the pending-queue high-water mark; called after every queue push.
+  void NoteQueueDepth() {
+    size_t depth = queue_.size() + low_queue_.size();
+    if (depth > stats_.queue_hwm) {
+      stats_.queue_hwm = depth;
+    }
+  }
+
   std::string addr_;
   Network* network_;
   NodeOptions options_;
   NodeStats stats_;
+  MetricsRegistry metrics_;
+  Histogram* trigger_hist_ = nullptr;  // "strand_trigger_ns"; null when disabled
   Rng rng_;
   Catalog catalog_;
   TupleStore store_;

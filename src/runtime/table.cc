@@ -53,10 +53,12 @@ InsertOutcome Table::Insert(const TupleRef& t, double now) {
     Row& row = *it->second;
     if (*row.tuple == *t) {
       row.expires_at = expires;  // identical: refresh lifetime only, no delta
+      ++counters_.refreshes;
       return InsertOutcome::kRefreshed;
     }
     row.tuple = t;
     row.expires_at = expires;
+    ++counters_.inserts;
     Notify(TableChange::kInsert, t);
     return InsertOutcome::kReplaced;
   }
@@ -64,6 +66,7 @@ InsertOutcome Table::Insert(const TupleRef& t, double now) {
   index_.emplace(std::move(key), std::prev(rows_.end()));
   min_expiry_ = std::min(min_expiry_, expires);
   EvictOverflow();
+  ++counters_.inserts;
   Notify(TableChange::kInsert, t);
   return InsertOutcome::kNew;
 }
@@ -73,6 +76,7 @@ void Table::EvictOverflow() {
     Row victim = rows_.front();
     index_.erase(MakeKey(*victim.tuple));
     rows_.pop_front();
+    ++counters_.evictions;
     Notify(TableChange::kEvict, victim.tuple);
   }
 }
@@ -95,6 +99,7 @@ size_t Table::DeleteMatching(const std::vector<Value>& pattern,
       index_.erase(MakeKey(t));
       it = rows_.erase(it);
       ++deleted;
+      ++counters_.deletes;
       Notify(TableChange::kDelete, victim);
     } else {
       ++it;
@@ -115,6 +120,7 @@ size_t Table::ExpireStale(double now) {
       index_.erase(MakeKey(*victim));
       it = rows_.erase(it);
       ++expired;
+      ++counters_.expires;
       Notify(TableChange::kExpire, victim);
     } else {
       next_min = std::min(next_min, it->expires_at);

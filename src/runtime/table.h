@@ -34,6 +34,17 @@ struct TableSpec {
   std::vector<size_t> key_fields;
 };
 
+// Cumulative change counts for one table, updated inline on every mutation (plain
+// integer adds — cheap enough to stay always-on). `expires` counts both sweep-driven
+// and lazy (access-time) expiries. Surfaced through sysTableStat and metrics sinks.
+struct TableCounters {
+  uint64_t inserts = 0;    // kNew + kReplaced outcomes
+  uint64_t refreshes = 0;  // identical re-insert, lifetime extended only
+  uint64_t expires = 0;
+  uint64_t deletes = 0;
+  uint64_t evictions = 0;
+};
+
 // What happened on an Insert.
 enum class InsertOutcome {
   kNew,       // no row with this key existed
@@ -89,6 +100,9 @@ class Table {
 
   void AddListener(Listener fn) { listeners_.push_back(std::move(fn)); }
 
+  // Cumulative mutation counts since creation.
+  const TableCounters& counters() const { return counters_; }
+
  private:
   struct Row {
     TupleRef tuple;
@@ -110,6 +124,7 @@ class Table {
   void EvictOverflow();
 
   TableSpec spec_;
+  TableCounters counters_;
   std::list<Row> rows_;  // insertion order
   std::unordered_map<Key, std::list<Row>::iterator, KeyHash> index_;
   std::vector<Listener> listeners_;

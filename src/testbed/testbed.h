@@ -46,6 +46,10 @@ class ChordTestbed {
   // Runs the simulation for `secs` simulated seconds.
   void Run(double secs) { net_.RunFor(secs); }
 
+  // Structured telemetry: every node writes one MetricsSnapshot per sweep to `sink`
+  // (non-owning; pass nullptr to detach). See docs/OBSERVABILITY.md.
+  void SetMetricsSink(MetricsSink* sink) { net_.SetMetricsSink(sink); }
+
   // The ring IDs, address -> id.
   std::map<std::string, uint64_t> Ids();
 

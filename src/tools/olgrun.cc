@@ -1,30 +1,63 @@
 // olgrun: command-line runner for OverLog deployments on the simulated network.
 //
-//   olgrun <scenario-file>      run a scenario script (see src/tools/scenario.h)
-//   olgrun --chord-program      print the built-in Chord OverLog program and exit
+//   olgrun [--metrics-out <path>] <scenario-file>   run a scenario script
+//   olgrun --chord-program                          print the built-in Chord program
 //
-// Example scenarios live in examples/scenarios/.
+// --metrics-out streams one telemetry snapshot per node per soft-state sweep to
+// <path> (format by extension: ".csv" -> CSV, anything else -> JSON Lines); the
+// scenario-file directive `metrics <path>` does the same thing from inside a script.
+// Example scenarios live in examples/scenarios/; docs/OBSERVABILITY.md documents the
+// snapshot schema.
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "src/chord/chord.h"
 #include "src/tools/scenario.h"
 
+namespace {
+
+int Usage(const char* prog) {
+  fprintf(stderr,
+          "usage: %s [--metrics-out <path>] <scenario-file>\n"
+          "       %s --chord-program\n",
+          prog, prog);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc == 2 && std::strcmp(argv[1], "--chord-program") == 0) {
-    fputs(p2::ChordProgram().c_str(), stdout);
-    return 0;
+  std::string metrics_out;
+  std::string scenario;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--chord-program") == 0) {
+      fputs(p2::ChordProgram().c_str(), stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+      continue;
+    }
+    if (!scenario.empty()) {
+      return Usage(argv[0]);
+    }
+    scenario = arg;
   }
-  if (argc != 2) {
-    fprintf(stderr,
-            "usage: %s <scenario-file>\n"
-            "       %s --chord-program\n",
-            argv[0], argv[0]);
-    return 2;
+  if (scenario.empty()) {
+    return Usage(argv[0]);
   }
   std::string error;
-  if (!p2::RunScenarioFile(argv[1], &error)) {
+  if (!p2::RunScenarioFile(scenario, &error, metrics_out)) {
     fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }

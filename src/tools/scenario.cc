@@ -181,6 +181,11 @@ struct ScenarioRunner::Impl {
   std::function<void(const std::string&)> out;
   NetworkConfig net_config;
   uint64_t node_seed = 1000;
+  // Telemetry export: the sink is owned here (it must outlive the network, which
+  // holds a raw pointer); a path requested before the network exists is held
+  // pending and attached when the first node creates it.
+  std::unique_ptr<MetricsSink> metrics_sink;
+  std::string pending_metrics_path;
 
   void Print(const std::string& s) {
     if (out) {
@@ -279,6 +284,14 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     return true;
   }
 
+  if (cmd == "metrics") {
+    if (words.size() != 2) {
+      *error = "metrics <path>";
+      return false;
+    }
+    return SetMetricsOut(words[1], error);
+  }
+
   if (cmd == "node") {
     if (words.size() < 2) {
       *error = "node <addr> [trace] [seed=N]";
@@ -286,6 +299,13 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     }
     if (network_ == nullptr) {
       network_ = std::make_unique<Network>(impl_->net_config);
+      if (!impl_->pending_metrics_path.empty()) {
+        std::string pending = impl_->pending_metrics_path;
+        impl_->pending_metrics_path.clear();
+        if (!SetMetricsOut(pending, error)) {
+          return false;
+        }
+      }
     }
     NodeOptions opts;
     opts.seed = impl_->node_seed++;
@@ -580,7 +600,22 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   return false;
 }
 
-bool RunScenarioFile(const std::string& path, std::string* error) {
+bool ScenarioRunner::SetMetricsOut(const std::string& path, std::string* error) {
+  if (network_ == nullptr) {
+    impl_->pending_metrics_path = path;
+    return true;
+  }
+  std::unique_ptr<MetricsSink> sink = OpenMetricsSink(path, error);
+  if (sink == nullptr) {
+    return false;
+  }
+  impl_->metrics_sink = std::move(sink);
+  network_->SetMetricsSink(impl_->metrics_sink.get());
+  return true;
+}
+
+bool RunScenarioFile(const std::string& path, std::string* error,
+                     const std::string& metrics_out) {
   std::ifstream f(path);
   if (!f) {
     *error = "cannot open " + path;
@@ -589,6 +624,9 @@ bool RunScenarioFile(const std::string& path, std::string* error) {
   std::stringstream ss;
   ss << f.rdbuf();
   ScenarioRunner runner;
+  if (!metrics_out.empty() && !runner.SetMetricsOut(metrics_out, error)) {
+    return false;
+  }
   return runner.RunScript(ss.str(), error);
 }
 

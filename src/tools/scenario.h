@@ -5,6 +5,8 @@
 // Scenario language (one command per line, `#` comments):
 //
 //   net latency=0.02 jitter=0.01 loss=0 seed=42   # before any node; optional
+//   metrics <path>                                # stream per-sweep telemetry
+//                                                 # (.csv -> CSV, else JSONL)
 //   node <addr> [trace] [seed=N]                  # create a node
 //   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
 //   dht <addr|all>                                # DHT put/get layer (needs chord)
@@ -52,6 +54,12 @@ class ScenarioRunner {
   // Runs one command line (empty lines and comments succeed trivially).
   bool RunLine(const std::string& line, std::string* error);
 
+  // Streams per-sweep telemetry snapshots to `path` (format by extension: ".csv" ->
+  // CSV, anything else -> JSONL). May be called before any node exists — the sink
+  // attaches when the network is created. Equivalent to the `metrics` scenario
+  // directive and olgrun's --metrics-out flag.
+  bool SetMetricsOut(const std::string& path, std::string* error);
+
   // The network under interpretation (valid after the first `node` command).
   Network* network() { return network_.get(); }
 
@@ -65,8 +73,10 @@ class ScenarioRunner {
   int expectations_passed_ = 0;
 };
 
-// Loads a scenario file and runs it; convenience for the CLI.
-bool RunScenarioFile(const std::string& path, std::string* error);
+// Loads a scenario file and runs it; convenience for the CLI. A non-empty
+// `metrics_out` streams per-sweep telemetry there (see SetMetricsOut).
+bool RunScenarioFile(const std::string& path, std::string* error,
+                     const std::string& metrics_out = "");
 
 }  // namespace p2
 

@@ -23,6 +23,21 @@ void InstallIntrospectionTables(Node* node) {
   elements.name = "sysElement";
   elements.key_fields = {0, 1, 2};  // NAddr, RuleID, Stage
   catalog.CreateTable(elements);
+
+  TableSpec stats;
+  stats.name = "sysStat";
+  stats.key_fields = {0, 1};  // NAddr, Name
+  catalog.CreateTable(stats);
+
+  TableSpec rule_stats;
+  rule_stats.name = "sysRuleStat";
+  rule_stats.key_fields = {0, 1};  // NAddr, RuleID
+  catalog.CreateTable(rule_stats);
+
+  TableSpec table_stats;
+  table_stats.name = "sysTableStat";
+  table_stats.key_fields = {0, 1};  // NAddr, Table
+  catalog.CreateTable(table_stats);
 }
 
 void PublishStaticIntrospection(Node* node) {
@@ -100,6 +115,50 @@ void RefreshTableIntrospection(Node* node) {
                                          max_size,
                                          Value::Int(static_cast<int64_t>(table->Size(now)))}),
                 now);
+  }
+}
+
+void RefreshStatIntrospection(Node* node) {
+  Catalog& catalog = node->catalog();
+  double now = node->Now();
+  const std::string& addr = node->addr();
+
+  // Snapshot BEFORE writing: publishing rows below mutates the very counters being
+  // published (sysStat table inserts, listener work), so the reflected values are
+  // the state as of the top of the sweep.
+  MetricsSnapshot snap = SnapshotNodeMetrics(node);
+
+  Table* stats = catalog.Get("sysStat");
+  if (stats != nullptr) {
+    for (const auto& [name, value] : snap.stats) {
+      stats->Insert(
+          Tuple::Make("sysStat", {Value::Str(addr), Value::Str(name), Value::Int(value)}),
+          now);
+    }
+  }
+  Table* rule_stats = catalog.Get("sysRuleStat");
+  if (rule_stats != nullptr) {
+    for (const MetricsSnapshot::RuleRow& r : snap.rules) {
+      rule_stats->Insert(
+          Tuple::Make("sysRuleStat",
+                      {Value::Str(addr), Value::Str(r.rule_id),
+                       Value::Int(static_cast<int64_t>(r.execs)),
+                       Value::Int(static_cast<int64_t>(r.busy_ns)),
+                       Value::Int(static_cast<int64_t>(r.emits))}),
+          now);
+    }
+  }
+  Table* table_stats = catalog.Get("sysTableStat");
+  if (table_stats != nullptr) {
+    for (const MetricsSnapshot::TableRow& t : snap.tables) {
+      table_stats->Insert(
+          Tuple::Make("sysTableStat",
+                      {Value::Str(addr), Value::Str(t.table),
+                       Value::Int(static_cast<int64_t>(t.inserts)),
+                       Value::Int(static_cast<int64_t>(t.expires)),
+                       Value::Int(static_cast<int64_t>(t.deletes))}),
+          now);
+    }
   }
 }
 

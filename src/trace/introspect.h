@@ -4,8 +4,16 @@
 //   sysTable(NAddr, Name, Lifetime, MaxSize, Count)   — every table + current size
 //   sysElement(NAddr, RuleID, Stage, Kind, Detail)    — every dataflow element
 //
-// sysRule and sysElement rows are written when programs are installed; sysTable row
-// counts are refreshed on each soft-state sweep.
+// plus the telemetry tables (the monitor monitoring itself — docs/OBSERVABILITY.md):
+//
+//   sysStat(NAddr, Name, Value)                       — node-level counters/gauges
+//   sysRuleStat(NAddr, RuleID, Execs, BusyNs, Emits)  — per-rule execution metrics
+//   sysTableStat(NAddr, Table, Inserts, Expires, Deletes) — per-table churn
+//
+// sysRule and sysElement rows are written when programs are installed; sysTable,
+// sysStat, sysRuleStat, and sysTableStat rows are refreshed on each soft-state sweep
+// (sweep granularity — between sweeps the rows hold the previous sweep's values; the
+// regression test SysStatTest.RowsAreSweepGranular pins this contract).
 
 #ifndef SRC_TRACE_INTROSPECT_H_
 #define SRC_TRACE_INTROSPECT_H_
@@ -22,6 +30,10 @@ void PublishStaticIntrospection(Node* node);
 
 // Refreshes sysTable rows (current counts). Called from the node's sweep.
 void RefreshTableIntrospection(Node* node);
+
+// Refreshes sysStat / sysRuleStat / sysTableStat rows from the node's stats, metrics
+// registry, and per-table counters. Called from the node's sweep.
+void RefreshStatIntrospection(Node* node);
 
 }  // namespace p2
 

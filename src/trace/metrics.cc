@@ -1,0 +1,296 @@
+#include "src/trace/metrics.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "src/net/node.h"
+
+namespace p2 {
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q < 0) {
+    q = 0;
+  }
+  if (q > 1) {
+    q = 1;
+  }
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (uint64_t& c : counts_) {
+    c = 0;
+  }
+  count_ = 0;
+  sum_ = 0;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+RuleMetrics* MetricsRegistry::GetRuleMetrics(const std::string& rule_id) {
+  auto& slot = rules_[rule_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<RuleMetrics>();
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::DropRuleMetrics(const std::string& rule_id) {
+  rules_.erase(rule_id);
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    c->value = 0;
+  }
+  for (auto& [name, g] : gauges_) {
+    g->value = 0;
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+  for (auto& [name, r] : rules_) {
+    *r = RuleMetrics{};
+  }
+}
+
+MetricsSnapshot SnapshotNodeMetrics(Node* node) {
+  MetricsSnapshot snap;
+  snap.time = node->Now();
+  snap.node = node->addr();
+
+  const NodeStats& s = node->stats();
+  snap.stats = {
+      {"agg_reevals", static_cast<int64_t>(s.agg_reevals)},
+      {"bytes_received", static_cast<int64_t>(s.bytes_received)},
+      {"bytes_sent", static_cast<int64_t>(s.bytes_sent)},
+      {"busy_ns", static_cast<int64_t>(s.busy_ns)},
+      {"dead_letters", static_cast<int64_t>(s.dead_letters)},
+      {"decode_errors", static_cast<int64_t>(s.decode_errors)},
+      {"local_deliveries", static_cast<int64_t>(s.local_deliveries)},
+      {"msgs_received", static_cast<int64_t>(s.msgs_received)},
+      {"msgs_sent", static_cast<int64_t>(s.msgs_sent)},
+      {"queue_depth", static_cast<int64_t>(node->QueueDepth())},
+      {"queue_hwm", static_cast<int64_t>(s.queue_hwm)},
+      {"strand_triggers", static_cast<int64_t>(s.strand_triggers)},
+      {"tuples_emitted", static_cast<int64_t>(s.tuples_emitted)},
+      {"tuples_expired", static_cast<int64_t>(s.tuples_expired)},
+  };
+  const MetricsRegistry& reg = node->metrics();
+  for (const auto& [name, c] : reg.counters()) {
+    snap.stats.emplace_back(name, static_cast<int64_t>(c->value));
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    snap.stats.emplace_back(name, g->value);
+  }
+
+  for (const auto& [rule_id, m] : reg.rules()) {
+    snap.rules.push_back({rule_id, m->execs, m->busy_ns, m->emits});
+  }
+
+  double now = snap.time;
+  for (Table* table : node->catalog().AllTables()) {
+    const TableCounters& c = table->counters();
+    snap.tables.push_back({table->name(), c.inserts, c.refreshes, c.expires, c.deletes,
+                           c.evictions, static_cast<uint64_t>(table->Size(now))});
+  }
+
+  for (const auto& [name, h] : reg.histograms()) {
+    snap.hists.push_back({name, h->count(), h->sum(), h->ValueAtQuantile(0.5),
+                          h->ValueAtQuantile(0.9), h->ValueAtQuantile(0.99)});
+  }
+  return snap;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// CSV quoting: fields with commas/quotes/newlines are double-quoted.
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void JsonlMetricsSink::Write(const MetricsSnapshot& snap) {
+  std::ostream& out = *out_;
+  out << "{\"t\":" << snap.time << ",\"node\":\"" << JsonEscape(snap.node) << "\"";
+  out << ",\"stats\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.stats) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":" << value;
+    first = false;
+  }
+  out << "},\"rules\":{";
+  first = true;
+  for (const auto& r : snap.rules) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(r.rule_id) << "\":{\"execs\":"
+        << r.execs << ",\"busy_ns\":" << r.busy_ns << ",\"emits\":" << r.emits << "}";
+    first = false;
+  }
+  out << "},\"tables\":{";
+  first = true;
+  for (const auto& t : snap.tables) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(t.table)
+        << "\":{\"inserts\":" << t.inserts << ",\"refreshes\":" << t.refreshes
+        << ",\"expires\":" << t.expires << ",\"deletes\":" << t.deletes
+        << ",\"evictions\":" << t.evictions << ",\"live_rows\":" << t.live_rows << "}";
+    first = false;
+  }
+  out << "},\"hists\":{";
+  first = true;
+  for (const auto& h : snap.hists) {
+    out << (first ? "" : ",") << "\"" << JsonEscape(h.name) << "\":{\"count\":"
+        << h.count << ",\"sum\":" << h.sum << ",\"p50\":" << h.p50 << ",\"p90\":"
+        << h.p90 << ",\"p99\":" << h.p99 << "}";
+    first = false;
+  }
+  out << "}}\n";
+  out.flush();
+}
+
+void CsvMetricsSink::Write(const MetricsSnapshot& snap) {
+  std::ostream& out = *out_;
+  if (!header_written_) {
+    out << "time,node,metric,value\n";
+    header_written_ = true;
+  }
+  auto row = [&](const std::string& metric, uint64_t value) {
+    out << snap.time << ',' << CsvField(snap.node) << ',' << CsvField(metric) << ','
+        << value << '\n';
+  };
+  for (const auto& [name, value] : snap.stats) {
+    out << snap.time << ',' << CsvField(snap.node) << ',' << CsvField(name) << ','
+        << value << '\n';
+  }
+  for (const auto& r : snap.rules) {
+    row("rule." + r.rule_id + ".execs", r.execs);
+    row("rule." + r.rule_id + ".busy_ns", r.busy_ns);
+    row("rule." + r.rule_id + ".emits", r.emits);
+  }
+  for (const auto& t : snap.tables) {
+    row("table." + t.table + ".inserts", t.inserts);
+    row("table." + t.table + ".refreshes", t.refreshes);
+    row("table." + t.table + ".expires", t.expires);
+    row("table." + t.table + ".deletes", t.deletes);
+    row("table." + t.table + ".evictions", t.evictions);
+    row("table." + t.table + ".live_rows", t.live_rows);
+  }
+  for (const auto& h : snap.hists) {
+    row("hist." + h.name + ".count", h.count);
+    row("hist." + h.name + ".sum", h.sum);
+    row("hist." + h.name + ".p50", h.p50);
+    row("hist." + h.name + ".p90", h.p90);
+    row("hist." + h.name + ".p99", h.p99);
+  }
+  out.flush();
+}
+
+namespace {
+
+// A sink owning its output file.
+template <typename SinkT>
+class FileSink : public MetricsSink {
+ public:
+  explicit FileSink(std::ofstream file) : file_(std::move(file)), sink_(&file_) {}
+  void Write(const MetricsSnapshot& snap) override { sink_.Write(snap); }
+
+ private:
+  std::ofstream file_;
+  SinkT sink_;
+};
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::unique_ptr<MetricsSink> OpenMetricsSink(const std::string& path,
+                                             std::string* error) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    if (error != nullptr) {
+      *error = "cannot open metrics output file: " + path;
+    }
+    return nullptr;
+  }
+  if (EndsWith(path, ".csv")) {
+    return std::make_unique<FileSink<CsvMetricsSink>>(std::move(file));
+  }
+  return std::make_unique<FileSink<JsonlMetricsSink>>(std::move(file));
+}
+
+}  // namespace p2

@@ -1,0 +1,242 @@
+// Self-monitoring telemetry: the per-node metrics registry and structured export.
+//
+// The paper's thesis is that engine state should be reflected as queryable tables
+// (§2.1); its evaluation (§4) is entirely about the engine's own CPU, message, and
+// memory behaviour. This module closes that loop: every hot path feeds cheap plain
+// counters (one integer add; histograms are power-of-two buckets, one bit-width
+// computation per observation), and the resulting state is published two ways —
+//
+//   * as OverLog-queryable introspection tables (sysStat / sysRuleStat /
+//     sysTableStat, refreshed on each soft-state sweep — src/trace/introspect.h),
+//     so monitoring rules can be written against the engine itself;
+//   * as structured JSONL or CSV streams through a MetricsSink pluggable into the
+//     Network (one snapshot per node per sweep), for offline analysis and the
+//     bench harness's BENCH_*.json artifacts.
+//
+// Handles returned by the registry (Counter*, Gauge*, Histogram*, RuleMetrics*) are
+// stable for the registry's lifetime: hot paths hold the pointer and never repeat
+// the name lookup.
+
+#ifndef SRC_TRACE_METRICS_H_
+#define SRC_TRACE_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p2 {
+
+class Node;
+
+// Wall-clock monotonic nanoseconds (the busy-time accounting clock; never enters
+// virtual time).
+inline uint64_t MonotonicNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// A monotonically increasing count. Updates are plain integer adds.
+struct Counter {
+  uint64_t value = 0;
+  void Inc(uint64_t n = 1) { value += n; }
+};
+
+// A point-in-time signed level (queue depths, high-water marks).
+struct Gauge {
+  int64_t value = 0;
+  void Set(int64_t v) { value = v; }
+  void Add(int64_t d) { value += d; }
+  void Max(int64_t v) {
+    if (v > value) {
+      value = v;
+    }
+  }
+};
+
+// Fixed-bucket latency histogram. Bucket i counts observations whose bit width is i,
+// i.e. values in [2^(i-1), 2^i); bucket 0 counts zeros. Observation cost is one
+// bit-width computation and two adds — cheap enough for per-trigger latencies.
+class Histogram {
+ public:
+  // 64-bit values have bit widths 0..64.
+  static constexpr size_t kBuckets = 65;
+
+  void Observe(uint64_t v) {
+    ++counts_[BucketOf(v)];
+    ++count_;
+    sum_ += v;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+
+  // Upper bound (inclusive) of bucket i: the largest value it can hold.
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) {
+      return 0;
+    }
+    if (i >= 64) {
+      return ~0ULL;
+    }
+    return (1ULL << i) - 1;
+  }
+
+  static size_t BucketOf(uint64_t v) {
+    size_t width = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++width;
+    }
+    return width;
+  }
+
+  // Value below which a fraction `q` (0..1] of observations fall, reported as the
+  // upper bound of the bucket containing that rank. 0 when empty.
+  uint64_t ValueAtQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  uint64_t counts_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Cumulative execution counters for one rule (strand or continuous aggregate).
+// `busy_ns` is wall-clock time inside the rule's trigger/re-evaluation; `emits` is
+// head tuples routed while it ran.
+struct RuleMetrics {
+  uint64_t execs = 0;
+  uint64_t busy_ns = 0;
+  uint64_t emits = 0;
+};
+
+// One node's metric namespace. Not thread-safe (a node is single-threaded by
+// construction). Name lookups happen once, at registration; hot paths use the
+// returned stable handle.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. Repeated calls with the same name return the same handle.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+  RuleMetrics* GetRuleMetrics(const std::string& rule_id);
+
+  // Forgets one rule's counters (program unload). The handle becomes invalid.
+  void DropRuleMetrics(const std::string& rule_id);
+
+  // Zeroes every metric; registrations (and handles) survive.
+  void Reset();
+
+  // Sorted iteration for snapshots and introspection (deterministic output).
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::unique_ptr<RuleMetrics>>& rules() const {
+    return rules_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<RuleMetrics>> rules_;
+};
+
+// A point-in-time flattening of one node's telemetry, the unit handed to sinks.
+struct MetricsSnapshot {
+  double time = 0;    // virtual time of the snapshot
+  std::string node;   // node address
+
+  // Node-level counters and gauges, name -> value (NodeStats fields plus every
+  // registry counter/gauge), sorted by name.
+  std::vector<std::pair<std::string, int64_t>> stats;
+
+  struct RuleRow {
+    std::string rule_id;
+    uint64_t execs = 0;
+    uint64_t busy_ns = 0;
+    uint64_t emits = 0;
+  };
+  std::vector<RuleRow> rules;
+
+  struct TableRow {
+    std::string table;
+    uint64_t inserts = 0;
+    uint64_t refreshes = 0;
+    uint64_t expires = 0;
+    uint64_t deletes = 0;
+    uint64_t evictions = 0;
+    uint64_t live_rows = 0;
+  };
+  std::vector<TableRow> tables;
+
+  struct HistRow {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t p50 = 0;
+    uint64_t p90 = 0;
+    uint64_t p99 = 0;
+  };
+  std::vector<HistRow> hists;
+};
+
+// Flattens a node's current telemetry (NodeStats, registry, per-table counters).
+MetricsSnapshot SnapshotNodeMetrics(Node* node);
+
+// Structured export. A sink receives one snapshot per node per soft-state sweep when
+// attached to a Network (Network::SetMetricsSink).
+class MetricsSink {
+ public:
+  virtual ~MetricsSink() = default;
+  virtual void Write(const MetricsSnapshot& snap) = 0;
+};
+
+// One JSON object per snapshot, newline-terminated (JSON Lines).
+class JsonlMetricsSink : public MetricsSink {
+ public:
+  // `out` must outlive the sink.
+  explicit JsonlMetricsSink(std::ostream* out) : out_(out) {}
+  void Write(const MetricsSnapshot& snap) override;
+
+ private:
+  std::ostream* out_;
+};
+
+// Long-format CSV: header `time,node,metric,value`, one row per metric. Rule, table,
+// and histogram metrics are namespaced as rule.<id>.<field>, table.<name>.<field>,
+// hist.<name>.<field>.
+class CsvMetricsSink : public MetricsSink {
+ public:
+  explicit CsvMetricsSink(std::ostream* out) : out_(out) {}
+  void Write(const MetricsSnapshot& snap) override;
+
+ private:
+  std::ostream* out_;
+  bool header_written_ = false;
+};
+
+// Opens a file-backed sink; the format is chosen by extension (".csv" -> CSV,
+// anything else -> JSONL). Returns nullptr and sets `error` if the file cannot be
+// opened.
+std::unique_ptr<MetricsSink> OpenMetricsSink(const std::string& path,
+                                             std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_TRACE_METRICS_H_

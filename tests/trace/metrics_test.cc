@@ -1,0 +1,373 @@
+// Metrics registry semantics (counters, gauges, histograms, per-rule rows), hot-path
+// integration via a live node, and the structured JSONL/CSV export sinks.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/net/network.h"
+#include "src/trace/metrics.h"
+
+namespace p2 {
+namespace {
+
+TEST(MetricsPrimitivesTest, CounterAndGauge) {
+  Counter c;
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value, 42u);
+
+  Gauge g;
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.value, 4);
+  g.Max(10);
+  EXPECT_EQ(g.value, 10);
+  g.Max(2);  // lower values don't lower a high-water mark
+  EXPECT_EQ(g.value, 10);
+}
+
+TEST(MetricsPrimitivesTest, HistogramBucketsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(~0ULL), 64u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~0ULL);
+
+  // Every value lands in the bucket whose bounds contain it.
+  for (uint64_t v : {0ULL, 1ULL, 2ULL, 7ULL, 8ULL, 1000ULL, 123456789ULL}) {
+    size_t b = Histogram::BucketOf(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(b - 1));
+    }
+  }
+}
+
+TEST(MetricsPrimitivesTest, HistogramCountSumMeanQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);  // empty
+  for (int i = 0; i < 50; ++i) {
+    h.Observe(1);
+  }
+  for (int i = 0; i < 50; ++i) {
+    h.Observe(1000);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 50u * 1 + 50u * 1000);
+  EXPECT_DOUBLE_EQ(h.Mean(), (50.0 + 50.0 * 1000) / 100.0);
+  // Rank 50 falls in the bucket of 1; rank 90 in the bucket of 1000 (upper bound
+  // 1023, the bucket-resolution contract of ValueAtQuantile).
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 1u);
+  EXPECT_EQ(h.ValueAtQuantile(0.9), 1023u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1023u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(0.9), 0u);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableFindOrCreate) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.GetCounter("y"));
+  EXPECT_EQ(reg.GetGauge("g"), reg.GetGauge("g"));
+  EXPECT_EQ(reg.GetHistogram("h"), reg.GetHistogram("h"));
+  EXPECT_EQ(reg.GetRuleMetrics("r1"), reg.GetRuleMetrics("r1"));
+  EXPECT_EQ(reg.counters().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("x");
+  Histogram* h = reg.GetHistogram("h");
+  RuleMetrics* r = reg.GetRuleMetrics("r1");
+  c->Inc(5);
+  h->Observe(100);
+  r->execs = 3;
+  r->busy_ns = 999;
+
+  reg.Reset();
+  EXPECT_EQ(c->value, 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(r->execs, 0u);
+  EXPECT_EQ(r->busy_ns, 0u);
+  // Same handles still registered and live.
+  EXPECT_EQ(reg.GetCounter("x"), c);
+  c->Inc();
+  EXPECT_EQ(c->value, 1u);
+}
+
+TEST(MetricsRegistryTest, DropRuleMetricsForgetsTheRule) {
+  MetricsRegistry reg;
+  reg.GetRuleMetrics("r1");
+  reg.GetRuleMetrics("r2");
+  reg.DropRuleMetrics("r1");
+  EXPECT_EQ(reg.rules().size(), 1u);
+  EXPECT_EQ(reg.rules().count("r1"), 0u);
+}
+
+TEST(TableCountersTest, InsertRefreshDeleteExpireEvict) {
+  TableSpec spec;
+  spec.name = "s";
+  spec.lifetime_secs = 10.0;
+  spec.max_size = 2;
+  spec.key_fields = {0, 1};
+  Table table(spec);
+
+  auto row = [](int i) {
+    return Tuple::Make("s", {Value::Str("n1"), Value::Int(i)});
+  };
+  table.Insert(row(1), 0.0);
+  table.Insert(row(2), 0.0);
+  EXPECT_EQ(table.counters().inserts, 2u);
+
+  table.Insert(row(1), 1.0);  // identical row: refresh, not insert
+  EXPECT_EQ(table.counters().inserts, 2u);
+  EXPECT_EQ(table.counters().refreshes, 1u);
+
+  table.Insert(row(3), 1.0);  // over max_size: evicts the oldest
+  EXPECT_EQ(table.counters().inserts, 3u);
+  EXPECT_EQ(table.counters().evictions, 1u);
+
+  std::vector<Value> pattern = {Value(), Value::Int(3)};
+  std::vector<bool> bound = {false, true};
+  EXPECT_EQ(table.DeleteMatching(pattern, bound, 2.0), 1u);
+  EXPECT_EQ(table.counters().deletes, 1u);
+
+  EXPECT_EQ(table.ExpireStale(100.0), 1u);  // the remaining row ages out
+  EXPECT_EQ(table.counters().expires, 1u);
+}
+
+class NodeMetricsTest : public ::testing::Test {
+ protected:
+  NodeMetricsTest() : net_(NetworkConfig{0.01, 0.0, 0.0, 42}) {}
+
+  Node* AddNode(const std::string& addr, bool metrics) {
+    NodeOptions opts;
+    opts.metrics = metrics;
+    return net_.AddNode(addr, opts);
+  }
+
+  Network net_;
+};
+
+TEST_F(NodeMetricsTest, RuleMetricsCountExecsBusyAndEmits) {
+  Node* node = AddNode("n1", true);
+  std::string error;
+  ASSERT_TRUE(node->LoadProgram("r1 out@N(X) :- in@N(X), X > 1.", &error)) << error;
+  for (int i = 0; i < 4; ++i) {
+    node->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(0.5);
+  ASSERT_EQ(node->metrics().rules().count("r1"), 1u);
+  const RuleMetrics& m = *node->metrics().rules().at("r1");
+  EXPECT_EQ(m.execs, 4u);       // triggered once per event
+  EXPECT_EQ(m.emits, 2u);       // only X in {2, 3} pass the filter
+  EXPECT_GT(m.busy_ns, 0u);
+  // The trigger-latency histogram saw the same executions.
+  Histogram* h = node->metrics().GetHistogram("strand_trigger_ns");
+  EXPECT_GE(h->count(), 4u);
+}
+
+TEST_F(NodeMetricsTest, DisabledMetricsRecordNothing) {
+  Node* node = AddNode("n1", false);
+  std::string error;
+  ASSERT_TRUE(node->LoadProgram("r1 out@N(X) :- in@N(X).", &error)) << error;
+  node->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(1)}));
+  net_.RunFor(0.5);
+  EXPECT_TRUE(node->metrics().rules().empty());
+  EXPECT_TRUE(node->metrics().histograms().empty());
+  EXPECT_EQ(node->stats().strand_triggers, 1u);  // base accounting still works
+}
+
+TEST_F(NodeMetricsTest, SnapshotFlattensStatsRulesTablesHists) {
+  Node* node = AddNode("n1", true);
+  std::string error;
+  ASSERT_TRUE(node->LoadProgram("materialize(s, infinity, 10, keys(1,2)).\n"
+                                "r1 out@N(X) :- in@N(X), s@N(X).",
+                                &error))
+      << error;
+  node->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(1)}));
+  node->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(1)}));
+  net_.RunFor(0.5);
+
+  MetricsSnapshot snap = SnapshotNodeMetrics(node);
+  EXPECT_EQ(snap.node, "n1");
+  EXPECT_DOUBLE_EQ(snap.time, net_.Now());
+
+  auto stat = [&](const std::string& name) -> int64_t {
+    for (const auto& [k, v] : snap.stats) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return -1;
+  };
+  EXPECT_GT(stat("busy_ns"), 0);
+  EXPECT_GT(stat("strand_triggers"), 0);
+  EXPECT_EQ(stat("queue_depth"), 0);  // drained
+
+  ASSERT_EQ(snap.rules.size(), 1u);
+  EXPECT_EQ(snap.rules[0].rule_id, "r1");
+  EXPECT_EQ(snap.rules[0].execs, 1u);
+
+  bool found_s = false;
+  for (const auto& t : snap.tables) {
+    if (t.table == "s") {
+      found_s = true;
+      EXPECT_EQ(t.inserts, 1u);
+      EXPECT_EQ(t.live_rows, 1u);
+    }
+  }
+  EXPECT_TRUE(found_s);
+
+  ASSERT_FALSE(snap.hists.empty());
+  EXPECT_EQ(snap.hists[0].name, "strand_trigger_ns");
+  EXPECT_GT(snap.hists[0].count, 0u);
+  EXPECT_GE(snap.hists[0].p99, snap.hists[0].p50);
+}
+
+MetricsSnapshot SampleSnapshot() {
+  MetricsSnapshot snap;
+  snap.time = 2.5;
+  snap.node = "n1";
+  snap.stats = {{"busy_ns", 123}, {"msgs_sent", 4}};
+  snap.rules.push_back({"r1", 10, 5000, 7});
+  snap.tables.push_back({"succ", 3, 1, 2, 0, 0, 3});
+  snap.hists.push_back({"strand_trigger_ns", 10, 900, 63, 127, 255});
+  return snap;
+}
+
+TEST(MetricsSinkTest, JsonlOneObjectPerSnapshot) {
+  std::ostringstream out;
+  JsonlMetricsSink sink(&out);
+  sink.Write(SampleSnapshot());
+  sink.Write(SampleSnapshot());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"node\":\"n1\""), std::string::npos);
+    EXPECT_NE(line.find("\"busy_ns\":123"), std::string::npos);
+    EXPECT_NE(line.find("\"r1\":{\"execs\":10,\"busy_ns\":5000,\"emits\":7}"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"succ\""), std::string::npos);
+    EXPECT_NE(line.find("\"p99\":255"), std::string::npos);
+  }
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MetricsSinkTest, CsvLongFormatWithSingleHeader) {
+  std::ostringstream out;
+  CsvMetricsSink sink(&out);
+  sink.Write(SampleSnapshot());
+  sink.Write(SampleSnapshot());
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "time,node,metric,value");
+
+  int header_count = 1;
+  int rule_rows = 0;
+  int table_rows = 0;
+  int hist_rows = 0;
+  while (std::getline(lines, line)) {
+    if (line == "time,node,metric,value") {
+      ++header_count;
+    }
+    if (line.find(",rule.r1.") != std::string::npos) {
+      ++rule_rows;
+    }
+    if (line.find(",table.succ.") != std::string::npos) {
+      ++table_rows;
+    }
+    if (line.find(",hist.strand_trigger_ns.") != std::string::npos) {
+      ++hist_rows;
+    }
+  }
+  EXPECT_EQ(header_count, 1);  // header only once across writes
+  EXPECT_EQ(rule_rows, 2 * 3);
+  EXPECT_EQ(table_rows, 2 * 6);
+  EXPECT_EQ(hist_rows, 2 * 5);
+
+  // Every row after the header: time,node,metric,value.
+  std::istringstream again(out.str());
+  std::getline(again, line);
+  while (std::getline(again, line)) {
+    EXPECT_NE(line.find("2.5,n1,"), std::string::npos) << line;
+  }
+}
+
+TEST(MetricsSinkTest, OpenMetricsSinkPicksFormatByExtension) {
+  std::string error;
+  std::string jsonl_path = ::testing::TempDir() + "/metrics_test_out.jsonl";
+  {
+    auto sink = OpenMetricsSink(jsonl_path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    sink->Write(SampleSnapshot());
+  }
+  std::ifstream jf(jsonl_path);
+  std::string line;
+  ASSERT_TRUE(std::getline(jf, line));
+  EXPECT_EQ(line.front(), '{');
+
+  std::string csv_path = ::testing::TempDir() + "/metrics_test_out.csv";
+  {
+    auto sink = OpenMetricsSink(csv_path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    sink->Write(SampleSnapshot());
+  }
+  std::ifstream cf(csv_path);
+  ASSERT_TRUE(std::getline(cf, line));
+  EXPECT_EQ(line, "time,node,metric,value");
+
+  EXPECT_EQ(OpenMetricsSink("/nonexistent-dir/x.jsonl", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MetricsSinkTest, NetworkStreamsOneSnapshotPerNodePerSweep) {
+  Network net(NetworkConfig{0.01, 0.0, 0.0, 42});
+  std::ostringstream out;
+  JsonlMetricsSink sink(&out);
+  net.SetMetricsSink(&sink);
+  net.AddNode("n1", NodeOptions{});
+  net.AddNode("n2", NodeOptions{});
+  net.RunFor(2.5);  // sweeps at t=1 and t=2
+
+  std::istringstream lines(out.str());
+  std::string line;
+  int n1 = 0;
+  int n2 = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("\"node\":\"n1\"") != std::string::npos) {
+      ++n1;
+    }
+    if (line.find("\"node\":\"n2\"") != std::string::npos) {
+      ++n2;
+    }
+  }
+  EXPECT_EQ(n1, 2);
+  EXPECT_EQ(n2, 2);
+}
+
+}  // namespace
+}  // namespace p2

@@ -1,0 +1,193 @@
+// The telemetry introspection tables (sysStat / sysRuleStat / sysTableStat): refresh
+// on sweeps, joinability from OverLog (including through the olgrun scenario path),
+// and the sweep-granularity staleness contract documented in src/trace/introspect.h.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/net/network.h"
+#include "src/tools/scenario.h"
+
+namespace p2 {
+namespace {
+
+class SysStatTest : public ::testing::Test {
+ protected:
+  SysStatTest() : net_(NetworkConfig{0.01, 0.0, 0.0, 42}) {
+    NodeOptions opts;
+    opts.introspection = true;
+    node_ = net_.AddNode("n1", opts);
+  }
+
+  void Load(const std::string& program) {
+    std::string error;
+    ASSERT_TRUE(node_->LoadProgram(program, &error)) << error;
+  }
+
+  // Field `field` of the sysRuleStat row for `rule`; -1 when the row is absent.
+  int64_t RuleStatField(const std::string& rule, int field) {
+    for (const TupleRef& t : node_->TableContents("sysRuleStat")) {
+      if (t->field(1) == Value::Str(rule)) {
+        return t->field(field).AsInt();
+      }
+    }
+    return -1;
+  }
+
+  // Value of the sysStat row `name`; -1 when absent.
+  int64_t Stat(const std::string& name) {
+    for (const TupleRef& t : node_->TableContents("sysStat")) {
+      if (t->field(1) == Value::Str(name)) {
+        return t->field(2).AsInt();
+      }
+    }
+    return -1;
+  }
+
+  Network net_;
+  Node* node_;
+};
+
+TEST_F(SysStatTest, SysStatPopulatesOnFirstSweep) {
+  EXPECT_TRUE(node_->TableContents("sysStat").empty());  // nothing before a sweep
+  net_.RunFor(1.2);                                      // sweep at t=1
+  EXPECT_GE(node_->TableContents("sysStat").size(), 10u);
+  EXPECT_GE(Stat("busy_ns"), 0);
+  EXPECT_GE(Stat("strand_triggers"), 0);
+  EXPECT_EQ(Stat("decode_errors"), 0);
+}
+
+TEST_F(SysStatTest, SysRuleStatReflectsExecsBusyEmits) {
+  Load("r1 out@N(X) :- in@N(X).");
+  for (int i = 0; i < 5; ++i) {
+    node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(1.2);
+  EXPECT_EQ(RuleStatField("r1", 2), 5);  // execs
+  EXPECT_GT(RuleStatField("r1", 3), 0);  // busy_ns
+  EXPECT_EQ(RuleStatField("r1", 4), 5);  // emits
+}
+
+TEST_F(SysStatTest, SysTableStatAndTuplesExpiredCountExpiry) {
+  Load("materialize(s, 2, 100, keys(1,2)).");  // 2 s lifetime
+  for (int i = 0; i < 3; ++i) {
+    node_->InjectEvent(Tuple::Make("s", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(4.5);  // rows age out by t=2.x; sweeps at 3 and 4 publish the counts
+  bool found = false;
+  for (const TupleRef& t : node_->TableContents("sysTableStat")) {
+    if (t->field(1) == Value::Str("s")) {
+      found = true;
+      EXPECT_EQ(t->field(2), Value::Int(3));  // inserts
+      EXPECT_EQ(t->field(3), Value::Int(3));  // expires
+      EXPECT_EQ(t->field(4), Value::Int(0));  // deletes
+    }
+  }
+  EXPECT_TRUE(found);
+  // Satellite counter: sweep-purged soft state surfaces node-wide via sysStat.
+  EXPECT_GE(Stat("tuples_expired"), 3);
+}
+
+// The staleness contract from src/trace/introspect.h: sys* rows reflect the state as
+// of the last sweep, not the live counters. A reader between sweeps sees the previous
+// sweep's values; the next sweep catches up. This pins the documented behaviour so a
+// future "refresh at lookup" change has to update the docs too.
+TEST_F(SysStatTest, RowsAreSweepGranular) {
+  Load("r1 out@N(X) :- in@N(X).");
+  for (int i = 0; i < 2; ++i) {
+    node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(1.2);  // sweep at t=1 publishes execs=2
+  ASSERT_EQ(RuleStatField("r1", 2), 2);
+
+  for (int i = 0; i < 3; ++i) {
+    node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(10 + i)}));
+  }
+  net_.RunFor(0.5);  // now t=1.7: the three new executions happened...
+  EXPECT_EQ(node_->metrics().rules().at("r1")->execs, 5u);
+  EXPECT_EQ(RuleStatField("r1", 2), 2);  // ...but the table is still the t=1 view
+
+  net_.RunFor(0.5);  // t=2.2: the sweep at t=2 catches the table up
+  EXPECT_EQ(RuleStatField("r1", 2), 5);
+}
+
+TEST_F(SysStatTest, UnloadRemovesRuleRowsAndMetrics) {
+  Load("r1 out@N(X) :- in@N(X).");
+  node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(1)}));
+  net_.RunFor(1.2);
+  ASSERT_EQ(RuleStatField("r1", 2), 1);
+
+  ASSERT_TRUE(node_->UnloadProgram(node_->last_program_id()));
+  EXPECT_EQ(node_->metrics().rules().count("r1"), 0u);
+  EXPECT_EQ(RuleStatField("r1", 2), -1);  // rows gone immediately, not next sweep
+  net_.RunFor(1.0);
+  EXPECT_EQ(RuleStatField("r1", 2), -1);  // and they don't come back
+}
+
+TEST_F(SysStatTest, DisabledIntrospectionCreatesNoStatTables) {
+  NodeOptions opts;
+  opts.introspection = false;
+  Node* quiet = net_.AddNode("n2", opts);
+  EXPECT_FALSE(quiet->catalog().IsMaterialized("sysStat"));
+  EXPECT_FALSE(quiet->catalog().IsMaterialized("sysRuleStat"));
+  EXPECT_FALSE(quiet->catalog().IsMaterialized("sysTableStat"));
+}
+
+TEST_F(SysStatTest, JoinableFromOverLog) {
+  // A monitoring rule joining two telemetry tables: per-rule busy time against the
+  // node-wide total (the self_monitor example's core join).
+  Load("materialize(share, infinity, 100, keys(1,2)).\n"
+       "r1 out@N(X) :- in@N(X).\n"
+       "mon1 share@N(Rule, Busy, Total) :- periodic@N(E, 1),\n"
+       "    sysRuleStat@N(Rule, Execs, Busy, Emits),\n"
+       "    sysStat@N(\"busy_ns\", Total), Rule == \"r1\".");
+  for (int i = 0; i < 3; ++i) {
+    node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(i)}));
+  }
+  net_.RunFor(3.5);
+  std::vector<TupleRef> rows = node_->TableContents("share");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->field(1), Value::Str("r1"));
+  EXPECT_GT(rows[0]->field(2).AsInt(), 0);                        // rule busy
+  EXPECT_GE(rows[0]->field(3).AsInt(), rows[0]->field(2).AsInt());  // <= node total
+}
+
+// End-to-end through the olgrun path: a scenario file installs a rule plus a monitor
+// joining sysRuleStat, the monitor fires once the rule crosses an execution-count and
+// busy-time threshold, and the `metrics` directive streams JSONL alongside.
+TEST(SysStatScenarioTest, OlgrunScenarioJoinFiresOnRuleBusyThreshold) {
+  std::string metrics_path = ::testing::TempDir() + "/sysstat_scn_metrics.jsonl";
+  std::string scn_path = ::testing::TempDir() + "/sysstat_selfmon.scn";
+  {
+    std::ofstream f(scn_path);
+    ASSERT_TRUE(f.is_open());
+    f << "net latency=0.01 jitter=0.0 loss=0.0 seed=7\n";
+    f << "metrics " << metrics_path << "\n";
+    f << "node n1\n";
+    f << "inline n1 materialize(busyAlert, infinity, 100, keys(1,2)).\n";
+    f << "inline n1 r1 pong@N(X) :- ping@N(X).\n";
+    f << "inline n1 mon1 busyAlert@N(Rule, Execs) :- periodic@N(E, 1), "
+         "sysRuleStat@N(Rule, Execs, Busy, Emits), Rule == \"r1\", Execs > 3, "
+         "Busy > 0.\n";
+    for (int i = 1; i <= 5; ++i) {
+      f << "inject n1 ping(n1, " << i << ")\n";
+    }
+    f << "run 4\n";
+    f << "expect n1 busyAlert 1\n";  // keyed (N, Rule): refires replace, one row
+  }
+  std::string error;
+  EXPECT_TRUE(RunScenarioFile(scn_path, &error)) << error;
+
+  // The metrics directive streamed per-sweep JSONL snapshots mentioning the rule.
+  std::ifstream mf(metrics_path);
+  ASSERT_TRUE(mf.is_open());
+  std::stringstream content;
+  content << mf.rdbuf();
+  EXPECT_NE(content.str().find("\"node\":\"n1\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"r1\":{\"execs\":5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2
