@@ -152,11 +152,15 @@ BENCHMARK(BM_StrandTrigger_NoMetrics);
 
 // Ablation: a join whose pattern covers the table's primary key becomes an O(1)
 // probe; the same join against an unkeyed table scans. Table size = range(0).
+// Secondary indexes are disabled for the unkeyed variant — the planner would
+// otherwise index it (see BM_JoinProbe_* for that A/B) and there would be no scan
+// left to measure.
 void JoinBench(benchmark::State& state, bool keyed) {
   NetworkConfig net_cfg;
   Network net(net_cfg);
   NodeOptions opts;
   opts.introspection = false;
+  opts.use_join_indexes = keyed;
   Node* node = net.AddNode("n1", opts);
   std::string error;
   std::string program = keyed ? "materialize(kv, infinity, 100000, keys(1, 2)).\n"
@@ -186,6 +190,46 @@ BENCHMARK(BM_JoinKeyProbe)->Arg(64)->Arg(1024)->Arg(8192);
 
 void BM_JoinFullScan(benchmark::State& state) { JoinBench(state, false); }
 BENCHMARK(BM_JoinFullScan)->Arg(64)->Arg(1024)->Arg(8192);
+
+// The secondary-index ablation: a join binding a single non-key column probes a
+// secondary index (use_join_indexes, the default) or falls back to a full scan.
+// Table size = range(0); each probe matches exactly one row, so the gap between the
+// two variants is pure access-path cost.
+void JoinProbeBench(benchmark::State& state, bool indexed) {
+  NetworkConfig net_cfg;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.introspection = false;
+  opts.use_join_indexes = indexed;
+  Node* node = net.AddNode("n1", opts);
+  std::string error;
+  bool ok = node->LoadProgram(
+      "materialize(kv, infinity, 100000, keys(1, 2)).\n"
+      "r1 out@N(K) :- q@N(V), kv@N(K, V).",
+      &error);
+  if (!ok) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  for (int i = 0; i < state.range(0); ++i) {
+    node->InjectEvent(
+        Tuple::Make("kv", {Value::Str("n1"), Value::Int(i), Value::Int(i)}));
+  }
+  net.RunFor(1);
+  int i = 0;
+  for (auto _ : state) {
+    node->InjectEvent(
+        Tuple::Make("q", {Value::Str("n1"), Value::Int(++i % state.range(0))}));
+    net.RunFor(0.01);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_JoinProbe_Indexed(benchmark::State& state) { JoinProbeBench(state, true); }
+BENCHMARK(BM_JoinProbe_Indexed)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_JoinProbe_Scan(benchmark::State& state) { JoinProbeBench(state, false); }
+BENCHMARK(BM_JoinProbe_Scan)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
 // Ablation: tracer record bound (the paper's "fixed number of execution records").
 void BM_TracerRecordBound(benchmark::State& state) {

@@ -18,6 +18,18 @@ bool VarsBound(const Expr& expr, const Bindings& binds) {
   return true;
 }
 
+// Evaluates the probe key for an indexed lookup op: one value per probe position,
+// in EnsureIndex order (the planner guarantees these expressions are bound and
+// non-volatile here).
+ValueList ProbeKey(const StrandOp& op, const Bindings& binds, EvalContext& ctx) {
+  ValueList key;
+  key.reserve(op.probe_positions.size());
+  for (size_t pos : op.probe_positions) {
+    key.push_back(EvalExpr(*op.pred->args[pos], binds, ctx));
+  }
+  return key;
+}
+
 }  // namespace
 
 // Existential match for negated predicates: bound variables and expressions must
@@ -132,13 +144,29 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
       return;
     }
     case StrandOp::Kind::kNotExists: {
-      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
-      for (const TupleRef& row : rows) {
+      bool exists = false;
+      auto check = [&](const TupleRef& row) {
         if (MatchesExistentially(*op.pred, *row, binds, ctx)) {
-          return;  // a matching row exists: the negation fails, prune this branch
+          exists = true;
+          return false;  // stop early: one witness suffices
+        }
+        return true;
+      };
+      if (op.use_index) {
+        size_t rows =
+            op.table->ForEachMatch(op.index_id, ProbeKey(op, binds, ctx), ctx.now, check);
+        if (metrics_ != nullptr) {
+          metrics_->join_probe_rows += rows;
+        }
+      } else {
+        size_t rows = op.table->ForEachLive(ctx.now, check);
+        if (metrics_ != nullptr) {
+          metrics_->join_scan_rows += rows;
         }
       }
-      RunOps(op_index + 1, binds);
+      if (!exists) {
+        RunOps(op_index + 1, binds);
+      }
       return;
     }
     case StrandOp::Kind::kJoin: {
@@ -158,6 +186,9 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
         }
         TupleRef row = op.table->FindByKey(key_values, ctx.now);
         if (row != nullptr) {
+          if (metrics_ != nullptr) {
+            ++metrics_->join_probe_rows;
+          }
           size_t mark = binds.size();
           if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
             tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
@@ -168,14 +199,26 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
         stage_open_[static_cast<size_t>(op.stage)] = true;
         return;
       }
-      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
-      for (const TupleRef& row : rows) {
+      auto visit = [&](const TupleRef& row) {
         size_t mark = binds.size();
         if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
           tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
           RunOps(op_index + 1, binds);
         }
         binds.TruncateTo(mark);
+        return true;
+      };
+      if (op.use_index) {
+        size_t rows =
+            op.table->ForEachMatch(op.index_id, ProbeKey(op, binds, ctx), ctx.now, visit);
+        if (metrics_ != nullptr) {
+          metrics_->join_probe_rows += rows;
+        }
+      } else {
+        size_t rows = op.table->ForEachLive(ctx.now, visit);
+        if (metrics_ != nullptr) {
+          metrics_->join_scan_rows += rows;
+        }
       }
       stage_open_[static_cast<size_t>(op.stage)] = true;
       return;
@@ -366,13 +409,29 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
       return;
     }
     case StrandOp::Kind::kNotExists: {
-      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
-      for (const TupleRef& row : rows) {
+      bool exists = false;
+      auto check = [&](const TupleRef& row) {
         if (MatchesExistentially(*op.pred, *row, binds, ctx)) {
-          return;
+          exists = true;
+          return false;
+        }
+        return true;
+      };
+      if (op.use_index) {
+        size_t rows =
+            op.table->ForEachMatch(op.index_id, ProbeKey(op, binds, ctx), ctx.now, check);
+        if (metrics_ != nullptr) {
+          metrics_->join_probe_rows += rows;
+        }
+      } else {
+        size_t rows = op.table->ForEachLive(ctx.now, check);
+        if (metrics_ != nullptr) {
+          metrics_->join_scan_rows += rows;
         }
       }
-      Recurse(op_index + 1, binds, groups);
+      if (!exists) {
+        Recurse(op_index + 1, binds, groups);
+      }
       return;
     }
     case StrandOp::Kind::kJoin: {
@@ -384,6 +443,9 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
         }
         TupleRef row = op.table->FindByKey(key_values, ctx.now);
         if (row != nullptr) {
+          if (metrics_ != nullptr) {
+            ++metrics_->join_probe_rows;
+          }
           size_t mark = binds.size();
           if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
             Recurse(op_index + 1, binds, groups);
@@ -392,13 +454,25 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
         }
         return;
       }
-      std::vector<TupleRef> rows = op.table->Scan(ctx.now);
-      for (const TupleRef& row : rows) {
+      auto visit = [&](const TupleRef& row) {
         size_t mark = binds.size();
         if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
           Recurse(op_index + 1, binds, groups);
         }
         binds.TruncateTo(mark);
+        return true;
+      };
+      if (op.use_index) {
+        size_t rows =
+            op.table->ForEachMatch(op.index_id, ProbeKey(op, binds, ctx), ctx.now, visit);
+        if (metrics_ != nullptr) {
+          metrics_->join_probe_rows += rows;
+        }
+      } else {
+        size_t rows = op.table->ForEachLive(ctx.now, visit);
+        if (metrics_ != nullptr) {
+          metrics_->join_scan_rows += rows;
+        }
       }
       return;
     }

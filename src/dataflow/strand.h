@@ -44,6 +44,14 @@ struct StrandOp {
   // kJoin: every primary-key position of `table` is bound at this point, so the join
   // is an O(1) key probe instead of a scan (set by the planner).
   bool key_lookup = false;
+  // kJoin / kNotExists: some (but not necessarily all-key) argument positions are
+  // bound, so the lookup probes secondary index `index_id` over `probe_positions`
+  // instead of scanning. Mutually exclusive with key_lookup (which wins when the
+  // whole primary key is bound). Set by the planner when the node enables
+  // NodeOptions::use_join_indexes.
+  bool use_index = false;
+  size_t index_id = 0;
+  std::vector<size_t> probe_positions;
   const std::string* var = nullptr; // kAssign target
   const Expr* expr = nullptr;       // kAssign value / kFilter condition
 };

@@ -161,14 +161,14 @@ std::string ExportSnapshot(Node* node, int64_t snap_id) {
     if (!StartsWith(table->name(), "snap")) {
       continue;
     }
-    for (const TupleRef& row : table->Scan(now)) {
+    table->ForEachLive(now, [&](const TupleRef& row) {
       // Field 1 of every snapshot table is the snapshot ID.
-      if (row->arity() < 2 || !row->field(1).is_numeric() ||
-          row->field(1).ToInt() != snap_id) {
-        continue;
+      if (row->arity() >= 2 && row->field(1).is_numeric() &&
+          row->field(1).ToInt() == snap_id) {
+        EncodeTuple(*row, &out);
       }
-      EncodeTuple(*row, &out);
-    }
+      return true;
+    });
   }
   return out;
 }

@@ -335,7 +335,7 @@ std::vector<TupleRef> Node::TableContents(const std::string& name) {
 
 void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask) {
   ++stats_.tuples_emitted;
-  std::string dst = tuple->LocationSpecifier();
+  const std::string& dst = tuple->LocationSpecifier();
   if (dst.empty()) {
     ++stats_.dead_letters;
     return;

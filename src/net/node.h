@@ -51,6 +51,11 @@ struct NodeOptions {
   // trigger-latency histogram. Updates are plain integer adds plus two monotonic
   // clock reads per strand trigger; disable only for microbenchmark ablations.
   bool metrics = true;
+  // Let the planner request secondary table indexes for join/negation stages whose
+  // bound equality prefix does not cover the whole primary key, and have strand
+  // execution probe them instead of scanning. Disable only for A/B testing of the
+  // scan path (equivalence tests, scan-baseline benchmarks).
+  bool use_join_indexes = true;
   // Modeled delay for locally routed tuples (seconds of virtual time spent in the
   // node's queues between rule strands). Zero keeps local hand-off instantaneous;
   // nonzero makes the profiler's LocalT component (paper §3.2) observable.

@@ -185,6 +185,13 @@ bool DecodeValue(const std::string& in, size_t* pos, Value* out) {
 }
 
 void EncodeTuple(const Tuple& t, std::string* out) {
+  // ByteSize() over-approximates the encoded size, making the appends below
+  // reallocation-free. Grow at least geometrically so loops encoding many tuples
+  // into one buffer (snapshot export) stay amortized O(n).
+  size_t need = out->size() + t.ByteSize() + 8;
+  if (out->capacity() < need) {
+    out->reserve(std::max(need, out->capacity() * 2));
+  }
   PutStr(t.name(), out);
   PutU32(static_cast<uint32_t>(t.arity()), out);
   for (const Value& v : t.fields()) {
@@ -213,6 +220,7 @@ bool DecodeTuple(const std::string& in, size_t* pos, TupleRef* out) {
 
 std::string EncodeEnvelope(const WireEnvelope& env) {
   std::string out;
+  out.reserve(1 + 8 + 8 + 4 + env.src_addr.size() + env.tuple->ByteSize() + 8);
   PutU8(env.is_delete ? 1 : 0, &out);
   PutU64(env.src_tuple_id, &out);
   PutU64(env.bound_mask, &out);

@@ -80,6 +80,45 @@ bool ExprReady(const Expr& expr, const std::set<std::string>& bound) {
   return true;
 }
 
+// Argument positions of `pred` whose value is computable before the lookup runs:
+// constants or expressions over already-bound variables, excluding volatile calls
+// (f_rand/f_now must be re-evaluated per row, so they cannot feed a one-shot probe
+// key). These form the equality prefix a secondary index can probe on.
+std::vector<size_t> BoundEqualityPositions(const Predicate& pred,
+                                           const std::set<std::string>& bound) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < pred.args.size(); ++i) {
+    const Expr& arg = *pred.args[i];
+    if (ExprReady(arg, bound) && !IsVolatile(arg)) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
+// Decides the access path for a non-key-probe lookup op: request (or reuse) a
+// secondary index over the bound equality prefix, falling back to a scan when
+// nothing is bound or indexes are disabled on this node.
+void SelectIndex(StrandOp* op, const Predicate& pred, Table* table,
+                 const std::set<std::string>& bound, Node* node) {
+  if (op->key_lookup || !node->options().use_join_indexes) {
+    return;
+  }
+  std::vector<size_t> positions = BoundEqualityPositions(pred, bound);
+  if (positions.empty()) {
+    return;  // nothing bound: the scan fallback is all we can do
+  }
+  if (positions.size() == 1 && positions[0] == 0) {
+    // Only the location arg is bound. Every row of a node-local table shares its
+    // address, so a location-only key hashes the whole table into one bucket —
+    // all maintenance cost, no selectivity. Scan instead.
+    return;
+  }
+  op->use_index = true;
+  op->index_id = table->EnsureIndex(positions);
+  op->probe_positions = std::move(positions);
+}
+
 // Builds the post-trigger op sequence for `rule`, excluding `trigger` (which may be
 // null for continuous aggregates). Assignments and filters are placed at the earliest
 // point where all their variables are bound.
@@ -202,6 +241,7 @@ bool BuildOps(const Rule& rule, const Predicate* trigger, Node* node,
         }
         op.key_lookup = covered;
       }
+      SelectIndex(&op, term.pred, table, bound, node);
       ops->push_back(op);
       ++joins_placed;
       AddBoundVars(term.pred, &bound);
@@ -233,6 +273,7 @@ bool BuildOps(const Rule& rule, const Predicate* trigger, Node* node,
     op.kind = StrandOp::Kind::kNotExists;
     op.pred = &term->pred;
     op.table = table;
+    SelectIndex(&op, term->pred, table, bound, node);
     ops->push_back(op);
   }
   *num_stages = stage;

@@ -28,12 +28,71 @@ Table::Key Table::MakeKey(const Tuple& t) const {
       key.vals.push_back(pos < t.arity() ? t.field(pos) : Value::Null());
     }
   }
+  key.hash = HashValues(key.vals);
+  return key;
+}
+
+size_t Table::HashValues(const ValueList& vals) {
   size_t h = 1469598103934665603ULL;
-  for (const Value& v : key.vals) {
+  for (const Value& v : vals) {
     h = h * 1099511628211ULL ^ v.Hash();
   }
-  key.hash = h;
-  return key;
+  return h;
+}
+
+size_t Table::HashAt(const Tuple& t, const std::vector<size_t>& positions) const {
+  size_t h = 1469598103934665603ULL;
+  for (size_t pos : positions) {
+    h = h * 1099511628211ULL ^ (pos < t.arity() ? t.field(pos) : Value::Null()).Hash();
+  }
+  return h;
+}
+
+size_t Table::EnsureIndex(std::vector<size_t> positions) {
+  for (size_t i = 0; i < secondary_.size(); ++i) {
+    if (secondary_[i]->positions == positions) {
+      return i;
+    }
+  }
+  auto index = std::make_unique<SecondaryIndex>();
+  index->positions = std::move(positions);
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    index->map[HashAt(*it->tuple, index->positions)].emplace(it->seq, it);
+    ++index->entries;
+  }
+  secondary_.push_back(std::move(index));
+  return secondary_.size() - 1;
+}
+
+void Table::SecondaryAdd(std::list<Row>::iterator it) {
+  for (auto& index : secondary_) {
+    index->map[HashAt(*it->tuple, index->positions)].emplace(it->seq, it);
+    ++index->entries;
+  }
+}
+
+void Table::SecondaryRemove(std::list<Row>::iterator it) {
+  for (auto& index : secondary_) {
+    auto bucket = index->map.find(HashAt(*it->tuple, index->positions));
+    if (bucket == index->map.end()) {
+      continue;
+    }
+    if (bucket->second.erase(it->seq) > 0) {
+      --index->entries;
+    }
+    if (bucket->second.empty()) {
+      index->map.erase(bucket);
+    }
+  }
+}
+
+std::vector<Table::IndexStats> Table::IndexStatsSnapshot() const {
+  std::vector<IndexStats> out;
+  out.reserve(secondary_.size());
+  for (const auto& index : secondary_) {
+    out.push_back({index->positions, index->probes, index->rows_yielded, index->entries});
+  }
+  return out;
 }
 
 void Table::Notify(TableChange change, const TupleRef& t) {
@@ -56,14 +115,17 @@ InsertOutcome Table::Insert(const TupleRef& t, double now) {
       ++counters_.refreshes;
       return InsertOutcome::kRefreshed;
     }
+    SecondaryRemove(it->second);  // indexed field values may change with the payload
     row.tuple = t;
     row.expires_at = expires;
+    SecondaryAdd(it->second);
     ++counters_.inserts;
     Notify(TableChange::kInsert, t);
     return InsertOutcome::kReplaced;
   }
   rows_.push_back(Row{t, expires, next_seq_++});
   index_.emplace(std::move(key), std::prev(rows_.end()));
+  SecondaryAdd(std::prev(rows_.end()));
   min_expiry_ = std::min(min_expiry_, expires);
   EvictOverflow();
   ++counters_.inserts;
@@ -72,9 +134,15 @@ InsertOutcome Table::Insert(const TupleRef& t, double now) {
 }
 
 void Table::EvictOverflow() {
+  if (iter_depth_ > 0) {
+    // A walk is in flight: erasing would invalidate it. EndIterMaintenance
+    // re-checks the size bound once the outermost walk ends.
+    return;
+  }
   while (rows_.size() > spec_.max_size) {
     Row victim = rows_.front();
     index_.erase(MakeKey(*victim.tuple));
+    SecondaryRemove(rows_.begin());
     rows_.pop_front();
     ++counters_.evictions;
     Notify(TableChange::kEvict, victim.tuple);
@@ -86,6 +154,10 @@ size_t Table::DeleteMatching(const std::vector<Value>& pattern,
   ExpireStale(now);
   size_t deleted = 0;
   for (auto it = rows_.begin(); it != rows_.end();) {
+    if (it->expires_at <= now) {
+      ++it;  // expired or already deleted; purge was deferred by an in-flight walk
+      continue;
+    }
     const Tuple& t = *it->tuple;
     bool match = true;
     for (size_t i = 0; i < pattern.size() && i < t.arity(); ++i) {
@@ -97,7 +169,18 @@ size_t Table::DeleteMatching(const std::vector<Value>& pattern,
     if (match) {
       TupleRef victim = it->tuple;
       index_.erase(MakeKey(t));
-      it = rows_.erase(it);
+      SecondaryRemove(it);
+      if (iter_depth_ > 0) {
+        // A walk is in flight (e.g. tracer GC firing mid-join): erasing would
+        // invalidate it. Unlink from the indexes now, hide the row from every
+        // access, and leave the corpse for EndIterMaintenance.
+        it->dead = true;
+        it->expires_at = -std::numeric_limits<double>::infinity();
+        has_dead_ = true;
+        ++it;
+      } else {
+        it = rows_.erase(it);
+      }
       ++deleted;
       ++counters_.deletes;
       Notify(TableChange::kDelete, victim);
@@ -108,9 +191,28 @@ size_t Table::DeleteMatching(const std::vector<Value>& pattern,
   return deleted;
 }
 
+void Table::EndIterMaintenance() {
+  if (has_dead_) {
+    has_dead_ = false;
+    for (auto it = rows_.begin(); it != rows_.end();) {
+      // Counters and listeners already fired at mark time; just drop the corpse.
+      it = it->dead ? rows_.erase(it) : std::next(it);
+    }
+  }
+  if (rows_.size() > spec_.max_size) {
+    EvictOverflow();  // inserts mid-walk skipped the size bound
+  }
+}
+
 size_t Table::ExpireStale(double now) {
   if (now < min_expiry_) {
     return 0;  // nothing can have expired yet
+  }
+  if (iter_depth_ > 0) {
+    // Rows are being walked (possibly by this very caller, re-entering through a
+    // nested self-join probe): erasing would invalidate the walk. Iterations filter
+    // stale rows per row; the purge happens on the next non-nested access.
+    return 0;
   }
   size_t expired = 0;
   double next_min = std::numeric_limits<double>::infinity();
@@ -118,6 +220,7 @@ size_t Table::ExpireStale(double now) {
     if (it->expires_at <= now) {
       TupleRef victim = it->tuple;
       index_.erase(MakeKey(*victim));
+      SecondaryRemove(it);
       it = rows_.erase(it);
       ++expired;
       ++counters_.expires;
@@ -135,13 +238,12 @@ TupleRef Table::FindByKey(const ValueList& key_values, double now) {
   ExpireStale(now);
   Key key;
   key.vals = key_values;
-  size_t h = 1469598103934665603ULL;
-  for (const Value& v : key.vals) {
-    h = h * 1099511628211ULL ^ v.Hash();
-  }
-  key.hash = h;
+  key.hash = HashValues(key.vals);
   auto it = index_.find(key);
-  return it == index_.end() ? nullptr : it->second->tuple;
+  if (it == index_.end() || it->second->expires_at <= now) {
+    return nullptr;  // stale rows survive the (possibly deferred) purge; never match
+  }
+  return it->second->tuple;
 }
 
 std::vector<TupleRef> Table::Scan(double now) {
@@ -149,6 +251,9 @@ std::vector<TupleRef> Table::Scan(double now) {
   std::vector<TupleRef> out;
   out.reserve(rows_.size());
   for (const Row& row : rows_) {
+    if (row.expires_at <= now) {
+      continue;  // purge was deferred by an in-flight iteration
+    }
     out.push_back(row.tuple);
   }
   return out;
@@ -156,6 +261,14 @@ std::vector<TupleRef> Table::Scan(double now) {
 
 size_t Table::Size(double now) {
   ExpireStale(now);
+  if (iter_depth_ > 0 && (has_dead_ || now >= min_expiry_)) {
+    // The purge was deferred by an in-flight iteration: count live rows explicitly.
+    size_t live = 0;
+    for (const Row& row : rows_) {
+      live += row.expires_at > now ? 1 : 0;
+    }
+    return live;
+  }
   return rows_.size();
 }
 

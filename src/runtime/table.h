@@ -8,13 +8,21 @@
 //
 // Listeners observe changes; the planner uses them to drive table-delta rule strands and
 // continuous aggregate re-evaluation, and the tracer uses them for ruleExec GC.
+//
+// Secondary indexes (EnsureIndex / ForEachMatch): hash indexes over arbitrary field
+// subsets, requested by the planner for join probes that bind only part of (or none
+// of) the primary key. They are maintained inline across every mutation — insert,
+// replace, refresh, delete, expire, evict — and probed allocation-free. The index
+// consistency contract is documented in docs/INTERNALS.md.
 
 #ifndef SRC_RUNTIME_TABLE_H_
 #define SRC_RUNTIME_TABLE_H_
 
+#include <algorithm>
 #include <functional>
 #include <limits>
 #include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -84,7 +92,97 @@ class Table {
   size_t ExpireStale(double now);
 
   // Returns the current rows (after purging expired ones), in insertion order.
+  // Materializes a copy — hot paths should use ForEachLive instead.
   std::vector<TupleRef> Scan(double now);
+
+  // Allocation-free iteration over live rows in insertion order. `fn` is called as
+  // fn(const TupleRef&) -> bool; returning false stops early. Returns the number of
+  // rows yielded.
+  //
+  // Iteration-safe with snapshot semantics: while any walk over this table is in
+  // flight, row erasure (expiry, delete, eviction) is deferred — stale/deleted rows
+  // are filtered per row instead and purged when the outermost walk ends — and rows
+  // inserted by a callback are not visited (the walk stops at the sequence number
+  // current when it started). This makes nested probes of the same table (self-joins)
+  // and callbacks that insert into the table (a traced strand joining ruleExec writes
+  // ruleExec rows as it emits) both safe and equivalent to iterating a Scan copy.
+  template <typename Fn>
+  size_t ForEachLive(double now, Fn&& fn) {
+    ExpireStale(now);
+    IterGuard guard(this);
+    const uint64_t seq_bound = next_seq_;  // rows_ is seq-ordered
+    size_t yielded = 0;
+    for (const Row& row : rows_) {
+      if (row.seq >= seq_bound) {
+        break;  // inserted by a callback after this walk started
+      }
+      if (row.expires_at <= now) {
+        continue;  // expired/deleted but not yet purged (erasure deferred)
+      }
+      ++yielded;
+      if (!fn(row.tuple)) {
+        break;
+      }
+    }
+    return yielded;
+  }
+
+  // Builds (or reuses) a secondary hash index over `positions` (0-based field
+  // positions, in probe order). Existing rows are indexed immediately; subsequent
+  // mutations keep the index consistent inline. Returns a stable index id for
+  // ForEachMatch. Requesting the same position set twice returns the same id.
+  size_t EnsureIndex(std::vector<size_t> positions);
+
+  size_t NumIndexes() const { return secondary_.size(); }
+
+  // Probes index `index_id` with one value per indexed position (in the order given
+  // to EnsureIndex) and iterates the matching live rows in insertion order — the
+  // same order a scan would visit them, so an indexed join explores its branches
+  // exactly like the scan it replaces. The index matches on the hash of the indexed
+  // fields, so `fn` may see false positives under hash collision — callers re-verify
+  // each row (strand execution does so via MatchPredicate). Same
+  // callback/early-exit/iteration-safety contract as ForEachLive. Returns rows
+  // yielded.
+  template <typename Fn>
+  size_t ForEachMatch(size_t index_id, const ValueList& key_values, double now,
+                      Fn&& fn) {
+    ExpireStale(now);
+    SecondaryIndex& index = *secondary_[index_id];
+    ++index.probes;
+    IterGuard guard(this);
+    size_t yielded = 0;
+    auto bucket = index.map.find(HashValues(key_values));
+    if (bucket != index.map.end()) {
+      // Snapshot the bucket before invoking callbacks: a callback may insert into
+      // this table, rehashing the index maps under a live bucket iterator. Row
+      // erasure is deferred while the IterGuard is held, so the copied row
+      // iterators stay valid throughout. Sorting by seq restores insertion order.
+      std::vector<std::pair<uint64_t, std::list<Row>::iterator>> matches(
+          bucket->second.begin(), bucket->second.end());
+      std::sort(matches.begin(), matches.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [seq, it] : matches) {
+        if (it->expires_at <= now) {
+          continue;  // expired/deleted but not yet purged (erasure deferred)
+        }
+        ++yielded;
+        if (!fn(it->tuple)) {
+          break;
+        }
+      }
+    }
+    index.rows_yielded += yielded;
+    return yielded;
+  }
+
+  // Cumulative per-index telemetry, surfaced through sysIndexStat.
+  struct IndexStats {
+    std::vector<size_t> positions;
+    uint64_t probes = 0;        // ForEachMatch calls
+    uint64_t rows_yielded = 0;  // rows handed to probe callbacks
+    size_t entries = 0;         // rows currently indexed
+  };
+  std::vector<IndexStats> IndexStatsSnapshot() const;
 
   // Point lookup by primary-key values (one Value per declared key field, in
   // declaration order). Returns nullptr when absent. Only valid when the table has
@@ -107,7 +205,8 @@ class Table {
   struct Row {
     TupleRef tuple;
     double expires_at;
-    uint64_t seq;  // monotonically increasing insert order
+    uint64_t seq;       // monotonically increasing insert order
+    bool dead = false;  // deleted mid-iteration; unlinked from indexes, purge pending
   };
 
   struct Key {
@@ -118,17 +217,56 @@ class Table {
   struct KeyHash {
     size_t operator()(const Key& k) const { return k.hash; }
   };
+  struct IdentityHash {
+    size_t operator()(size_t h) const { return h; }
+  };
+
+  // One secondary index: hash of the indexed fields -> (row seq -> row). The inner
+  // map makes per-row removal O(1) even when many rows share an indexed value (a
+  // low-selectivity index would otherwise turn bulk expiry quadratic).
+  struct SecondaryIndex {
+    std::vector<size_t> positions;
+    std::unordered_map<size_t, std::unordered_map<uint64_t, std::list<Row>::iterator>,
+                       IdentityHash>
+        map;
+    uint64_t probes = 0;
+    uint64_t rows_yielded = 0;
+    size_t entries = 0;
+  };
+
+  // Defers row erasure while rows are being walked (see ForEachLive); when the
+  // outermost walk ends, applies the deferred structural work.
+  struct IterGuard {
+    explicit IterGuard(Table* t) : table(t) { ++table->iter_depth_; }
+    ~IterGuard() {
+      if (--table->iter_depth_ == 0) {
+        table->EndIterMaintenance();
+      }
+    }
+    Table* table;
+  };
+  friend struct IterGuard;
 
   Key MakeKey(const Tuple& t) const;
+  // FNV-1a over Value::Hash — shared by the primary key and every secondary index,
+  // so cross-kind numeric equality (Int(7) == Id(7)) probes consistently.
+  static size_t HashValues(const ValueList& vals);
+  size_t HashAt(const Tuple& t, const std::vector<size_t>& positions) const;
+  void SecondaryAdd(std::list<Row>::iterator it);
+  void SecondaryRemove(std::list<Row>::iterator it);
   void Notify(TableChange change, const TupleRef& t);
   void EvictOverflow();
+  void EndIterMaintenance();
 
   TableSpec spec_;
   TableCounters counters_;
   std::list<Row> rows_;  // insertion order
   std::unordered_map<Key, std::list<Row>::iterator, KeyHash> index_;
+  std::vector<std::unique_ptr<SecondaryIndex>> secondary_;
   std::vector<Listener> listeners_;
   uint64_t next_seq_ = 0;
+  int iter_depth_ = 0;     // >0 while ForEachLive/ForEachMatch walk rows
+  bool has_dead_ = false;  // dead corpses awaiting EndIterMaintenance
   // Earliest possible expiry across live rows (a lower bound: refreshes may raise a
   // row's true expiry without updating this). Lets ExpireStale — called on every
   // insert/scan — return in O(1) when nothing can have expired yet.

@@ -30,9 +30,10 @@ TupleRef Tuple::Make(std::string name, ValueList fields) {
   return std::make_shared<const Tuple>(std::move(name), std::move(fields));
 }
 
-std::string Tuple::LocationSpecifier() const {
+const std::string& Tuple::LocationSpecifier() const {
+  static const std::string kEmpty;
   if (fields_.empty() || fields_[0].kind() != Value::Kind::kString) {
-    return std::string();
+    return kEmpty;
   }
   return fields_[0].AsString();
 }

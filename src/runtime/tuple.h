@@ -40,8 +40,9 @@ class Tuple {
   size_t arity() const { return fields_.size(); }
 
   // The location specifier (first field) as a string address. Returns an empty string
-  // if the tuple has no fields or the first field is not a string.
-  std::string LocationSpecifier() const;
+  // if the tuple has no fields or the first field is not a string. The reference is
+  // into the tuple (or a static empty), so routing decisions pay no copy.
+  const std::string& LocationSpecifier() const;
 
   // Structural equality: same name, same fields.
   bool operator==(const Tuple& other) const;

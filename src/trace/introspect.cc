@@ -38,6 +38,11 @@ void InstallIntrospectionTables(Node* node) {
   table_stats.name = "sysTableStat";
   table_stats.key_fields = {0, 1};  // NAddr, Table
   catalog.CreateTable(table_stats);
+
+  TableSpec index_stats;
+  index_stats.name = "sysIndexStat";
+  index_stats.key_fields = {0, 1, 2};  // NAddr, Table, Positions
+  catalog.CreateTable(index_stats);
 }
 
 void PublishStaticIntrospection(Node* node) {
@@ -66,11 +71,11 @@ void PublishStaticIntrospection(Node* node) {
         std::string detail;
         switch (op.kind) {
           case StrandOp::Kind::kJoin:
-            kind = op.key_lookup ? "probe" : "join";
+            kind = op.key_lookup ? "probe" : (op.use_index ? "ixprobe" : "join");
             detail = op.pred->name;
             break;
           case StrandOp::Kind::kNotExists:
-            kind = "antijoin";
+            kind = op.use_index ? "ixantijoin" : "antijoin";
             detail = "not " + op.pred->name;
             break;
           case StrandOp::Kind::kAssign:
@@ -158,6 +163,31 @@ void RefreshStatIntrospection(Node* node) {
                        Value::Int(static_cast<int64_t>(t.expires)),
                        Value::Int(static_cast<int64_t>(t.deletes))}),
           now);
+    }
+  }
+  Table* index_stats = catalog.Get("sysIndexStat");
+  if (index_stats != nullptr) {
+    for (Table* table : catalog.AllTables()) {
+      for (const Table::IndexStats& ix : table->IndexStatsSnapshot()) {
+        std::string positions;
+        for (size_t pos : ix.positions) {
+          if (!positions.empty()) {
+            positions += ',';
+          }
+          positions += std::to_string(pos);
+        }
+        double avg_rows = ix.probes == 0
+                              ? 0.0
+                              : static_cast<double>(ix.rows_yielded) /
+                                    static_cast<double>(ix.probes);
+        index_stats->Insert(
+            Tuple::Make("sysIndexStat",
+                        {Value::Str(addr), Value::Str(table->name()),
+                         Value::Str(positions),
+                         Value::Int(static_cast<int64_t>(ix.probes)),
+                         Value::Double(avg_rows)}),
+            now);
+      }
     }
   }
 }

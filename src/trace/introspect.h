@@ -9,9 +9,11 @@
 //   sysStat(NAddr, Name, Value)                       — node-level counters/gauges
 //   sysRuleStat(NAddr, RuleID, Execs, BusyNs, Emits)  — per-rule execution metrics
 //   sysTableStat(NAddr, Table, Inserts, Expires, Deletes) — per-table churn
+//   sysIndexStat(NAddr, Table, Positions, Probes, AvgRows) — per-secondary-index use
 //
 // sysRule and sysElement rows are written when programs are installed; sysTable,
-// sysStat, sysRuleStat, and sysTableStat rows are refreshed on each soft-state sweep
+// sysStat, sysRuleStat, sysTableStat, and sysIndexStat rows are refreshed on each
+// soft-state sweep
 // (sweep granularity — between sweeps the rows hold the previous sweep's values; the
 // regression test SysStatTest.RowsAreSweepGranular pins this contract).
 

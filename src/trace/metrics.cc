@@ -122,7 +122,8 @@ MetricsSnapshot SnapshotNodeMetrics(Node* node) {
   }
 
   for (const auto& [rule_id, m] : reg.rules()) {
-    snap.rules.push_back({rule_id, m->execs, m->busy_ns, m->emits});
+    snap.rules.push_back(
+        {rule_id, m->execs, m->busy_ns, m->emits, m->join_probe_rows, m->join_scan_rows});
   }
 
   double now = snap.time;
@@ -196,7 +197,9 @@ void JsonlMetricsSink::Write(const MetricsSnapshot& snap) {
   first = true;
   for (const auto& r : snap.rules) {
     out << (first ? "" : ",") << "\"" << JsonEscape(r.rule_id) << "\":{\"execs\":"
-        << r.execs << ",\"busy_ns\":" << r.busy_ns << ",\"emits\":" << r.emits << "}";
+        << r.execs << ",\"busy_ns\":" << r.busy_ns << ",\"emits\":" << r.emits
+        << ",\"join_probe_rows\":" << r.join_probe_rows
+        << ",\"join_scan_rows\":" << r.join_scan_rows << "}";
     first = false;
   }
   out << "},\"tables\":{";
@@ -238,6 +241,8 @@ void CsvMetricsSink::Write(const MetricsSnapshot& snap) {
     row("rule." + r.rule_id + ".execs", r.execs);
     row("rule." + r.rule_id + ".busy_ns", r.busy_ns);
     row("rule." + r.rule_id + ".emits", r.emits);
+    row("rule." + r.rule_id + ".join_probe_rows", r.join_probe_rows);
+    row("rule." + r.rule_id + ".join_scan_rows", r.join_scan_rows);
   }
   for (const auto& t : snap.tables) {
     row("table." + t.table + ".inserts", t.inserts);

@@ -110,11 +110,16 @@ class Histogram {
 
 // Cumulative execution counters for one rule (strand or continuous aggregate).
 // `busy_ns` is wall-clock time inside the rule's trigger/re-evaluation; `emits` is
-// head tuples routed while it ran.
+// head tuples routed while it ran. `join_probe_rows` / `join_scan_rows` count rows
+// yielded to the rule's join/negation stages by indexed probes (secondary-index or
+// primary-key) versus full scans — the probe:scan ratio is how the index win shows
+// up in the engine's own telemetry.
 struct RuleMetrics {
   uint64_t execs = 0;
   uint64_t busy_ns = 0;
   uint64_t emits = 0;
+  uint64_t join_probe_rows = 0;
+  uint64_t join_scan_rows = 0;
 };
 
 // One node's metric namespace. Not thread-safe (a node is single-threaded by
@@ -171,6 +176,8 @@ struct MetricsSnapshot {
     uint64_t execs = 0;
     uint64_t busy_ns = 0;
     uint64_t emits = 0;
+    uint64_t join_probe_rows = 0;
+    uint64_t join_scan_rows = 0;
   };
   std::vector<RuleRow> rules;
 

@@ -19,16 +19,19 @@ class PlannerTest : public ::testing::Test {
   }
 
   // Parses and plans without installing; returns false + error on failure.
-  bool Plan(const std::string& source, std::string* error) {
+  bool Plan(const std::string& source, std::string* error, Node* node = nullptr) {
+    if (node == nullptr) {
+      node = node_;
+    }
     program_ = std::make_unique<Program>();
     if (!ParseProgram(source, ParamMap(), program_.get(), error)) {
       return false;
     }
     for (const TableSpec& spec : program_->materializations) {
-      node_->catalog().CreateTable(spec);
+      node->catalog().CreateTable(spec);
     }
     plan_ = PlanResult();
-    return PlanProgram(*program_, node_, &plan_, error);
+    return PlanProgram(*program_, node, &plan_, error);
   }
 
   void MustPlan(const std::string& source) {
@@ -193,6 +196,77 @@ TEST_F(PlannerTest, WholeTupleKeyedTablesAlwaysScan) {
       "materialize(log, infinity, 100).\n"  // no keys: whole-tuple key
       "r1 out@N(X) :- q@N(X), log@N(X).");
   EXPECT_FALSE(plan_.strands[0]->ops()[0].key_lookup);
+}
+
+TEST_F(PlannerTest, PartiallyBoundJoinsSelectSecondaryIndexes) {
+  MustPlan(
+      "materialize(kv, infinity, 100, keys(1, 2)).\n"
+      "materialize(tag, infinity, 100, keys(1, 2)).\n"
+      "r1 out@N(K) :- q@N(V), kv@N(K, V).\n"
+      "r2 out2@N(K, V) :- q2@N(K), kv@N(K, V), not tag@N(T, V).");
+  // r1: the key (N, K) is not covered, but (N, V) is a bound equality prefix.
+  const StrandOp& probe = plan_.strands[0]->ops()[0];
+  EXPECT_FALSE(probe.key_lookup);
+  EXPECT_TRUE(probe.use_index);
+  EXPECT_EQ(probe.probe_positions, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(node_->catalog().Get("kv")->NumIndexes(), 1u);
+  // r2: kv fully key-bound wins as an O(1) probe; the negated tag anti-joins
+  // through a secondary index on its value column.
+  const std::vector<StrandOp>& ops2 = plan_.strands[1]->ops();
+  EXPECT_TRUE(ops2[0].key_lookup);
+  EXPECT_FALSE(ops2[0].use_index);
+  ASSERT_EQ(ops2[1].kind, StrandOp::Kind::kNotExists);
+  EXPECT_TRUE(ops2[1].use_index);
+  EXPECT_EQ(ops2[1].probe_positions, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(node_->catalog().Get("tag")->NumIndexes(), 1u);
+}
+
+TEST_F(PlannerTest, RulesProbingSamePositionsShareOneIndex) {
+  MustPlan(
+      "materialize(kv, infinity, 100, keys(1, 2)).\n"
+      "r1 out@N(K) :- q@N(V), kv@N(K, V).\n"
+      "r2 out2@N(K) :- q2@N(V), kv@N(K, V).");
+  EXPECT_EQ(plan_.strands[0]->ops()[0].index_id, plan_.strands[1]->ops()[0].index_id);
+  EXPECT_EQ(node_->catalog().Get("kv")->NumIndexes(), 1u);
+}
+
+TEST_F(PlannerTest, LocationOnlyBindingFallsBackToScan) {
+  // Only the location arg is computable: a location-only key has no selectivity on
+  // a node-local table, so no index is built.
+  MustPlan(
+      "materialize(kv, infinity, 100, keys(1, 2)).\n"
+      "r1 out@N(K, V) :- tick@N(E), kv@N(K, V).");
+  const StrandOp& op = plan_.strands[0]->ops()[0];
+  EXPECT_FALSE(op.key_lookup);
+  EXPECT_FALSE(op.use_index);
+  EXPECT_EQ(node_->catalog().Get("kv")->NumIndexes(), 0u);
+}
+
+TEST_F(PlannerTest, VolatileArgsExcludedFromProbeKey) {
+  // f_now() would have to be evaluated once to build the probe key but per-row to
+  // match scan semantics — so position 3 must stay out of the index.
+  MustPlan(
+      "materialize(ev, infinity, 100, keys(1, 2)).\n"
+      "r1 out@N(K) :- q@N(V), ev@N(K, V, f_now()).");
+  const StrandOp& op = plan_.strands[0]->ops()[0];
+  EXPECT_TRUE(op.use_index);
+  EXPECT_EQ(op.probe_positions, (std::vector<size_t>{0, 2}));
+}
+
+TEST_F(PlannerTest, IndexSelectionCanBeDisabledPerNode) {
+  NodeOptions opts;
+  opts.introspection = false;
+  opts.use_join_indexes = false;
+  Node* scan_node = net_.AddNode("n2", opts);
+  std::string error;
+  ASSERT_TRUE(Plan(
+      "materialize(kv, infinity, 100, keys(1, 2)).\n"
+      "r1 out@N(K) :- q@N(V), kv@N(K, V).",
+      &error, scan_node))
+      << error;
+  const StrandOp& op = plan_.strands[0]->ops()[0];
+  EXPECT_FALSE(op.use_index);
+  EXPECT_EQ(scan_node->catalog().Get("kv")->NumIndexes(), 0u);
 }
 
 TEST_F(PlannerTest, Rejections) {

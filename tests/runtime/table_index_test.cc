@@ -1,0 +1,310 @@
+// Secondary-index tests: maintenance across every mutation path, probe-vs-scan
+// equivalence under randomized churn, and iteration safety (self-joins, mutation
+// from inside a walk).
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/runtime/table.h"
+
+namespace p2 {
+namespace {
+
+TableSpec Spec(const std::string& name, double lifetime, size_t max_size,
+               std::vector<size_t> keys) {
+  TableSpec spec;
+  spec.name = name;
+  spec.lifetime_secs = lifetime;
+  spec.max_size = max_size;
+  spec.key_fields = std::move(keys);
+  return spec;
+}
+
+TupleRef Row(const std::string& loc, int64_t k, int64_t v) {
+  return Tuple::Make("t", {Value::Str(loc), Value::Int(k), Value::Int(v)});
+}
+
+// Rows yielded by probing `index_id` with `key`, in insertion order.
+std::vector<TupleRef> Probe(Table* table, size_t index_id, const ValueList& key,
+                            double now) {
+  std::vector<TupleRef> out;
+  table->ForEachMatch(index_id, key, now, [&](const TupleRef& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+// Reference result: scan and keep rows whose fields at `positions` equal `key`.
+std::vector<TupleRef> ScanFilter(Table* table, const std::vector<size_t>& positions,
+                                 const ValueList& key, double now) {
+  std::vector<TupleRef> out;
+  for (const TupleRef& t : table->Scan(now)) {
+    bool match = true;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (positions[i] >= t->arity() || !(t->field(positions[i]) == key[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+TEST(TableIndexTest, EnsureIndexReusesByPositions) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t a = table.EnsureIndex({2});
+  size_t b = table.EnsureIndex({2});
+  size_t c = table.EnsureIndex({1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.NumIndexes(), 2u);
+}
+
+TEST(TableIndexTest, IndexesExistingRowsAndNewInserts) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  table.Insert(Row("n", 1, 10), 0);
+  table.Insert(Row("n", 2, 10), 0);
+  size_t ix = table.EnsureIndex({2});  // built over existing rows
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 0).size(), 2u);
+  table.Insert(Row("n", 3, 10), 0);  // maintained on insert
+  table.Insert(Row("n", 4, 99), 0);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 0).size(), 3u);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(99)}, 0).size(), 1u);
+  EXPECT_TRUE(Probe(&table, ix, {Value::Int(7)}, 0).empty());
+}
+
+TEST(TableIndexTest, ReplaceMovesRowBetweenBuckets) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  table.Insert(Row("n", 1, 10), 0);
+  ASSERT_EQ(table.Insert(Row("n", 1, 20), 1), InsertOutcome::kReplaced);
+  EXPECT_TRUE(Probe(&table, ix, {Value::Int(10)}, 1).empty());
+  ASSERT_EQ(Probe(&table, ix, {Value::Int(20)}, 1).size(), 1u);
+}
+
+TEST(TableIndexTest, RefreshKeepsIndexEntry) {
+  Table table(Spec("t", 10, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  table.Insert(Row("n", 1, 10), 0);
+  ASSERT_EQ(table.Insert(Row("n", 1, 10), 8), InsertOutcome::kRefreshed);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 12).size(), 1u);  // alive past t=10
+  EXPECT_TRUE(Probe(&table, ix, {Value::Int(10)}, 18).empty());   // expires at 18
+}
+
+TEST(TableIndexTest, ExpiryRemovesIndexEntries) {
+  Table table(Spec("t", 10, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  table.Insert(Row("n", 1, 10), 0);
+  table.Insert(Row("n", 2, 10), 5);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 9).size(), 2u);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 12).size(), 1u);
+  EXPECT_TRUE(Probe(&table, ix, {Value::Int(10)}, 20).empty());
+}
+
+TEST(TableIndexTest, DeleteRemovesIndexEntries) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  table.Insert(Row("n", 1, 10), 0);
+  table.Insert(Row("n", 2, 10), 0);
+  // Delete rows with field 1 == 1.
+  table.DeleteMatching({Value::Null(), Value::Int(1), Value::Null()},
+                       {false, true, false}, 1);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 1).size(), 1u);
+}
+
+TEST(TableIndexTest, EvictionUnderMaxSizeChurnStaysConsistent) {
+  Table table(Spec("t", 100, 3, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  for (int i = 0; i < 50; ++i) {
+    table.Insert(Row("n", i, i % 5), i);
+    // Every live row must be probe-reachable and vice versa, at every step.
+    for (int v = 0; v < 5; ++v) {
+      ValueList key = {Value::Int(v)};
+      EXPECT_EQ(Probe(&table, ix, key, i).size(),
+                ScanFilter(&table, {2}, key, i).size())
+          << "value " << v << " after insert " << i;
+    }
+  }
+  EXPECT_EQ(table.Size(50), 3u);
+}
+
+TEST(TableIndexTest, CrossKindNumericKeysProbeConsistently) {
+  // Value::Hash is cross-kind consistent for numerics: a row stored with Id(7)
+  // must be probeable with Int(7), matching FindByKey/MatchPredicate semantics.
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({1});
+  table.Insert(Tuple::Make("t", {Value::Str("n"), Value::Id(7), Value::Int(1)}), 0);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(7)}, 0).size(), 1u);
+  EXPECT_EQ(Probe(&table, ix, {Value::Id(7)}, 0).size(), 1u);
+}
+
+TEST(TableIndexTest, MultiColumnIndexProbesBothPositions) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({1, 2});
+  table.Insert(Row("n", 1, 10), 0);
+  table.Insert(Row("n", 1, 20), 0);  // replaces (same key {0,1})
+  table.Insert(Row("n", 2, 20), 0);
+  EXPECT_TRUE(Probe(&table, ix, {Value::Int(1), Value::Int(10)}, 0).empty());
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(1), Value::Int(20)}, 0).size(), 1u);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(2), Value::Int(20)}, 0).size(), 1u);
+}
+
+TEST(TableIndexTest, PositionBeyondArityIndexesAsNull) {
+  Table table(Spec("t", 100, 100, {}));
+  size_t ix = table.EnsureIndex({5});
+  table.Insert(Row("n", 1, 10), 0);
+  EXPECT_EQ(Probe(&table, ix, {Value::Null()}, 0).size(), 1u);
+}
+
+TEST(TableIndexTest, IndexStatsTrackProbesAndYield) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  table.Insert(Row("n", 1, 10), 0);
+  table.Insert(Row("n", 2, 10), 0);
+  Probe(&table, ix, {Value::Int(10)}, 0);  // 2 rows
+  Probe(&table, ix, {Value::Int(99)}, 0);  // 0 rows
+  std::vector<Table::IndexStats> stats = table.IndexStatsSnapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].positions, (std::vector<size_t>{2}));
+  EXPECT_EQ(stats[0].probes, 2u);
+  EXPECT_EQ(stats[0].rows_yielded, 2u);
+  EXPECT_EQ(stats[0].entries, 2u);
+}
+
+// --- iteration safety ---
+
+TEST(TableIndexTest, NestedSelfJoinIterationIsSafe) {
+  Table table(Spec("t", 10, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  for (int i = 0; i < 10; ++i) {
+    table.Insert(Row("n", i, i % 2), i * 0.1);
+  }
+  // The outer walk starts at 10.35 (purging rows 0..3 up front); the nested probes
+  // run at 10.75, when rows 4..7 have also gone stale — their purge must be
+  // deferred (the outer walk holds iterators) yet they must not be yielded.
+  double outer_now = 10.35;
+  double inner_now = 10.75;
+  size_t outer = 0;
+  size_t inner_total = 0;
+  table.ForEachLive(outer_now, [&](const TupleRef& t) {
+    ++outer;
+    inner_total += table.ForEachMatch(ix, {t->field(2)}, inner_now,
+                                      [&](const TupleRef&) { return true; });
+    return true;
+  });
+  EXPECT_EQ(outer, 6u);        // rows 4..9 live at 10.35
+  EXPECT_EQ(inner_total, 6u);  // at 10.75 only rows 8 (value 0) and 9 (value 1) live
+  // After the walk ends, the deferred purge lands on the next access.
+  EXPECT_EQ(table.Size(inner_now), 2u);
+  EXPECT_EQ(table.counters().expires, 8u);
+}
+
+TEST(TableIndexTest, InsertDuringIterationIsNotVisited) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  table.Insert(Row("n", 0, 0), 0);
+  table.Insert(Row("n", 1, 1), 0);
+  size_t visited = 0;
+  table.ForEachLive(0, [&](const TupleRef&) {
+    ++visited;
+    table.Insert(Row("n", 100 + static_cast<int>(visited), 5), 0);
+    return true;
+  });
+  EXPECT_EQ(visited, 2u);  // snapshot semantics: callback inserts are skipped
+  EXPECT_EQ(table.Size(0), 4u);
+}
+
+TEST(TableIndexTest, InsertDuringIterationDefersEviction) {
+  Table table(Spec("t", 100, 2, {0, 1}));
+  table.Insert(Row("n", 0, 0), 0);
+  table.Insert(Row("n", 1, 1), 0);
+  table.ForEachLive(0, [&](const TupleRef&) {
+    table.Insert(Row("n", 2, 2), 0);  // over the bound; eviction must wait
+    return true;
+  });
+  EXPECT_EQ(table.Size(0), 2u);  // bound re-applied when the walk ended
+  EXPECT_EQ(table.counters().evictions, 1u);
+}
+
+TEST(TableIndexTest, DeleteDuringIterationIsDeferredButHidden) {
+  Table table(Spec("t", 100, 100, {0, 1}));
+  size_t ix = table.EnsureIndex({2});
+  for (int i = 0; i < 4; ++i) {
+    table.Insert(Row("n", i, 10), 0);
+  }
+  size_t visited = 0;
+  size_t probe_after_delete = 0;
+  table.ForEachLive(0, [&](const TupleRef& t) {
+    if (visited++ == 0) {
+      // Delete every row with value 10 except the one being visited... delete all:
+      // the walk itself must survive, and subsequent rows must not be yielded.
+      table.DeleteMatching({Value::Null(), Value::Null(), Value::Int(10)},
+                           {false, false, true}, 0);
+      probe_after_delete = table.ForEachMatch(ix, {Value::Int(10)}, 0,
+                                              [&](const TupleRef&) { return true; });
+    }
+    return true;
+  });
+  EXPECT_EQ(visited, 1u);  // rows deleted mid-walk are hidden from the walk
+  EXPECT_EQ(probe_after_delete, 0u);
+  EXPECT_EQ(table.counters().deletes, 4u);
+  EXPECT_EQ(table.Size(0), 0u);
+  EXPECT_EQ(table.Scan(0).size(), 0u);
+  // The table remains fully usable after the deferred purge.
+  table.Insert(Row("n", 1, 10), 1);
+  EXPECT_EQ(Probe(&table, ix, {Value::Int(10)}, 1).size(), 1u);
+}
+
+// --- randomized equivalence ---
+
+TEST(TableIndexTest, RandomizedProbeMatchesScanFilter) {
+  std::mt19937 rng(20260807);
+  for (int round = 0; round < 20; ++round) {
+    Table table(Spec("t", 5.0, 24, {0, 1}));
+    size_t ix_v = table.EnsureIndex({2});
+    size_t ix_kv = table.EnsureIndex({1, 2});
+    double now = 0;
+    for (int step = 0; step < 300; ++step) {
+      now += std::uniform_real_distribution<double>(0, 0.5)(rng);
+      int action = std::uniform_int_distribution<int>(0, 9)(rng);
+      int64_t k = std::uniform_int_distribution<int64_t>(0, 30)(rng);
+      int64_t v = std::uniform_int_distribution<int64_t>(0, 4)(rng);
+      if (action < 7) {
+        table.Insert(Row("n", k, v), now);
+      } else if (action == 7) {
+        table.DeleteMatching({Value::Null(), Value::Int(k), Value::Null()},
+                             {false, true, false}, now);
+      } else {
+        // Probe both indexes and compare against the scan reference.
+        ValueList key_v = {Value::Int(v)};
+        ValueList key_kv = {Value::Int(k), Value::Int(v)};
+        // Probe order is unspecified (hash-bucket order); compare as multisets.
+        auto sorted = [](std::vector<TupleRef> rows) {
+          std::vector<std::string> out;
+          out.reserve(rows.size());
+          for (const TupleRef& t : rows) {
+            out.push_back(t->ToString());
+          }
+          std::sort(out.begin(), out.end());
+          return out;
+        };
+        EXPECT_EQ(sorted(Probe(&table, ix_v, key_v, now)),
+                  sorted(ScanFilter(&table, {2}, key_v, now)))
+            << "round " << round << " step " << step;
+        EXPECT_EQ(sorted(Probe(&table, ix_kv, key_kv, now)),
+                  sorted(ScanFilter(&table, {1, 2}, key_kv, now)))
+            << "round " << round << " step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p2

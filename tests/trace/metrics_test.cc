@@ -246,7 +246,7 @@ MetricsSnapshot SampleSnapshot() {
   snap.time = 2.5;
   snap.node = "n1";
   snap.stats = {{"busy_ns", 123}, {"msgs_sent", 4}};
-  snap.rules.push_back({"r1", 10, 5000, 7});
+  snap.rules.push_back({"r1", 10, 5000, 7, 20, 2});
   snap.tables.push_back({"succ", 3, 1, 2, 0, 0, 3});
   snap.hists.push_back({"strand_trigger_ns", 10, 900, 63, 127, 255});
   return snap;
@@ -267,7 +267,8 @@ TEST(MetricsSinkTest, JsonlOneObjectPerSnapshot) {
     EXPECT_EQ(line.back(), '}');
     EXPECT_NE(line.find("\"node\":\"n1\""), std::string::npos);
     EXPECT_NE(line.find("\"busy_ns\":123"), std::string::npos);
-    EXPECT_NE(line.find("\"r1\":{\"execs\":10,\"busy_ns\":5000,\"emits\":7}"),
+    EXPECT_NE(line.find("\"r1\":{\"execs\":10,\"busy_ns\":5000,\"emits\":7,"
+                        "\"join_probe_rows\":20,\"join_scan_rows\":2}"),
               std::string::npos);
     EXPECT_NE(line.find("\"succ\""), std::string::npos);
     EXPECT_NE(line.find("\"p99\":255"), std::string::npos);
@@ -305,7 +306,7 @@ TEST(MetricsSinkTest, CsvLongFormatWithSingleHeader) {
     }
   }
   EXPECT_EQ(header_count, 1);  // header only once across writes
-  EXPECT_EQ(rule_rows, 2 * 3);
+  EXPECT_EQ(rule_rows, 2 * 5);
   EXPECT_EQ(table_rows, 2 * 6);
   EXPECT_EQ(hist_rows, 2 * 5);
 

@@ -113,6 +113,36 @@ TEST_F(SysStatTest, RowsAreSweepGranular) {
   EXPECT_EQ(RuleStatField("r1", 2), 5);
 }
 
+TEST_F(SysStatTest, SysIndexStatReportsProbesPerIndex) {
+  // r1 binds (N, V) — not the primary key — so the planner builds a secondary
+  // index on positions {0, 2} and every q event probes it.
+  Load(
+      "materialize(kv, infinity, 100, keys(1,2)).\n"
+      "r1 out@N(K) :- q@N(V), kv@N(K, V).");
+  for (int i = 0; i < 4; ++i) {
+    node_->InjectEvent(
+        Tuple::Make("kv", {Value::Str("n1"), Value::Int(i), Value::Int(i % 2)}));
+  }
+  net_.RunFor(0.1);
+  for (int i = 0; i < 6; ++i) {
+    node_->InjectEvent(Tuple::Make("q", {Value::Str("n1"), Value::Int(i % 2)}));
+  }
+  net_.RunFor(1.2);  // sweep at t=1 publishes the index stats
+  bool found = false;
+  for (const TupleRef& t : node_->TableContents("sysIndexStat")) {
+    if (t->field(1) == Value::Str("kv")) {
+      found = true;
+      EXPECT_EQ(t->field(2), Value::Str("0,2"));          // indexed positions
+      EXPECT_EQ(t->field(3).AsInt(), 6);                  // one probe per q
+      EXPECT_DOUBLE_EQ(t->field(4).AsDouble(), 2.0);      // two matches each
+    }
+  }
+  EXPECT_TRUE(found);
+  // The same activity shows up per-rule in the metrics registry.
+  EXPECT_EQ(node_->metrics().rules().at("r1")->join_probe_rows, 12u);
+  EXPECT_EQ(node_->metrics().rules().at("r1")->join_scan_rows, 0u);
+}
+
 TEST_F(SysStatTest, UnloadRemovesRuleRowsAndMetrics) {
   Load("r1 out@N(X) :- in@N(X).");
   node_->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(1)}));
