@@ -34,7 +34,14 @@ ri8 orderingAborted@SrcAddr(E, Hops) :- countWraps@NAddr(SAddr, E, SrcAddr, SID,
 bool InstallOrderingChecks(Node* node, std::string* error) {
   ParamMap params;
   params["maxHops"] = Value::Int(1000);
-  return node->LoadProgram(OrderingProgram(), params, error);
+  if (!node->LoadProgram(OrderingProgram(), params, error)) {
+    return false;
+  }
+  // A lost token silently kills the whole traversal (there is exactly one copy in
+  // flight), so the token rides the reliable class. No-op when the node's
+  // reliable_transport option is off.
+  node->MarkReliable("ordering");
+  return true;
 }
 
 void StartRingTraversal(Node* node, uint64_t traversal_id) {

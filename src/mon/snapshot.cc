@@ -49,6 +49,11 @@ sr12 doneChannels@NAddr(I, count<*>) :- channelState@NAddr(Key, Src, I, "Done").
 sr13 snapState@NAddr(I, "Done") :- doneChannels@NAddr(I, C),
      snapState@NAddr(I, "Snapping"), numBackPointers@NAddr(C).
 
+/* Record when this node began snapping I (sr9/sr1b fire snap once per node per
+   snapshot, so the row is written once). */
+materialize(snapStarted, tState, 1000, keys(1, 2)).
+sra0 snapStarted@NAddr(I, T) :- snap@NAddr(I), T := f_now().
+
 /* Channel recording (paper sr15/sr16): messages arriving on channels still being
    recorded, one dump table per message type that carries its sender. */
 sr15a channelDumpStab@NAddr(Key, I, SomeAddr, T) :- stabilizeRequest@NAddr(SomeID,
@@ -87,6 +92,25 @@ l3s sLookup@FAddr(SnapID, K, RAddr, E) :- node@NAddr(NID),
     snapFingers@NAddr(SnapID, FPos, FAddr, FID), D == K - FID - 1, FID in (NID, K).
 )OLG";
 
+// Abort machinery (docs/ROBUSTNESS.md): instead of hanging forever in "Snapping"
+// when a marker is lost for good, a snapshot that outlives its timeout — or whose
+// node sees a reliable channel fail while snapping — flips to "Aborted" with a
+// queryable snapDiag row naming the reason.
+const char kSnapshotAbortPart[] = R"OLG(
+materialize(snapDiag, tState, 1000, keys(1, 2)).
+
+/* Timeout: still Snapping well past the local start time. */
+sra1 snapDiag@NAddr(I, "timeout", T2) :- periodic@NAddr(E, tSnapCheck),
+     snapState@NAddr(I, "Snapping"), snapStarted@NAddr(I, T),
+     T < f_now() - tSnapTimeout, T2 := f_now().
+
+/* A failed reliable channel while Snapping dooms the marker flood immediately. */
+sra2 snapDiag@NAddr(I, "chanFailed", T) :- chanFailed@NAddr(Dst, T0),
+     snapState@NAddr(I, "Snapping"), T := f_now().
+
+sra3 snapState@NAddr(I, "Aborted") :- snapDiag@NAddr(I, Reason, T).
+)OLG";
+
 }  // namespace
 
 std::string SnapshotProgram(const SnapshotConfig& config) {
@@ -118,6 +142,8 @@ sr1c channelState@NAddr(Remote + I, Remote, I, "Start") :- snapInitiated@NAddr(I
 )OLG";
 }
 
+std::string SnapshotAbortProgram() { return kSnapshotAbortPart; }
+
 bool InstallSnapshot(Node* node, const SnapshotConfig& config, std::string* error) {
   ParamMap params;
   params["tState"] = Value::Double(config.state_lifetime);
@@ -131,6 +157,24 @@ bool InstallSnapshot(Node* node, const SnapshotConfig& config, std::string* erro
     if (!node->LoadProgram(SnapshotInitiatorProgram(), init_params, error)) {
       return false;
     }
+  }
+  if (config.abort_timeout > 0) {
+    ParamMap abort_params;
+    abort_params["tState"] = Value::Double(config.state_lifetime);
+    abort_params["tSnapCheck"] = Value::Double(config.abort_check_period);
+    abort_params["tSnapTimeout"] = Value::Double(config.abort_timeout);
+    if (!node->LoadProgram(SnapshotAbortProgram(), abort_params, error)) {
+      return false;
+    }
+  }
+  // The Chandy-Lamport marker flood assumes reliable FIFO channels (the paper runs
+  // it over such a transport); snapshot lookups likewise traverse the frozen ring
+  // hop by hop. Mark them for the reliable class — a no-op when the node's
+  // reliable_transport option is off (the fault-matrix ablation).
+  node->MarkReliable("marker");
+  if (config.chord_state) {
+    node->MarkReliable("sLookup");
+    node->MarkReliable("sLookupResults");
   }
   node->InjectEvent(
       Tuple::Make("currentSnap", {Value::Str(node->addr()), Value::Int(0)}));

@@ -52,6 +52,13 @@ struct SnapshotConfig {
   // Additional tables to capture, each becoming a snapCap_<table> table keyed by
   // snapshot ID + row: e.g. {"rumorSeen", 1} on the flooding overlay.
   std::vector<SnapshotCapture> extra_captures;
+  // Abort machinery (docs/ROBUSTNESS.md): when > 0, a snapshot still "Snapping"
+  // this many seconds after it started locally — or whose node sees a reliable
+  // channel fail while snapping — flips to snapState "Aborted" and writes a
+  // snapDiag(NAddr, I, Reason, T) diagnostic row instead of hanging forever.
+  // 0 disables the abort rules entirely (no extra periodic, no extra tables).
+  double abort_timeout = 0.0;
+  double abort_check_period = 1.0;
 };
 
 // The OverLog text common to all nodes (protocol core + the captures `config` asks
@@ -60,6 +67,9 @@ std::string SnapshotProgram(const SnapshotConfig& config);
 
 // The extra initiator-only rules (sr1 and the initiator's channel bootstrap).
 std::string SnapshotInitiatorProgram();
+
+// The abort rules sra1-sra3 (loaded by InstallSnapshot when abort_timeout > 0).
+std::string SnapshotAbortProgram();
 
 // Installs the snapshot machinery on `node` and seeds currentSnap(0).
 bool InstallSnapshot(Node* node, const SnapshotConfig& config, std::string* error);

@@ -29,7 +29,24 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
   ChannelState& channel = channels_[std::make_pair(src, dst)];
   ++channel.msgs;
   channel.bytes += size;
+  // Fault pipeline: global loss first (so fault-free runs replay the historical RNG
+  // draw sequence exactly), then partition cuts, then the link's own fault spec.
   if (config_.loss_rate > 0 && rng_.NextDouble() < config_.loss_rate) {
+    ++dropped_msgs_;
+    return size;
+  }
+  if (!partitioned_.empty() && IsPartitioned(src, dst)) {
+    ++dropped_msgs_;
+    return size;
+  }
+  const LinkFault* fault = nullptr;
+  if (!link_faults_.empty()) {
+    auto it = link_faults_.find(std::make_pair(src, dst));
+    if (it != link_faults_.end()) {
+      fault = &it->second;
+    }
+  }
+  if (fault != nullptr && fault->loss > 0 && rng_.NextDouble() < fault->loss) {
     ++dropped_msgs_;
     return size;
   }
@@ -43,15 +60,54 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
     return size;
   }
   double deliver_at = sched_.Now() + config_.latency + config_.jitter * rng_.NextDouble();
-  if (deliver_at <= channel.last_delivery) {
-    deliver_at = channel.last_delivery + 1e-9;  // FIFO: never overtake an earlier message
+  if (fault != nullptr) {
+    deliver_at += fault->extra_latency;
   }
-  channel.last_delivery = deliver_at;
+  if (fault != nullptr && fault->reorder_rate > 0 &&
+      rng_.NextDouble() < fault->reorder_rate) {
+    // Reordered: an extra random delay, no FIFO clamp, and `last_delivery` is left
+    // alone — this message can overtake earlier ones and later ones can overtake it.
+    ++reordered_msgs_;
+    deliver_at += (config_.latency + config_.jitter) * rng_.NextDouble();
+  } else {
+    if (deliver_at <= channel.last_delivery) {
+      deliver_at = channel.last_delivery + 1e-9;  // FIFO: never overtake an earlier message
+    }
+    channel.last_delivery = deliver_at;
+  }
   ++channel.delivered_msgs;
   channel.delivered_bytes += size;
+  if (fault != nullptr && fault->dup_rate > 0 && rng_.NextDouble() < fault->dup_rate) {
+    // Duplicate: a second copy trails the original by a random fraction of a hop.
+    ++duplicated_msgs_;
+    ++channel.delivered_msgs;
+    channel.delivered_bytes += size;
+    double dup_at =
+        deliver_at + (config_.latency + config_.jitter) * rng_.NextDouble() + 1e-9;
+    sched_.At(dup_at, [dst_node, bytes] { dst_node->ReceiveBytes(bytes); });
+  }
   sched_.At(deliver_at,
             [dst_node, bytes = std::move(bytes)] { dst_node->ReceiveBytes(bytes); });
   return size;
+}
+
+void Network::SetLinkFault(const std::string& src, const std::string& dst,
+                           LinkFault fault) {
+  link_faults_[std::make_pair(src, dst)] = fault;
+}
+
+void Network::ClearLinkFault(const std::string& src, const std::string& dst) {
+  link_faults_.erase(std::make_pair(src, dst));
+}
+
+void Network::Partition(const std::vector<std::string>& group_a,
+                        const std::vector<std::string>& group_b) {
+  for (const std::string& a : group_a) {
+    for (const std::string& b : group_b) {
+      partitioned_.insert(std::make_pair(a, b));
+      partitioned_.insert(std::make_pair(b, a));
+    }
+  }
 }
 
 std::vector<Network::ChannelTraffic> Network::ChannelsSnapshot() const {

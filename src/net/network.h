@@ -12,6 +12,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -63,6 +64,39 @@ class Network {
   uint64_t total_msgs() const { return total_msgs_; }
   uint64_t total_bytes() const { return total_bytes_; }
   uint64_t dropped_msgs() const { return dropped_msgs_; }
+  uint64_t duplicated_msgs() const { return duplicated_msgs_; }
+  uint64_t reordered_msgs() const { return reordered_msgs_; }
+
+  // ---- link-level fault injection ----
+  //
+  // Faults compose with the global loss_rate: a message first survives the global
+  // coin, then a partition check, then its link's fault spec. All randomness draws
+  // from the network's seeded RNG, so a given seed + fault schedule replays
+  // bit-identically; with no faults configured the draw sequence is exactly the
+  // pre-fault-injection one.
+  struct LinkFault {
+    double loss = 0;           // per-message drop probability on this link
+    double dup_rate = 0;       // probability a delivered message arrives twice
+    double reorder_rate = 0;   // probability a message may overtake earlier ones
+    double extra_latency = 0;  // added one-way delay, seconds
+  };
+
+  // Installs (or replaces) the fault spec for the directed link src -> dst.
+  void SetLinkFault(const std::string& src, const std::string& dst, LinkFault fault);
+  // Removes the fault spec for src -> dst (no-op if none).
+  void ClearLinkFault(const std::string& src, const std::string& dst);
+  // Removes every per-link fault spec.
+  void ClearLinkFaults() { link_faults_.clear(); }
+
+  // Cuts every link between a node of `group_a` and a node of `group_b`, both
+  // directions: messages across the cut are dropped (and counted dropped). Repeated
+  // calls accumulate cuts; Heal() removes them all.
+  void Partition(const std::vector<std::string>& group_a,
+                 const std::vector<std::string>& group_b);
+  void Heal() { partitioned_.clear(); }
+  bool IsPartitioned(const std::string& src, const std::string& dst) const {
+    return partitioned_.count(std::make_pair(src, dst)) > 0;
+  }
 
   // Per-(src,dst) channel traffic. `msgs`/`bytes` count every transmission attempt
   // (the sender pays whether or not the message is later dropped); `delivered_*`
@@ -112,9 +146,13 @@ class Network {
     uint64_t delivered_bytes = 0;
   };
   std::map<std::pair<std::string, std::string>, ChannelState> channels_;
+  std::map<std::pair<std::string, std::string>, LinkFault> link_faults_;
+  std::set<std::pair<std::string, std::string>> partitioned_;
   uint64_t total_msgs_ = 0;
   uint64_t total_bytes_ = 0;
   uint64_t dropped_msgs_ = 0;
+  uint64_t duplicated_msgs_ = 0;
+  uint64_t reordered_msgs_ = 0;
   ExternalSender external_sender_;
   MetricsSink* metrics_sink_ = nullptr;
 };

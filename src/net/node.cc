@@ -246,15 +246,24 @@ void Node::TriggerStrand(Strand* strand, const TupleRef& event) {
 }
 
 void Node::RegisterPeriodic(Strand* strand, double period) {
+  PeriodicEntry& entry = periodic_entries_[strand];
+  entry.period = period;
+  entry.armed = true;
   SchedulePeriodic(strand, period);
 }
 
 void Node::SchedulePeriodic(Strand* strand, double period) {
   network_->scheduler().After(period, [this, strand, period] {
     if (inactive_strands_.count(strand) > 0) {
+      periodic_entries_.erase(strand);
       return;  // program unloaded: the timer chain ends here
     }
-    if (up_) {
+    if (!up_) {
+      // Fail-stop: the chain dies with the node; Revive re-arms it.
+      periodic_entries_[strand].armed = false;
+      return;
+    }
+    {
       BusyTimer busy(&stats_);
       ValueList fields;
       fields.push_back(Value::Str(addr_));
@@ -278,10 +287,55 @@ void Node::SchedulePeriodic(Strand* strand, double period) {
 }
 
 void Node::ScheduleSweep() {
+  sweep_scheduled_ = true;
   network_->scheduler().After(options_.sweep_interval, [this] {
+    if (!up_) {
+      sweep_scheduled_ = false;  // chain dies; Revive re-arms it
+      return;
+    }
     Sweep();
     ScheduleSweep();
   });
+}
+
+void Node::Crash() {
+  up_ = false;
+  // Queued-but-unprocessed work dies with the node (fail-stop). Table state, loaded
+  // programs, and reliable channel bookkeeping survive — this is a process pause,
+  // not disk loss.
+  queue_.clear();
+  low_queue_.clear();
+}
+
+void Node::Revive() {
+  if (up_) {
+    return;
+  }
+  up_ = true;
+  if (!sweep_scheduled_) {
+    ScheduleSweep();
+  }
+  for (auto& [strand, entry] : periodic_entries_) {
+    if (!entry.armed) {
+      entry.armed = true;
+      SchedulePeriodic(strand, entry.period);
+    }
+  }
+}
+
+void Node::Recover() {
+  // Reliable-transport restart: abandon pending retransmissions (their timers find
+  // the epoch changed and stand down) and start every outgoing channel on a fresh
+  // epoch — peers' receivers resynchronize on the first message of the new epoch.
+  // Incoming channel state is KEPT: like table state it survives a fail-stop
+  // crash, so senders' retransmissions of messages missed during the outage slot
+  // straight into the old sequence.
+  for (auto& [dst, ch] : rel_out_) {
+    ch.pending.clear();
+    ++ch.epoch;
+    ch.next_seq = 0;
+  }
+  Revive();
 }
 
 void Node::Sweep() {
@@ -371,8 +425,205 @@ void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask
   env.is_delete = is_delete;
   env.bound_mask = bound_mask;
   env.tuple = tuple;
+  if (options_.reliable_transport && !reliable_names_.empty() &&
+      reliable_names_.count(tuple->name()) > 0) {
+    SendReliable(dst, std::move(env));
+    return;
+  }
   ++stats_.msgs_sent;
   stats_.bytes_sent += network_->SendReturningSize(addr_, dst, env);
+}
+
+void Node::MarkReliable(const std::string& name) {
+  if (options_.reliable_transport) {
+    reliable_names_.insert(name);
+  }
+}
+
+bool Node::IsReliable(const std::string& name) const {
+  return reliable_names_.count(name) > 0;
+}
+
+void Node::EnsureRelCounters() {
+  if (rel_sent_ != nullptr || !options_.metrics) {
+    return;
+  }
+  rel_sent_ = metrics_.GetCounter("rel_sent");
+  rel_acked_ = metrics_.GetCounter("rel_acked");
+  rel_retx_ = metrics_.GetCounter("rel_retx");
+  rel_dups_ = metrics_.GetCounter("rel_dups");
+  rel_failed_ = metrics_.GetCounter("rel_failed");
+  rel_acks_sent_ = metrics_.GetCounter("rel_acks_sent");
+}
+
+void Node::SendReliable(const std::string& dst, WireEnvelope env) {
+  EnsureRelCounters();
+  RelOut& ch = rel_out_[dst];
+  env.reliable = true;
+  env.epoch = ch.epoch;
+  env.seq = ++ch.next_seq;
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += network_->SendReturningSize(addr_, dst, env);
+  ++ChannelStatFor(dst).sent;
+  if (rel_sent_ != nullptr) {
+    rel_sent_->Inc();
+  }
+  uint64_t seq = env.seq;
+  uint64_t epoch = env.epoch;
+  ch.pending.emplace(seq, RelPending{std::move(env), 0});
+  ScheduleRetransmit(dst, epoch, seq, 0);
+}
+
+void Node::ScheduleRetransmit(const std::string& dst, uint64_t epoch, uint64_t seq,
+                              int retries) {
+  double delay = options_.rel_rto;
+  for (int i = 0; i < retries && delay < options_.rel_rto_max; ++i) {
+    delay *= 2;
+  }
+  if (delay > options_.rel_rto_max) {
+    delay = options_.rel_rto_max;
+  }
+  network_->scheduler().After(delay, [this, dst, epoch, seq, retries] {
+    if (!up_) {
+      return;  // the channel restarts (new epoch) via Recover
+    }
+    auto ch_it = rel_out_.find(dst);
+    if (ch_it == rel_out_.end() || ch_it->second.epoch != epoch) {
+      return;  // channel failed or was restarted since
+    }
+    RelOut& ch = ch_it->second;
+    auto it = ch.pending.find(seq);
+    if (it == ch.pending.end()) {
+      return;  // acked in the meantime
+    }
+    if (retries >= options_.rel_max_retx) {
+      FailChannel(dst, &ch);
+      return;
+    }
+    it->second.retries = retries + 1;
+    ++stats_.msgs_sent;
+    stats_.bytes_sent += network_->SendReturningSize(addr_, dst, it->second.env);
+    ++ChannelStatFor(dst).retx;
+    if (rel_retx_ != nullptr) {
+      rel_retx_->Inc();
+    }
+    ScheduleRetransmit(dst, epoch, seq, retries + 1);
+  });
+}
+
+void Node::FailChannel(const std::string& dst, RelOut* ch) {
+  // The peer is unreachable: drop everything pending, restart the channel under a
+  // fresh epoch (the peer's receiver resynchronizes on the next epoch's first
+  // message), and surface the failure as a locally queryable tuple.
+  ChannelStat& cs = ChannelStatFor(dst);
+  cs.failed += ch->pending.size();
+  if (rel_failed_ != nullptr) {
+    rel_failed_->Inc(ch->pending.size());
+  }
+  ch->pending.clear();
+  ++ch->epoch;
+  ch->next_seq = 0;
+  BusyTimer busy(&stats_);
+  RouteTuple(Tuple::Make("chanFailed", {Value::Str(addr_), Value::Str(dst),
+                                        Value::Double(Now())}),
+             /*is_delete=*/false, ~0ULL);
+  Drain();
+}
+
+void Node::HandleAck(const WireEnvelope& env) {
+  // env.src_addr is the peer acknowledging our channel toward it.
+  auto ch_it = rel_out_.find(env.src_addr);
+  if (ch_it == rel_out_.end() || ch_it->second.epoch != env.epoch) {
+    return;  // stale ack from a failed/restarted epoch
+  }
+  RelOut& ch = ch_it->second;
+  uint64_t acked = 0;
+  for (auto it = ch.pending.begin();
+       it != ch.pending.end() && it->first <= env.ack_seq;) {
+    it = ch.pending.erase(it);
+    ++acked;
+  }
+  if (acked > 0) {
+    ChannelStatFor(env.src_addr).acked += acked;
+    if (rel_acked_ != nullptr) {
+      rel_acked_->Inc(acked);
+    }
+  }
+}
+
+void Node::SendAck(const std::string& dst, uint64_t epoch, uint64_t ack_seq) {
+  WireEnvelope ack;
+  ack.src_addr = addr_;
+  ack.is_ack = true;
+  ack.epoch = epoch;
+  ack.ack_seq = ack_seq;
+  ++stats_.msgs_sent;
+  stats_.bytes_sent += network_->SendReturningSize(addr_, dst, ack);
+  if (rel_acks_sent_ != nullptr) {
+    rel_acks_sent_->Inc();
+  }
+}
+
+void Node::EnqueueDelivery(const WireEnvelope& env) {
+  Pending p;
+  p.kind = Pending::Kind::kDeliver;
+  p.tuple = env.tuple;
+  p.src_addr = env.src_addr;
+  p.src_tuple_id = env.src_tuple_id;
+  p.is_delete = env.is_delete;
+  p.bound_mask = env.bound_mask;
+  queue_.push_back(std::move(p));
+  NoteQueueDepth();
+}
+
+bool Node::HandleReliableData(const WireEnvelope& env) {
+  EnsureRelCounters();
+  RelIn& in = rel_in_[env.src_addr];
+  if (!in.inited) {
+    // First contact: every epoch's stream starts at sequence 1, so expect 1 and
+    // let the holdback buffer absorb out-of-order arrivals. (Accepting the first
+    // seen sequence as the base instead would lock onto a reordered later message
+    // and silently discard everything before it.)
+    in.inited = true;
+    in.epoch = env.epoch;
+    in.next_expected = 1;
+  } else if (env.epoch > in.epoch) {
+    // The sender restarted the channel (failure or recovery): resynchronize. New
+    // epochs always start at sequence 1; earlier sequences of the new epoch that
+    // were lost in flight will be retransmitted and delivered in order.
+    in.epoch = env.epoch;
+    in.next_expected = 1;
+    in.buffer.clear();
+  } else if (env.epoch < in.epoch) {
+    // Stale epoch: acknowledge so the sender stops retransmitting, deliver nothing.
+    SendAck(env.src_addr, env.epoch, env.seq);
+    return false;
+  }
+  if (env.seq < in.next_expected || in.buffer.count(env.seq) > 0) {
+    ++ChannelStatFor(env.src_addr).dups;
+    if (rel_dups_ != nullptr) {
+      rel_dups_->Inc();
+    }
+    SendAck(env.src_addr, in.epoch, in.next_expected - 1);
+    return false;
+  }
+  bool delivered = false;
+  if (env.seq == in.next_expected) {
+    ++in.next_expected;
+    EnqueueDelivery(env);
+    delivered = true;
+    // Flush any buffered successors that are now in order.
+    for (auto it = in.buffer.begin();
+         it != in.buffer.end() && it->first == in.next_expected;) {
+      ++in.next_expected;
+      EnqueueDelivery(it->second);
+      it = in.buffer.erase(it);
+    }
+  } else {
+    in.buffer[env.seq] = env;  // hold back until the gap fills
+  }
+  SendAck(env.src_addr, in.epoch, in.next_expected - 1);
+  return delivered;
 }
 
 void Node::ReceiveBytes(const std::string& bytes) {
@@ -385,6 +636,16 @@ void Node::ReceiveBytes(const std::string& bytes) {
   WireEnvelope env;
   if (!DecodeEnvelope(bytes, &env)) {
     ++stats_.decode_errors;
+    return;
+  }
+  if (env.is_ack) {
+    HandleAck(env);
+    return;
+  }
+  if (env.reliable) {
+    if (HandleReliableData(env)) {
+      Drain();
+    }
     return;
   }
   Pending p;

@@ -60,6 +60,20 @@ struct NodeOptions {
   // node's queues between rule strands). Zero keeps local hand-off instantaneous;
   // nonzero makes the profiler's LocalT component (paper §3.2) observable.
   double local_queue_delay = 0.0;
+  // Reliable tuple transport (docs/ROBUSTNESS.md): tuples whose names were marked
+  // via Node::MarkReliable travel on per-destination sequenced channels with
+  // retransmission, duplicate suppression, and in-order delivery. When false,
+  // MarkReliable is a no-op and everything stays best-effort (the ablation switch
+  // for fault-matrix tests).
+  bool reliable_transport = true;
+  // Initial retransmission timeout, seconds; doubles per retry (exponential
+  // backoff) up to `rel_rto_max`.
+  double rel_rto = 0.25;
+  double rel_rto_max = 8.0;
+  // Retransmissions per message before the whole channel is declared failed: its
+  // pending messages are dropped, a local chanFailed(NAddr, Dst, T) tuple is
+  // emitted, and the channel restarts under a fresh epoch.
+  int rel_max_retx = 8;
   uint64_t seed = 1;
 };
 
@@ -128,12 +142,42 @@ class Node {
   // of the paper's piecemeal on-line installation. Returns false for unknown ids.
   bool UnloadProgram(uint64_t program_id);
 
-  // Fault injection: a crashed node stops processing — incoming messages are dropped
-  // and its timers do not fire — but its state survives (fail-stop, not disk loss).
-  // On Revive, soft state that aged out during the outage expires lazily.
-  void Crash() { up_ = false; }
-  void Revive() { up_ = true; }
+  // Fault injection: a crashed node stops processing — incoming messages are dropped,
+  // queued-but-unprocessed work is lost, and its timer chains die at their next tick —
+  // but its table state survives (fail-stop, not disk loss).
+  void Crash();
+  // Revive restarts processing and re-arms the sweep and periodic timer chains that
+  // died during the outage; soft state that aged out while down expires lazily.
+  void Revive();
+  // Recover is the full crash-recovery lifecycle: Revive plus a reliable-transport
+  // restart — every outgoing channel abandons its pending retransmissions and starts
+  // a fresh epoch (peers resynchronize on the first message of the new epoch);
+  // incoming channel state survives, like table state (fail-stop, not disk loss).
+  void Recover();
   bool IsUp() const { return up_; }
+
+  // ---- reliable tuple transport (docs/ROBUSTNESS.md) ----
+
+  // Marks tuples named `name` for reliable delivery: sequenced, retransmitted with
+  // exponential backoff, duplicate-suppressed, and delivered in order per channel.
+  // No-op when NodeOptions::reliable_transport is off. Typically called by monitor
+  // installers (snapshot markers, token-traversal tuples) whose protocols assume
+  // reliable FIFO channels.
+  void MarkReliable(const std::string& name);
+  bool IsReliable(const std::string& name) const;
+
+  // Cumulative per-peer reliable-channel counters (both directions merged onto the
+  // peer's address): the backing data for sysChannelStat.
+  struct ChannelStat {
+    uint64_t sent = 0;    // reliable data tuples first-sent to the peer
+    uint64_t acked = 0;   // of those, how many were acknowledged
+    uint64_t retx = 0;    // retransmissions to the peer
+    uint64_t dups = 0;    // duplicate receptions suppressed from the peer
+    uint64_t failed = 0;  // messages abandoned after retransmit exhaustion
+  };
+  const std::map<std::string, ChannelStat>& channel_stats() const {
+    return channel_stats_;
+  }
 
   // The tuples observed by `watch(name).` declarations, most recent last (bounded).
   struct WatchEntry {
@@ -203,6 +247,44 @@ class Node {
   void Sweep();
   void InstallBuiltinTables();
 
+  // ---- reliable transport internals ----
+
+  // One outgoing reliable channel (this node -> dst).
+  struct RelPending {
+    WireEnvelope env;
+    int retries = 0;
+  };
+  struct RelOut {
+    uint64_t epoch = 1;
+    uint64_t next_seq = 0;  // last sequence assigned; 0 = none yet
+    std::map<uint64_t, RelPending> pending;
+  };
+  // One incoming reliable channel (src -> this node).
+  struct RelIn {
+    bool inited = false;
+    uint64_t epoch = 0;
+    uint64_t next_expected = 0;
+    std::map<uint64_t, WireEnvelope> buffer;  // out-of-order holdback
+  };
+
+  void SendReliable(const std::string& dst, WireEnvelope env);
+  void ScheduleRetransmit(const std::string& dst, uint64_t epoch, uint64_t seq,
+                          int retries);
+  // Retransmit exhaustion: fails the whole channel (pending dropped, epoch bumped)
+  // and emits the local chanFailed tuple.
+  void FailChannel(const std::string& dst, RelOut* ch);
+  void HandleAck(const WireEnvelope& env);
+  // Returns true if the envelope produced at least one in-order delivery (the caller
+  // then drains). Sends the cumulative ack either way.
+  bool HandleReliableData(const WireEnvelope& env);
+  void SendAck(const std::string& dst, uint64_t epoch, uint64_t ack_seq);
+  void EnqueueDelivery(const WireEnvelope& env);
+  ChannelStat& ChannelStatFor(const std::string& peer) {
+    return channel_stats_[peer];
+  }
+  // Lazily registers the rel_* counters (first reliable traffic).
+  void EnsureRelCounters();
+
   // Tracks the pending-queue high-water mark; called after every queue push.
   void NoteQueueDepth() {
     size_t depth = queue_.size() + low_queue_.size();
@@ -257,6 +339,24 @@ class Node {
   bool draining_ = false;
   bool sweep_scheduled_ = false;
   bool up_ = true;
+  // Periodic timer chains, tracked so Revive can re-arm chains that died while the
+  // node was down (a chain dies when its tick fires on a crashed node).
+  struct PeriodicEntry {
+    double period = 0;
+    bool armed = false;
+  };
+  std::unordered_map<Strand*, PeriodicEntry> periodic_entries_;
+  // Reliable transport state.
+  std::set<std::string> reliable_names_;
+  std::map<std::string, RelOut> rel_out_;
+  std::map<std::string, RelIn> rel_in_;
+  std::map<std::string, ChannelStat> channel_stats_;
+  Counter* rel_sent_ = nullptr;
+  Counter* rel_acked_ = nullptr;
+  Counter* rel_retx_ = nullptr;
+  Counter* rel_dups_ = nullptr;
+  Counter* rel_failed_ = nullptr;
+  Counter* rel_acks_sent_ = nullptr;
   // Strands of unloaded programs: their storage stays alive (timer lambdas hold raw
   // pointers) but they no longer trigger, and their timer chains stop.
   std::unordered_set<Strand*> inactive_strands_;

@@ -86,10 +86,19 @@ Node* UdpDriver::CreateNode(uint16_t port, NodeOptions options, std::string* err
   return node;
 }
 
+void UdpDriver::SetEgressLossRate(double rate, uint64_t seed) {
+  egress_loss_ = rate;
+  egress_rng_ = Rng(seed);
+}
+
 void UdpDriver::SendExternal(const std::string& dst, const std::string& bytes) {
   sockaddr_in to;
   if (!ParseAddr(dst, &to) || endpoints_.empty()) {
     return;  // unroutable: dropped, as a real UDP stack would
+  }
+  if (egress_loss_ > 0 && egress_rng_.NextDouble() < egress_loss_) {
+    ++datagrams_dropped_;
+    return;
   }
   ::sendto(endpoints_[0].fd, bytes.data(), bytes.size(), 0,
            reinterpret_cast<sockaddr*>(&to), sizeof(to));

@@ -44,6 +44,12 @@ class UdpDriver {
   // Number of datagrams received / sent through the sockets.
   uint64_t datagrams_received() const { return datagrams_received_; }
   uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t datagrams_dropped() const { return datagrams_dropped_; }
+
+  // Fault-injection hook: drops this fraction of outgoing datagrams before they
+  // reach the socket, from a seeded RNG (deterministic drop pattern per seed).
+  // Lets tests exercise the reliable transport over real UDP without tc/netem.
+  void SetEgressLossRate(double rate, uint64_t seed = 1);
 
  private:
   struct Endpoint {
@@ -60,6 +66,9 @@ class UdpDriver {
   double virtual_base_ = 0;
   uint64_t datagrams_received_ = 0;
   uint64_t datagrams_sent_ = 0;
+  uint64_t datagrams_dropped_ = 0;
+  double egress_loss_ = 0;
+  Rng egress_rng_{1};
 };
 
 }  // namespace p2

@@ -220,12 +220,33 @@ bool DecodeTuple(const std::string& in, size_t* pos, TupleRef* out) {
 
 std::string EncodeEnvelope(const WireEnvelope& env) {
   std::string out;
-  out.reserve(1 + 8 + 8 + 4 + env.src_addr.size() + env.tuple->ByteSize() + 8);
-  PutU8(env.is_delete ? 1 : 0, &out);
+  size_t tuple_size = env.is_ack ? 0 : env.tuple->ByteSize();
+  out.reserve(1 + 8 + 8 + 4 + env.src_addr.size() + tuple_size + 32);
+  uint8_t flags = 0;
+  if (env.is_delete) {
+    flags |= 1;
+  }
+  if (env.reliable) {
+    flags |= 2;
+  }
+  if (env.is_ack) {
+    flags |= 4;
+  }
+  PutU8(flags, &out);
   PutU64(env.src_tuple_id, &out);
   PutU64(env.bound_mask, &out);
   PutStr(env.src_addr, &out);
-  EncodeTuple(*env.tuple, &out);
+  if (env.reliable || env.is_ack) {
+    PutU64(env.epoch, &out);
+  }
+  if (env.reliable) {
+    PutU64(env.seq, &out);
+  }
+  if (env.is_ack) {
+    PutU64(env.ack_seq, &out);
+  } else {
+    EncodeTuple(*env.tuple, &out);
+  }
   return out;
 }
 
@@ -233,11 +254,26 @@ bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out) {
   size_t pos = 0;
   uint8_t flags = 0;
   if (!GetU8(bytes, &pos, &flags) || !GetU64(bytes, &pos, &out->src_tuple_id) ||
-      !GetU64(bytes, &pos, &out->bound_mask) || !GetStr(bytes, &pos, &out->src_addr) ||
-      !DecodeTuple(bytes, &pos, &out->tuple)) {
+      !GetU64(bytes, &pos, &out->bound_mask) || !GetStr(bytes, &pos, &out->src_addr)) {
     return false;
   }
   out->is_delete = (flags & 1) != 0;
+  out->reliable = (flags & 2) != 0;
+  out->is_ack = (flags & 4) != 0;
+  if ((out->reliable || out->is_ack) && !GetU64(bytes, &pos, &out->epoch)) {
+    return false;
+  }
+  if (out->reliable && !GetU64(bytes, &pos, &out->seq)) {
+    return false;
+  }
+  if (out->is_ack) {
+    if (!GetU64(bytes, &pos, &out->ack_seq)) {
+      return false;
+    }
+    out->tuple = TupleRef();
+  } else if (!DecodeTuple(bytes, &pos, &out->tuple)) {
+    return false;
+  }
   return pos == bytes.size();
 }
 

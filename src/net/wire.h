@@ -6,12 +6,19 @@
 // for round-trip fidelity.
 //
 // Envelope layout (little-endian):
-//   u8  flags (bit 0: delete request)
+//   u8  flags (bit 0: delete request; bit 1: reliable data; bit 2: ack)
 //   u64 source tuple id         (for tupleTable memoization at the receiver)
 //   u64 delete bound mask       (bit i set: field i is a bound pattern position)
 //   str source address
-//   tuple: str name, u32 arity, values
+//   if reliable or ack: u64 channel epoch
+//   if reliable:        u64 sequence number
+//   if ack:             u64 cumulative ack (highest in-order sequence received)
+//   unless ack:         tuple: str name, u32 arity, values
 // Value: u8 kind tag + payload (varint-free, fixed-width for simplicity).
+//
+// Best-effort envelopes (flags bits 1-2 clear) encode byte-identically to the
+// pre-reliability format, so fault-free best-effort traffic costs exactly what it
+// always did (the Figure 4/5 overhead numbers are unchanged).
 
 #ifndef SRC_NET_WIRE_H_
 #define SRC_NET_WIRE_H_
@@ -25,11 +32,21 @@
 namespace p2 {
 
 // A message as it travels between nodes.
+//
+// `reliable` tuples carry a per-(src,dst) channel epoch and sequence number; the
+// receiver delivers them in order exactly once per epoch and responds with cumulative
+// acks (`is_ack` envelopes, which carry no tuple). Best-effort tuples leave all of
+// that zero and encode exactly as before.
 struct WireEnvelope {
   std::string src_addr;
   uint64_t src_tuple_id = 0;
   bool is_delete = false;
   uint64_t bound_mask = ~0ULL;
+  bool reliable = false;   // data message on a reliable channel (epoch + seq valid)
+  bool is_ack = false;     // pure ack: epoch + ack_seq valid, no tuple
+  uint64_t epoch = 0;      // sender's channel epoch (bumped on failure/recovery)
+  uint64_t seq = 0;        // per-channel sequence number (reliable data only)
+  uint64_t ack_seq = 0;    // highest in-order sequence received (acks only)
   TupleRef tuple;
 };
 

@@ -508,18 +508,104 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     return true;
   }
 
-  if (cmd == "crash" || cmd == "revive") {
+  if (cmd == "crash" || cmd == "revive" || cmd == "recover") {
     std::vector<Node*> nodes;
-    if (words.size() != 2 || !resolve(words[1], &nodes)) {
+    double at = -1;
+    if (words.size() < 2 || words.size() > 3 || !resolve(words[1], &nodes)) {
+      if (error->empty()) {
+        *error = cmd + " <addr|all> [at=<secs>]";
+      }
       return false;
     }
+    if (words.size() == 3) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[2], &k, &v) || k != "at") {
+        *error = cmd + " <addr|all> [at=<secs>]";
+        return false;
+      }
+      at = std::strtod(v.c_str(), nullptr);
+    }
     for (Node* node : nodes) {
-      if (cmd == "crash") {
-        node->Crash();
+      auto apply = [cmd, node] {
+        if (cmd == "crash") {
+          node->Crash();
+        } else if (cmd == "revive") {
+          node->Revive();
+        } else {
+          node->Recover();
+        }
+      };
+      if (at < 0) {
+        apply();
       } else {
-        node->Revive();
+        network_->scheduler().At(at, apply);
       }
     }
+    return true;
+  }
+
+  if (cmd == "linkfault") {
+    // linkfault <src> <dst> [loss=X] [dup=X] [reorder=X] [latency=X] — no k=v
+    // options clears the link's fault spec.
+    if (words.size() < 3 || !need_network()) {
+      if (error->empty()) {
+        *error = "linkfault <src> <dst> [loss=X] [dup=X] [reorder=X] [latency=X]";
+      }
+      return false;
+    }
+    Network::LinkFault fault;
+    bool any = false;
+    for (size_t i = 3; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "expected k=v: " + words[i];
+        return false;
+      }
+      double d = std::strtod(v.c_str(), nullptr);
+      if (k == "loss") {
+        fault.loss = d;
+      } else if (k == "dup") {
+        fault.dup_rate = d;
+      } else if (k == "reorder") {
+        fault.reorder_rate = d;
+      } else if (k == "latency") {
+        fault.extra_latency = d;
+      } else {
+        *error = "unknown linkfault option: " + k;
+        return false;
+      }
+      any = true;
+    }
+    if (any) {
+      network_->SetLinkFault(words[1], words[2], fault);
+    } else {
+      network_->ClearLinkFault(words[1], words[2]);
+    }
+    return true;
+  }
+
+  if (cmd == "partition") {
+    // partition <a,b,c> <d,e,f>: cuts every link between the two groups.
+    if (words.size() != 3 || !need_network()) {
+      if (error->empty()) {
+        *error = "partition <a,b,...> <c,d,...>";
+      }
+      return false;
+    }
+    network_->Partition(Split(words[1], ','), Split(words[2], ','));
+    return true;
+  }
+
+  if (cmd == "heal") {
+    if (words.size() != 1 || !need_network()) {
+      if (error->empty()) {
+        *error = "heal";
+      }
+      return false;
+    }
+    network_->Heal();
     return true;
   }
 

@@ -43,6 +43,11 @@ void InstallIntrospectionTables(Node* node) {
   index_stats.name = "sysIndexStat";
   index_stats.key_fields = {0, 1, 2};  // NAddr, Table, Positions
   catalog.CreateTable(index_stats);
+
+  TableSpec channel_stats;
+  channel_stats.name = "sysChannelStat";
+  channel_stats.key_fields = {0, 1};  // NAddr, Dst
+  catalog.CreateTable(channel_stats);
 }
 
 void PublishStaticIntrospection(Node* node) {
@@ -162,6 +167,20 @@ void RefreshStatIntrospection(Node* node) {
                        Value::Int(static_cast<int64_t>(t.inserts)),
                        Value::Int(static_cast<int64_t>(t.expires)),
                        Value::Int(static_cast<int64_t>(t.deletes))}),
+          now);
+    }
+  }
+  Table* channel_stats = catalog.Get("sysChannelStat");
+  if (channel_stats != nullptr) {
+    for (const auto& [peer, cs] : node->channel_stats()) {
+      channel_stats->Insert(
+          Tuple::Make("sysChannelStat",
+                      {Value::Str(addr), Value::Str(peer),
+                       Value::Int(static_cast<int64_t>(cs.sent)),
+                       Value::Int(static_cast<int64_t>(cs.acked)),
+                       Value::Int(static_cast<int64_t>(cs.retx)),
+                       Value::Int(static_cast<int64_t>(cs.dups)),
+                       Value::Int(static_cast<int64_t>(cs.failed))}),
           now);
     }
   }

@@ -10,10 +10,12 @@
 //   sysRuleStat(NAddr, RuleID, Execs, BusyNs, Emits)  — per-rule execution metrics
 //   sysTableStat(NAddr, Table, Inserts, Expires, Deletes) — per-table churn
 //   sysIndexStat(NAddr, Table, Positions, Probes, AvgRows) — per-secondary-index use
+//   sysChannelStat(NAddr, Dst, Sent, Acked, Retx, Dups, Failed) — per-peer reliable
+//                                                       transport (docs/ROBUSTNESS.md)
 //
 // sysRule and sysElement rows are written when programs are installed; sysTable,
-// sysStat, sysRuleStat, sysTableStat, and sysIndexStat rows are refreshed on each
-// soft-state sweep
+// sysStat, sysRuleStat, sysTableStat, sysIndexStat, and sysChannelStat rows are
+// refreshed on each soft-state sweep
 // (sweep granularity — between sweeps the rows hold the previous sweep's values; the
 // regression test SysStatTest.RowsAreSweepGranular pins this contract).
 

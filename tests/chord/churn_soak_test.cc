@@ -36,16 +36,41 @@ TEST_P(ChurnSoak, SurvivesAndHeals) {
     ASSERT_TRUE(InstallSnapshot(bed.node(i), sc, &error)) << error;
   }
 
-  // Churn: random non-landmark nodes bounce (crash 20-40 s, revive), staggered.
+  // Churn: random non-landmark nodes bounce (crash 20-40 s, then full recovery),
+  // staggered.
   Rng rng(GetParam() * 7 + 3);
   for (int round = 0; round < 4; ++round) {
     size_t victim_idx = 1 + rng.NextBelow(bed.size() - 1);
     Node* victim = bed.node(victim_idx);
     victim->Crash();
     bed.Run(20 + static_cast<double>(rng.NextBelow(20)));
-    victim->Revive();
+    victim->Recover();
     bed.Run(10);
   }
+
+  // Lossy phase: heavy per-link loss plus occasional duplication on a few links.
+  for (int i = 0; i < 3; ++i) {
+    std::string src = ChordTestbed::AddrOf(static_cast<int>(rng.NextBelow(bed.size())));
+    std::string dst = ChordTestbed::AddrOf(static_cast<int>(rng.NextBelow(bed.size())));
+    if (src != dst) {
+      bed.network().SetLinkFault(src, dst, {/*loss=*/0.3, /*dup_rate=*/0.2});
+    }
+  }
+  bed.Run(40);
+  bed.network().ClearLinkFaults();
+
+  // Partition phase: split the ring in two, then heal before the halves evict
+  // each other (three missed pings at 5 s spacing). A longer clean split would
+  // collapse each half into its own consistent ring, and disjoint Chord rings
+  // never re-merge — that is protocol behavior, not a fault-handling bug.
+  std::vector<std::string> half_a;
+  std::vector<std::string> half_b;
+  for (size_t i = 0; i < bed.size(); ++i) {
+    (i % 2 == 0 ? half_a : half_b).push_back(bed.node(i)->addr());
+  }
+  bed.network().Partition(half_a, half_b);
+  bed.Run(10);
+  bed.network().Heal();
 
   // Quiescence: everything must heal.
   bed.Run(150);

@@ -1,0 +1,144 @@
+// Fault matrix for Chandy-Lamport snapshots (docs/ROBUSTNESS.md): with markers on
+// the reliable class a snapshot completes under heavy message loss; with the
+// reliable class ablated it aborts with a snapDiag row instead of hanging. The CI
+// loss sweep overrides the loss rate via P2_LOSS_RATE.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/mon/snapshot.h"
+#include "src/testbed/testbed.h"
+
+namespace p2 {
+namespace {
+
+double LossRate() {
+  const char* env = std::getenv("P2_LOSS_RATE");
+  return env != nullptr ? std::atof(env) : 0.2;
+}
+
+// Forms the ring loss-free, then turns on pairwise link loss and installs the
+// snapshot machinery. Chord's soft-state refresh tolerates the loss; the marker
+// flood is what needs (or misses) the reliable class.
+std::unique_ptr<ChordTestbed> LossyRing(int nodes, bool reliable,
+                                        double abort_timeout) {
+  TestbedConfig tb;
+  tb.num_nodes = nodes;
+  tb.node_options.introspection = false;
+  tb.node_options.reliable_transport = reliable;
+  auto bed = std::make_unique<ChordTestbed>(tb);
+  bed->Run(100);
+  EXPECT_TRUE(bed->RingIsCorrect());
+  double loss = LossRate();
+  for (Node* src : bed->nodes()) {
+    for (Node* dst : bed->nodes()) {
+      if (src != dst) {
+        bed->network().SetLinkFault(src->addr(), dst->addr(), {loss});
+      }
+    }
+  }
+  for (size_t i = 0; i < bed->size(); ++i) {
+    SnapshotConfig cfg;
+    cfg.snap_period = 10.0;
+    cfg.initiator = (i == 0);
+    cfg.abort_timeout = abort_timeout;
+    std::string error;
+    EXPECT_TRUE(InstallSnapshot(bed->node(i), cfg, &error)) << error;
+  }
+  return bed;
+}
+
+TEST(SnapshotFaultTest, CompletesUnderLossWithReliableMarkers) {
+  auto bed = LossyRing(6, /*reliable=*/true, /*abort_timeout=*/0);
+  bed->Run(60);
+  for (Node* node : bed->nodes()) {
+    EXPECT_GE(LatestDoneSnapshot(node), 1)
+        << node->addr() << " under " << LossRate() << " loss";
+  }
+}
+
+TEST(SnapshotFaultTest, AbortsWithDiagnosticInsteadOfHangingWithoutReliableClass) {
+  // Ablation: best-effort markers under loss. Some node misses a marker on some
+  // incoming channel eventually; that snapshot must flip to "Aborted" with a
+  // snapDiag row rather than sit in "Snapping" forever.
+  auto bed = LossyRing(6, /*reliable=*/false, /*abort_timeout=*/8.0);
+  bed->Run(120);
+  bool aborted_somewhere = false;
+  for (Node* node : bed->nodes()) {
+    std::vector<TupleRef> diags = node->TableContents("snapDiag");
+    for (const TupleRef& d : diags) {
+      aborted_somewhere = true;
+      // snapDiag(NAddr, I, Reason, T)
+      EXPECT_EQ(d->field(2).AsString(), "timeout");
+    }
+    // The abort rules guarantee no snapshot lingers in "Snapping" past the
+    // timeout + one check period.
+    for (const TupleRef& s : node->TableContents("snapState")) {
+      if (s->field(2).AsString() != "Snapping") {
+        continue;
+      }
+      double started = 0;
+      for (const TupleRef& st : node->TableContents("snapStarted")) {
+        if (st->field(1).ToInt() == s->field(1).ToInt()) {
+          started = st->field(2).ToDouble();
+        }
+      }
+      EXPECT_LT(bed->network().Now() - started, 10.0)
+          << node->addr() << " snapshot " << s->field(1).ToInt() << " hung";
+    }
+  }
+  EXPECT_TRUE(aborted_somewhere)
+      << "with " << LossRate() << " loss and best-effort markers, at least one "
+      << "snapshot round should have lost a marker";
+}
+
+TEST(SnapshotFaultTest, ChanFailedAbortsInFlightSnapshot) {
+  // A reliable channel that exhausts its retransmissions while the node is
+  // snapping aborts the snapshot with a "chanFailed" diagnostic (rule sra2).
+  TestbedConfig tb;
+  tb.num_nodes = 6;
+  tb.node_options.introspection = false;
+  tb.node_options.rel_rto = 0.2;
+  tb.node_options.rel_rto_max = 0.8;
+  tb.node_options.rel_max_retx = 3;
+  ChordTestbed bed(tb);
+  bed.Run(100);
+  ASSERT_TRUE(bed.RingIsCorrect());
+  for (size_t i = 0; i < bed.size(); ++i) {
+    SnapshotConfig cfg;
+    cfg.snap_period = 10.0;
+    cfg.initiator = (i == 0);
+    cfg.abort_timeout = 30.0;  // long: the chanFailed path must win, not the timer
+    std::string error;
+    ASSERT_TRUE(InstallSnapshot(bed.node(i), cfg, &error)) << error;
+  }
+  // Cut the initiator off right as it starts a snapshot: its markers exhaust
+  // their retransmissions and every outgoing channel fails.
+  bed.Run(9.0);
+  std::vector<std::string> others;
+  for (size_t i = 1; i < bed.size(); ++i) {
+    others.push_back(bed.node(i)->addr());
+  }
+  bed.network().Partition({bed.node(0)->addr()}, others);
+  bed.Run(30.0);
+  std::vector<TupleRef> diags = bed.node(0)->TableContents("snapDiag");
+  ASSERT_FALSE(diags.empty());
+  bool chan_failed_diag = false;
+  for (const TupleRef& d : diags) {
+    if (d->field(2).AsString() == "chanFailed") {
+      chan_failed_diag = true;
+    }
+  }
+  EXPECT_TRUE(chan_failed_diag);
+  bool aborted = false;
+  for (const TupleRef& s : bed.node(0)->TableContents("snapState")) {
+    if (s->field(2).AsString() == "Aborted") {
+      aborted = true;
+    }
+  }
+  EXPECT_TRUE(aborted);
+}
+
+}  // namespace
+}  // namespace p2

@@ -58,6 +58,80 @@ TEST(WireTest, EnvelopeRoundTrips) {
   EXPECT_TRUE(*out.tuple == *env.tuple);
 }
 
+TEST(WireTest, ReliableEnvelopeRoundTrips) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.reliable = true;
+  env.epoch = 3;
+  env.seq = 41;
+  env.tuple = Tuple::Make("marker", {Value::Str("n2"), Value::Int(7)});
+  std::string bytes = EncodeEnvelope(env);
+  WireEnvelope out;
+  ASSERT_TRUE(DecodeEnvelope(bytes, &out));
+  EXPECT_TRUE(out.reliable);
+  EXPECT_FALSE(out.is_ack);
+  EXPECT_EQ(out.epoch, 3u);
+  EXPECT_EQ(out.seq, 41u);
+  EXPECT_TRUE(*out.tuple == *env.tuple);
+}
+
+TEST(WireTest, AckEnvelopeRoundTripsWithoutTuple) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.is_ack = true;
+  env.epoch = 2;
+  env.ack_seq = 17;
+  std::string bytes = EncodeEnvelope(env);
+  WireEnvelope out;
+  ASSERT_TRUE(DecodeEnvelope(bytes, &out));
+  EXPECT_TRUE(out.is_ack);
+  EXPECT_FALSE(out.reliable);
+  EXPECT_EQ(out.epoch, 2u);
+  EXPECT_EQ(out.ack_seq, 17u);
+  EXPECT_EQ(out.tuple, TupleRef());
+}
+
+TEST(WireTest, BestEffortEncodingIsUnchangedByReliableFields) {
+  // A plain envelope must stay byte-identical to the pre-reliable-transport wire
+  // format (flags byte 0, no epoch/seq), so faults-off byte counters match
+  // historical baselines. A reliable one costs exactly epoch + seq (16 bytes).
+  WireEnvelope plain;
+  plain.src_addr = "n1";
+  plain.tuple = Tuple::Make("x", {Value::Str("n2"), Value::Int(1)});
+  std::string plain_bytes = EncodeEnvelope(plain);
+  EXPECT_EQ(plain_bytes[0], 0);  // no flag bits set
+
+  WireEnvelope rel = plain;
+  rel.reliable = true;
+  rel.epoch = 1;
+  rel.seq = 1;
+  EXPECT_EQ(EncodeEnvelope(rel).size(), plain_bytes.size() + 16);
+}
+
+TEST(WireTest, TruncatedReliableAndAckInputRejected) {
+  WireEnvelope env;
+  env.src_addr = "n1";
+  env.reliable = true;
+  env.epoch = 1;
+  env.seq = 2;
+  env.tuple = Tuple::Make("x", {Value::Str("n2")});
+  std::string bytes = EncodeEnvelope(env);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireEnvelope out;
+    EXPECT_FALSE(DecodeEnvelope(bytes.substr(0, cut), &out)) << cut;
+  }
+  WireEnvelope ack;
+  ack.src_addr = "n1";
+  ack.is_ack = true;
+  ack.epoch = 1;
+  ack.ack_seq = 2;
+  bytes = EncodeEnvelope(ack);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WireEnvelope out;
+    EXPECT_FALSE(DecodeEnvelope(bytes.substr(0, cut), &out)) << cut;
+  }
+}
+
 TEST(WireTest, TruncatedInputRejected) {
   WireEnvelope env;
   env.src_addr = "n1";

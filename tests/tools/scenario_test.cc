@@ -93,6 +93,71 @@ expect b s 1
   EXPECT_EQ(runner_.expectations_passed(), 2);
 }
 
+TEST_F(ScenarioTest, CrashAndRecoverAtTime) {
+  // crash/recover with at=<t> schedule against the virtual clock; the recovered
+  // node processes traffic again.
+  const char* script = R"(
+node a
+node b
+inline b materialize(s, infinity, 10, keys(1,2)).
+inline a fwd s@Other(X) :- go@NAddr(Other, X).
+crash b at=1
+recover b at=3
+inject t=2 a go(a, b, 1)
+run 2.5
+expect b s 0
+run 1
+inject a go(a, b, 2)
+run 1
+expect b s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 2);
+}
+
+TEST_F(ScenarioTest, LinkfaultDropsOneDirection) {
+  const char* script = R"(
+node a
+node b
+inline all materialize(s, infinity, 10, keys(1,2)).
+inline all fwd s@Other(X) :- go@NAddr(Other, X).
+linkfault a b loss=1.0
+inject a go(a, b, 1)
+inject b go(b, a, 2)
+run 1
+expect b s 0
+expect a s 1
+linkfault a b
+inject a go(a, b, 3)
+run 1
+expect b s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 3);
+}
+
+TEST_F(ScenarioTest, PartitionAndHeal) {
+  const char* script = R"(
+node a
+node b
+node c
+inline all materialize(s, infinity, 10, keys(1,2)).
+inline all fwd s@Other(X) :- go@NAddr(Other, X).
+partition a,b c
+inject a go(a, c, 1)
+inject a go(a, b, 2)
+run 1
+expect c s 0
+expect b s 1
+heal
+inject a go(a, c, 3)
+run 1
+expect c s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 3);
+}
+
 TEST_F(ScenarioTest, ChordCommandFormsRing) {
   const char* script = R"(
 node n0
@@ -138,6 +203,10 @@ TEST_F(ScenarioTest, ErrorsAreReportedWithLineNumbers) {
   fails("node a\ninject a not-a-tuple\n", "");
   fails("node a\nprogram a /no/such/file.olg\n", "cannot open");
   fails("node a\nnet latency=1\n", "net must precede");
+  fails("node a\nlinkfault a\n", "linkfault");
+  fails("node a\nlinkfault a b frob=1\n", "unknown linkfault option");
+  fails("node a\npartition a\n", "partition");
+  fails("node a\ncrash a when=2\n", "at=");
 }
 
 TEST_F(ScenarioTest, StatsPrints) {
