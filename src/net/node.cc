@@ -249,6 +249,7 @@ void Node::RegisterPeriodic(Strand* strand, double period) {
   PeriodicEntry& entry = periodic_entries_[strand];
   entry.period = period;
   entry.armed = true;
+  entry.seq = next_periodic_seq_++;
   SchedulePeriodic(strand, period);
 }
 
@@ -315,11 +316,19 @@ void Node::Revive() {
   if (!sweep_scheduled_) {
     ScheduleSweep();
   }
+  // Re-arm dead chains in registration order, not map (pointer-hash) order: the
+  // relative order of same-instant timers must be identical on every run.
+  std::vector<std::pair<Strand*, PeriodicEntry*>> dead;
   for (auto& [strand, entry] : periodic_entries_) {
     if (!entry.armed) {
-      entry.armed = true;
-      SchedulePeriodic(strand, entry.period);
+      dead.push_back({strand, &entry});
     }
+  }
+  std::sort(dead.begin(), dead.end(),
+            [](const auto& a, const auto& b) { return a.second->seq < b.second->seq; });
+  for (auto& [strand, entry] : dead) {
+    entry->armed = true;
+    SchedulePeriodic(strand, entry->period);
   }
 }
 
@@ -565,6 +574,9 @@ void Node::SendAck(const std::string& dst, uint64_t epoch, uint64_t ack_seq) {
 }
 
 void Node::EnqueueDelivery(const WireEnvelope& env) {
+  if (rel_delivery_tap_) {
+    rel_delivery_tap_(env);
+  }
   Pending p;
   p.kind = Pending::Kind::kDeliver;
   p.tuple = env.tuple;

@@ -179,6 +179,14 @@ class Node {
     return channel_stats_;
   }
 
+  // Observation hook for the reliable transport: called once for every reliable
+  // data envelope the channel layer accepts for delivery (post duplicate
+  // suppression and reordering, in delivery order). Lets harnesses check the
+  // in-order/no-dup contract from outside the transport (src/simtest oracles).
+  void SetReliableDeliveryTap(std::function<void(const WireEnvelope&)> tap) {
+    rel_delivery_tap_ = std::move(tap);
+  }
+
   // The tuples observed by `watch(name).` declarations, most recent last (bounded).
   struct WatchEntry {
     double time;
@@ -344,8 +352,13 @@ class Node {
   struct PeriodicEntry {
     double period = 0;
     bool armed = false;
+    // Registration order: Revive re-arms dead chains in this order, not in the
+    // pointer-hash order of the map — timer interleavings must not depend on heap
+    // addresses or simulation runs would not be reproducible.
+    uint64_t seq = 0;
   };
   std::unordered_map<Strand*, PeriodicEntry> periodic_entries_;
+  uint64_t next_periodic_seq_ = 0;
   // Reliable transport state.
   std::set<std::string> reliable_names_;
   std::map<std::string, RelOut> rel_out_;
@@ -357,6 +370,7 @@ class Node {
   Counter* rel_dups_ = nullptr;
   Counter* rel_failed_ = nullptr;
   Counter* rel_acks_sent_ = nullptr;
+  std::function<void(const WireEnvelope&)> rel_delivery_tap_;
   // Strands of unloaded programs: their storage stays alive (timer lambdas hold raw
   // pointers) but they no longer trigger, and their timer chains stop.
   std::unordered_set<Strand*> inactive_strands_;

@@ -1,0 +1,447 @@
+#include "src/simtest/oracles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/net/network.h"
+
+namespace p2 {
+namespace simtest {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+void Report(std::vector<Violation>* out, const std::string& oracle,
+            std::string detail) {
+  out->push_back(Violation{oracle, std::move(detail)});
+}
+
+// Detects a directed cycle in `edges`; on success names one node on the cycle.
+bool HasCycle(const std::vector<std::pair<uint64_t, uint64_t>>& edges,
+              uint64_t* witness) {
+  std::map<uint64_t, std::vector<uint64_t>> adj;
+  for (const auto& e : edges) {
+    adj[e.first].push_back(e.second);
+    adj[e.second];  // ensure every vertex exists
+  }
+  // Iterative three-color DFS.
+  std::map<uint64_t, int> color;  // 0 white, 1 grey, 2 black
+  for (const auto& [root, _] : adj) {
+    if (color[root] != 0) {
+      continue;
+    }
+    std::vector<std::pair<uint64_t, size_t>> stack = {{root, 0}};
+    color[root] = 1;
+    while (!stack.empty()) {
+      auto& [v, idx] = stack.back();
+      const std::vector<uint64_t>& next = adj[v];
+      if (idx >= next.size()) {
+        color[v] = 2;
+        stack.pop_back();
+        continue;
+      }
+      uint64_t w = next[idx++];
+      if (color[w] == 1) {
+        *witness = w;
+        return true;
+      }
+      if (color[w] == 0) {
+        color[w] = 1;
+        stack.push_back({w, 0});
+      }
+    }
+  }
+  return false;
+}
+
+// --- the built-in oracles -------------------------------------------------------
+
+// ruleExec rows are causally sane: CauseTime <= OutTime, both within [0, now], and
+// the same-instant *event* derivation subgraph is acyclic. Any cross-instant cycle
+// is already impossible when CauseTime <= OutTime holds transitively; at a single
+// instant, a materialized head may legitimately re-derive its own cause (the store
+// interns by content and the table absorbs the re-insert as a refresh, breaking the
+// loop — chord's sb10/pp5 refresh rules do this every stabilization round), but an
+// event head cannot: a same-instant event cycle would recurse without bound.
+void CheckCausality(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    std::map<double, std::vector<std::pair<uint64_t, uint64_t>>> instants;
+    for (const RuleExecObs& r : n.rule_exec) {
+      if (r.cause_time > r.out_time + kEps) {
+        Report(out, "causality",
+               StrFormat("%s rule %s: CauseTime %.6f > OutTime %.6f", n.addr.c_str(),
+                         r.rule_id.c_str(), r.cause_time, r.out_time));
+      }
+      if (r.cause_time < -kEps || r.out_time > obs.now + kEps) {
+        Report(out, "causality",
+               StrFormat("%s rule %s: times [%.6f, %.6f] outside run window [0, %.6f]",
+                         n.addr.c_str(), r.rule_id.c_str(), r.cause_time, r.out_time,
+                         obs.now));
+      }
+      if (r.cause_time != r.out_time || r.effect_materialized) {
+        continue;
+      }
+      if (r.cause_id == r.effect_id) {
+        Report(out, "causality",
+               StrFormat("%s rule %s: event id:%llu derives itself at t=%.6f",
+                         n.addr.c_str(), r.rule_id.c_str(),
+                         static_cast<unsigned long long>(r.cause_id), r.out_time));
+      } else {
+        instants[r.out_time].push_back({r.cause_id, r.effect_id});
+      }
+    }
+    for (const auto& [t, edges] : instants) {
+      uint64_t witness = 0;
+      if (HasCycle(edges, &witness)) {
+        Report(out, "causality",
+               StrFormat("%s: same-instant derivation cycle at t=%.6f through id:%llu",
+                         n.addr.c_str(), t,
+                         static_cast<unsigned long long>(witness)));
+      }
+    }
+  }
+}
+
+// Live trace rows resolve: every CauseID/EffectID of a live ruleExec row and every
+// TupleID of a live tupleTable row is memoized locally, and when a cross-node
+// provenance link resolves on both ends the two stores hold identical content.
+// (An origin that already refcount-expired its copy is fine — §2.1.3's GC.)
+void CheckTraceRefs(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    for (const RuleExecObs& r : n.rule_exec) {
+      if (!r.cause_resolved) {
+        Report(out, "trace-refs",
+               StrFormat("%s rule %s: live ruleExec cause id:%llu not in store",
+                         n.addr.c_str(), r.rule_id.c_str(),
+                         static_cast<unsigned long long>(r.cause_id)));
+      }
+      if (!r.effect_resolved) {
+        Report(out, "trace-refs",
+               StrFormat("%s rule %s: live ruleExec effect id:%llu not in store",
+                         n.addr.c_str(), r.rule_id.c_str(),
+                         static_cast<unsigned long long>(r.effect_id)));
+      }
+    }
+    for (const CrossRef& c : n.cross_refs) {
+      if (!c.resolved_local) {
+        Report(out, "trace-refs",
+               StrFormat("%s: live tupleTable row id:%llu not in store", n.addr.c_str(),
+                         static_cast<unsigned long long>(c.tuple_id)));
+      }
+      if (c.resolved_local && c.resolved_src && c.local_text != c.src_text) {
+        Report(out, "trace-refs",
+               StrFormat("%s id:%llu <- %s id:%llu: content mismatch (%s vs %s)",
+                         n.addr.c_str(), static_cast<unsigned long long>(c.tuple_id),
+                         c.src_addr.c_str(),
+                         static_cast<unsigned long long>(c.src_tuple_id),
+                         c.local_text.c_str(), c.src_text.c_str()));
+      }
+    }
+  }
+}
+
+// Reliable channels deliver per-epoch FIFO exactly-once: for each (src, dst) the
+// accepted epochs never regress and within an epoch the delivered sequence numbers
+// are exactly 1, 2, 3, ... in order.
+void CheckReliableFifo(const FleetObservation& obs, std::vector<Violation>* out) {
+  struct ChanState {
+    uint64_t epoch = 0;
+    uint64_t next = 1;
+  };
+  std::map<std::pair<std::string, std::string>, ChanState> chans;
+  for (const ChannelDelivery& d : obs.deliveries) {
+    ChanState& s = chans[{d.src, d.dst}];
+    if (s.epoch == 0) {
+      s.epoch = d.epoch;
+    }
+    if (d.epoch < s.epoch) {
+      Report(out, "reliable-fifo",
+             StrFormat("%s->%s: epoch regressed %llu -> %llu", d.src.c_str(),
+                       d.dst.c_str(), static_cast<unsigned long long>(s.epoch),
+                       static_cast<unsigned long long>(d.epoch)));
+      continue;
+    }
+    if (d.epoch > s.epoch) {
+      s.epoch = d.epoch;
+      s.next = 1;
+    }
+    if (d.seq != s.next) {
+      Report(out, "reliable-fifo",
+             StrFormat("%s->%s epoch %llu: delivered seq %llu, expected %llu",
+                       d.src.c_str(), d.dst.c_str(),
+                       static_cast<unsigned long long>(d.epoch),
+                       static_cast<unsigned long long>(d.seq),
+                       static_cast<unsigned long long>(s.next)));
+      // Resynchronize so one gap doesn't cascade into a violation per delivery.
+      s.next = d.seq + 1;
+    } else {
+      ++s.next;
+    }
+  }
+}
+
+// Per-peer reliable channel counters are internally consistent: a channel never
+// acknowledges or abandons more messages than it first-sent.
+void CheckChannelStats(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    for (const auto& [peer, cs] : n.channels) {
+      if (cs.acked > cs.sent) {
+        Report(out, "channel-stats",
+               StrFormat("%s->%s: acked %llu > sent %llu", n.addr.c_str(),
+                         peer.c_str(), static_cast<unsigned long long>(cs.acked),
+                         static_cast<unsigned long long>(cs.sent)));
+      }
+      if (cs.failed > cs.sent) {
+        Report(out, "channel-stats",
+               StrFormat("%s->%s: failed %llu > sent %llu", n.addr.c_str(),
+                         peer.c_str(), static_cast<unsigned long long>(cs.failed),
+                         static_cast<unsigned long long>(cs.sent)));
+      }
+    }
+  }
+}
+
+// Soft-state tables respect their declared bounds: live rows never exceed max_size,
+// and the live count is consistent with the cumulative mutation counters (every live
+// row was inserted and not yet expired/deleted/evicted).
+void CheckSoftState(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    for (const TableObs& t : n.tables) {
+      if (t.live_rows > t.max_size) {
+        Report(out, "soft-state",
+               StrFormat("%s.%s: %llu live rows > max_size %llu", n.addr.c_str(),
+                         t.name.c_str(), static_cast<unsigned long long>(t.live_rows),
+                         static_cast<unsigned long long>(t.max_size)));
+      }
+      uint64_t removed = t.counters.expires + t.counters.deletes + t.counters.evictions;
+      if (t.counters.inserts < removed + t.live_rows) {
+        Report(out, "soft-state",
+               StrFormat("%s.%s: %llu live rows but only %llu inserts vs %llu removals",
+                         n.addr.c_str(), t.name.c_str(),
+                         static_cast<unsigned long long>(t.live_rows),
+                         static_cast<unsigned long long>(t.counters.inserts),
+                         static_cast<unsigned long long>(removed)));
+      }
+    }
+  }
+}
+
+// Snapshots terminate: with the abort machinery on, no snapshot may still be
+// "Snapping" once its local start is older than the abort deadline (plus check-period
+// slack), and every "Aborted" snapshot must have left a snapDiag diagnostic.
+void CheckSnapshotLiveness(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    if (!n.up) {
+      continue;  // a crashed node's timers are dead; judged after recovery
+    }
+    for (const SnapObs& s : n.snapshots) {
+      if (s.state == "Snapping" && obs.snap_abort_timeout > 0 && s.has_started_time) {
+        double deadline =
+            obs.snap_abort_timeout + 3 * obs.snap_abort_check + 1.0;
+        if (obs.now - s.started_time > deadline) {
+          Report(out, "snapshot-liveness",
+                 StrFormat("%s snapshot %lld: still Snapping %.1fs after start "
+                           "(abort deadline %.1fs)",
+                           n.addr.c_str(), static_cast<long long>(s.snap_id),
+                           obs.now - s.started_time, deadline));
+        }
+      }
+      if (s.state == "Aborted" && !s.has_diag) {
+        Report(out, "snapshot-liveness",
+               StrFormat("%s snapshot %lld: Aborted without a snapDiag row",
+                         n.addr.c_str(), static_cast<long long>(s.snap_id)));
+      }
+    }
+  }
+}
+
+// Network message accounting balances: every message the network carried was sent by
+// some node, per-channel deliveries equal sends minus drops plus duplicates, nodes
+// never receive more than the network delivered, and per-node rule emits never exceed
+// routed tuples. With no fault injection at all, nothing may be dropped, duplicated,
+// or reordered.
+void CheckConservation(const FleetObservation& obs, std::vector<Violation>* out) {
+  uint64_t sum_sent = 0;
+  uint64_t sum_recv = 0;
+  for (const NodeObs& n : obs.nodes) {
+    sum_sent += n.stats.msgs_sent;
+    sum_recv += n.stats.msgs_received;
+    if (n.metrics_enabled && n.rule_emits_total > n.stats.tuples_emitted) {
+      Report(out, "conservation",
+             StrFormat("%s: rule metrics emitted %llu > node total %llu",
+                       n.addr.c_str(),
+                       static_cast<unsigned long long>(n.rule_emits_total),
+                       static_cast<unsigned long long>(n.stats.tuples_emitted)));
+    }
+  }
+  if (obs.total_msgs != sum_sent) {
+    Report(out, "conservation",
+           StrFormat("network carried %llu msgs but nodes sent %llu",
+                     static_cast<unsigned long long>(obs.total_msgs),
+                     static_cast<unsigned long long>(sum_sent)));
+  }
+  if (obs.delivered_msgs != obs.total_msgs - obs.dropped_msgs + obs.duplicated_msgs) {
+    Report(out, "conservation",
+           StrFormat("delivered %llu != sent %llu - dropped %llu + duplicated %llu",
+                     static_cast<unsigned long long>(obs.delivered_msgs),
+                     static_cast<unsigned long long>(obs.total_msgs),
+                     static_cast<unsigned long long>(obs.dropped_msgs),
+                     static_cast<unsigned long long>(obs.duplicated_msgs)));
+  }
+  if (sum_recv > obs.delivered_msgs) {
+    Report(out, "conservation",
+           StrFormat("nodes received %llu > network delivered %llu",
+                     static_cast<unsigned long long>(sum_recv),
+                     static_cast<unsigned long long>(obs.delivered_msgs)));
+  }
+  if (obs.faults_free &&
+      (obs.dropped_msgs > 0 || obs.duplicated_msgs > 0 || obs.reordered_msgs > 0)) {
+    Report(out, "conservation",
+           StrFormat("faults-free run dropped/duplicated/reordered %llu/%llu/%llu msgs",
+                     static_cast<unsigned long long>(obs.dropped_msgs),
+                     static_cast<unsigned long long>(obs.duplicated_msgs),
+                     static_cast<unsigned long long>(obs.reordered_msgs)));
+  }
+}
+
+}  // namespace
+
+std::vector<Oracle> BuiltinOracles() {
+  return {
+      {"causality", "ruleExec rows have CauseTime <= OutTime and no same-instant cycle",
+       CheckCausality},
+      {"trace-refs", "live trace rows resolve; cross-node provenance content matches",
+       CheckTraceRefs},
+      {"reliable-fifo", "reliable channels deliver per-epoch FIFO exactly-once",
+       CheckReliableFifo},
+      {"channel-stats", "per-peer reliable counters: Acked <= Sent, Failed <= Sent",
+       CheckChannelStats},
+      {"soft-state", "tables within max_size and consistent with mutation counters",
+       CheckSoftState},
+      {"snapshot-liveness", "snapshots complete or abort with snapDiag; never hang",
+       CheckSnapshotLiveness},
+      {"conservation", "network message accounting balances (strict when faults-free)",
+       CheckConservation},
+  };
+}
+
+Oracle BrokenCrashOracle() {
+  return {"broken-crash", "test-only planted bug: rejects any schedule with a crash",
+          [](const FleetObservation& obs, std::vector<Violation>* out) {
+            if (obs.crash_events > 0) {
+              Report(out, "broken-crash",
+                     StrFormat("schedule crashed a node %llu time(s)",
+                               static_cast<unsigned long long>(obs.crash_events)));
+            }
+          }};
+}
+
+void RunOracles(const std::vector<Oracle>& oracles, const FleetObservation& obs,
+                std::vector<Violation>* out) {
+  for (const Oracle& oracle : oracles) {
+    oracle.check(obs, out);
+  }
+}
+
+FleetObservation ObserveFleet(Network* net, std::vector<ChannelDelivery> deliveries) {
+  FleetObservation obs;
+  obs.now = net->Now();
+  obs.total_msgs = net->total_msgs();
+  obs.dropped_msgs = net->dropped_msgs();
+  obs.duplicated_msgs = net->duplicated_msgs();
+  obs.reordered_msgs = net->reordered_msgs();
+  for (const Network::ChannelTraffic& ch : net->ChannelsSnapshot()) {
+    obs.delivered_msgs += ch.delivered_msgs;
+  }
+  obs.deliveries = std::move(deliveries);
+  for (Node* node : net->AllNodes()) {
+    NodeObs n;
+    n.addr = node->addr();
+    n.up = node->IsUp();
+    n.stats = node->stats();
+    n.metrics_enabled = node->options().metrics;
+    for (const auto& [rule_id, rm] : node->metrics().rules()) {
+      n.rule_emits_total += rm->emits;
+    }
+    std::set<std::string> table_names;
+    for (Table* table : node->catalog().AllTables()) {
+      table_names.insert(table->spec().name);
+    }
+    for (const TupleRef& t : node->TableContents("ruleExec")) {
+      RuleExecObs r;
+      r.rule_id = t->field(1).AsString();
+      r.cause_id = t->field(2).AsId();
+      r.effect_id = t->field(3).AsId();
+      r.cause_time = t->field(4).AsDouble();
+      r.out_time = t->field(5).AsDouble();
+      r.is_event = t->field(6).AsBool();
+      r.cause_resolved = node->store().Lookup(r.cause_id) != nullptr;
+      TupleRef effect = node->store().Lookup(r.effect_id);
+      r.effect_resolved = effect != nullptr;
+      // Unresolvable effects can't be classified; trace-refs flags them, so keep
+      // them out of the causality event graph by treating them as materialized.
+      r.effect_materialized =
+          effect == nullptr || table_names.count(effect->name()) > 0;
+      n.rule_exec.push_back(std::move(r));
+    }
+    for (const TupleRef& t : node->TableContents("tupleTable")) {
+      CrossRef c;
+      c.node = n.addr;
+      c.tuple_id = t->field(1).AsId();
+      c.src_addr = t->field(2).AsString();
+      c.src_tuple_id = t->field(3).AsId();
+      TupleRef local = node->store().Lookup(c.tuple_id);
+      c.resolved_local = local != nullptr;
+      if (local != nullptr) {
+        c.local_text = local->ToString();
+      }
+      Node* src_node = net->GetNode(c.src_addr);
+      c.src_node_known = src_node != nullptr;
+      if (src_node != nullptr && src_node != node) {
+        TupleRef src = src_node->store().Lookup(c.src_tuple_id);
+        c.resolved_src = src != nullptr;
+        if (src != nullptr) {
+          c.src_text = src->ToString();
+        }
+      }
+      n.cross_refs.push_back(std::move(c));
+    }
+    n.channels = node->channel_stats();
+    for (Table* table : node->catalog().AllTables()) {
+      TableObs to;
+      to.name = table->spec().name;
+      to.live_rows = table->Size(obs.now);  // purges lazily before counters are read
+      to.max_size = table->spec().max_size;
+      to.counters = table->counters();
+      n.tables.push_back(std::move(to));
+    }
+    std::map<int64_t, double> started;
+    for (const TupleRef& t : node->TableContents("snapStarted")) {
+      started[t->field(1).AsInt()] = t->field(2).AsDouble();
+    }
+    std::set<int64_t> diags;
+    for (const TupleRef& t : node->TableContents("snapDiag")) {
+      diags.insert(t->field(1).AsInt());
+    }
+    for (const TupleRef& t : node->TableContents("snapState")) {
+      SnapObs s;
+      s.snap_id = t->field(1).AsInt();
+      s.state = t->field(2).AsString();
+      auto it = started.find(s.snap_id);
+      s.has_started_time = it != started.end();
+      if (s.has_started_time) {
+        s.started_time = it->second;
+      }
+      s.has_diag = diags.count(s.snap_id) > 0;
+      n.snapshots.push_back(std::move(s));
+    }
+    obs.nodes.push_back(std::move(n));
+  }
+  return obs;
+}
+
+}  // namespace simtest
+}  // namespace p2

@@ -1,0 +1,166 @@
+// Invariant oracles for the simulation fuzzer (docs/TESTING.md).
+//
+// Every oracle is a pure predicate over a FleetObservation — a structured dump of
+// the engine's own introspection surface (ruleExec/tupleTable trace tables, reliable
+// channel stats, soft-state table counters, snapshot state, network counters) taken
+// after a schedule has run. Because oracles consume plain data rather than a live
+// fleet, each one can be unit-tested against a synthesized violation (no vacuous
+// oracles: tests/simtest/oracle_test.cc proves each fires).
+//
+// The invariants are the paper's own monitoring claims turned inward: the execution
+// trace must form a causally consistent record (§2.1), cross-node provenance links
+// must resolve (§2.1.3), the reliable channels must honor per-epoch FIFO exactly-once
+// delivery (docs/ROBUSTNESS.md), soft state must respect its declared bounds, and
+// snapshots must terminate — complete or aborted-with-diagnostic, never hung (§3.3).
+
+#ifndef SRC_SIMTEST_ORACLES_H_
+#define SRC_SIMTEST_ORACLES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/net/node.h"
+
+namespace p2 {
+namespace simtest {
+
+// One reliable in-order delivery accepted by the transport on `dst`, in global
+// delivery order (captured via Node::SetReliableDeliveryTap).
+struct ChannelDelivery {
+  std::string src;
+  std::string dst;
+  uint64_t epoch = 0;
+  uint64_t seq = 0;
+};
+
+// Size/bounds/counters of one materialized table on one node.
+struct TableObs {
+  std::string name;
+  uint64_t live_rows = 0;
+  uint64_t max_size = 0;  // SIZE_MAX = unbounded
+  TableCounters counters;
+};
+
+// One cross-node tupleTable provenance link (local row referencing a remote origin).
+struct CrossRef {
+  std::string node;          // node holding the tupleTable row
+  uint64_t tuple_id = 0;     // local id
+  std::string src_addr;      // claimed origin node
+  uint64_t src_tuple_id = 0;  // claimed origin id
+  bool src_node_known = false;   // origin node exists in the fleet
+  bool resolved_local = false;   // tuple_id still memoized locally
+  bool resolved_src = false;     // src_tuple_id still memoized at the origin
+  std::string local_text;        // tuple text when resolved_local
+  std::string src_text;          // tuple text when resolved_src
+};
+
+// A ruleExec row, flattened (paper §2.1.1 Figure 2 schema).
+struct RuleExecObs {
+  std::string rule_id;
+  uint64_t cause_id = 0;
+  uint64_t effect_id = 0;
+  double cause_time = 0;
+  double out_time = 0;
+  bool is_event = false;
+  bool cause_resolved = false;   // cause_id memoized in the node's store
+  bool effect_resolved = false;  // effect_id memoized in the node's store
+  // Whether the effect tuple's name is a materialized table on the node. A
+  // materialized head may legitimately re-derive its own cause at one instant (the
+  // table absorbs it as a refresh, which breaks the loop); an event head cannot —
+  // a same-instant event cycle would recurse forever.
+  bool effect_materialized = true;
+};
+
+// A snapState row plus its matching snapStarted time (if still live).
+struct SnapObs {
+  int64_t snap_id = 0;
+  std::string state;          // "Snapping" | "Done" | "Aborted"
+  bool has_started_time = false;
+  double started_time = 0;
+  bool has_diag = false;      // some snapDiag row exists for snap_id
+};
+
+struct NodeObs {
+  std::string addr;
+  bool up = true;
+  NodeStats stats;
+  uint64_t rule_emits_total = 0;    // Σ RuleMetrics.emits (0 when metrics off)
+  bool metrics_enabled = false;
+  std::vector<RuleExecObs> rule_exec;
+  std::vector<CrossRef> cross_refs;
+  std::map<std::string, Node::ChannelStat> channels;  // per-peer reliable stats
+  std::vector<TableObs> tables;
+  std::vector<SnapObs> snapshots;
+};
+
+// Everything the oracles consume, extracted in one pass after a run.
+struct FleetObservation {
+  double now = 0;
+  // True when the schedule injected no loss/dup/reorder/partition/crash at all
+  // (enables the strict message-conservation checks).
+  bool faults_free = false;
+  // The snapshot abort timeout the fleet ran with (0 = abort machinery off, the
+  // liveness oracle then only checks Aborted => diag).
+  double snap_abort_timeout = 0;
+  double snap_abort_check = 1.0;
+  // Number of crash directives the schedule executed (consumed by the test-only
+  // broken oracle that anchors the shrinking tests).
+  uint64_t crash_events = 0;
+  // Network-level counters.
+  uint64_t total_msgs = 0;
+  uint64_t dropped_msgs = 0;
+  uint64_t duplicated_msgs = 0;
+  uint64_t reordered_msgs = 0;
+  uint64_t delivered_msgs = 0;  // Σ per-channel delivered
+  std::vector<NodeObs> nodes;
+  std::vector<ChannelDelivery> deliveries;
+};
+
+struct Violation {
+  std::string oracle;
+  std::string detail;
+};
+
+// An invariant oracle: appends one Violation per broken instance it finds.
+struct Oracle {
+  std::string name;
+  std::string description;
+  std::function<void(const FleetObservation&, std::vector<Violation>*)> check;
+};
+
+// The built-in oracle library (each covered by tests/simtest/oracle_test.cc):
+//   causality        — ruleExec rows have CauseTime <= OutTime within [0, now], and
+//                      the same-instant derivation subgraph is acyclic
+//   trace-refs       — live ruleExec/tupleTable ids resolve in the local store;
+//                      resolved cross-node links carry identical tuple content
+//   reliable-fifo    — per (src,dst): epochs never regress and every epoch's
+//                      delivered seqs are exactly 1,2,3,... (no gap/dup/reorder)
+//   channel-stats    — per peer: Acked <= Sent and Failed <= Sent
+//   soft-state       — per table: live rows within max_size and consistent with the
+//                      mutation counters (live <= inserts - expires - deletes - evictions)
+//   snapshot-liveness— no snapshot stays "Snapping" past the abort deadline, and
+//                      every "Aborted" snapshot left a snapDiag row
+//   conservation     — network message accounting balances (and is loss-free when
+//                      the schedule injected no faults)
+std::vector<Oracle> BuiltinOracles();
+
+// Test-only oracle that rejects any schedule containing a crash event: a known-false
+// invariant used to exercise failure reporting, shrinking, and scenario replay.
+Oracle BrokenCrashOracle();
+
+// Runs `oracles` over `obs`, appending all violations.
+void RunOracles(const std::vector<Oracle>& oracles, const FleetObservation& obs,
+                std::vector<Violation>* out);
+
+// Extracts a FleetObservation from a live fleet (all nodes of `net`). `deliveries`
+// is the tap log accumulated while the schedule ran (the harness owns it).
+FleetObservation ObserveFleet(Network* net, std::vector<ChannelDelivery> deliveries);
+
+}  // namespace simtest
+}  // namespace p2
+
+#endif  // SRC_SIMTEST_ORACLES_H_

@@ -1,0 +1,79 @@
+// The simulation-fuzzer harness (docs/TESTING.md): executes generated schedules
+// through the scenario interpreter, observes the fleet through the engine's own
+// introspection surface, and judges the run with the invariant oracle library.
+//
+// The harness is deliberately thin: a Schedule renders to scenario text
+// (src/simtest/schedule.h) and the text is what runs — so every failing run is
+// already a replayable scenario file, and greedy shrinking just re-renders smaller
+// schedules until the failure stops reproducing.
+
+#ifndef SRC_SIMTEST_SIMFUZZ_H_
+#define SRC_SIMTEST_SIMFUZZ_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/simtest/oracles.h"
+#include "src/simtest/schedule.h"
+
+namespace p2 {
+namespace simtest {
+
+struct SimFuzzOptions {
+  Ablation ablation;
+  // Adds the test-only BrokenCrashOracle (a planted always-wrong invariant) so the
+  // failure -> shrink -> replay pipeline can be exercised on demand.
+  bool broken_oracle = false;
+};
+
+struct RunResult {
+  std::string scenario;  // the exact script that executed
+  bool script_ok = true;
+  std::string script_error;  // line-numbered, when !script_ok
+  std::vector<Violation> violations;
+  // Sorted dump of all non-sys, non-trace tables across the fleet (what differential
+  // mode diffs across ablations).
+  std::string table_digest;
+  // table_digest plus the ruleExec/tupleTable trace tables (what same-seed
+  // reproducibility compares; trace rows are deterministic but GC-cadence-sensitive,
+  // so they stay out of the cross-ablation digest).
+  std::string full_digest;
+  uint64_t total_msgs = 0;
+  double virtual_secs = 0;
+
+  bool failed() const { return !script_ok || !violations.empty(); }
+  // Names of oracles that fired ("script" for interpreter failures).
+  std::set<std::string> FailedOracles() const;
+  // One line per verdict, for logs.
+  std::string Summary() const;
+};
+
+// Renders and runs `schedule`, then checks every oracle.
+RunResult RunSchedule(const Schedule& schedule, const SimFuzzOptions& opts = {});
+
+// Runs an arbitrary scenario text under the oracles (CLI --replay for files that are
+// not canonical simfuzz output). `meta` supplies crash-count/faultiness/snapshot
+// context when the text parses as a simfuzz schedule; pass nullptr otherwise (the
+// conservation oracle then runs in its lenient mode).
+RunResult RunScenarioText(const std::string& scenario, const Schedule* meta,
+                          const SimFuzzOptions& opts = {});
+
+// Greedy event-drop shrinking: starting from a failing `schedule`, repeatedly drops
+// events whose removal still reproduces at least one of the originally failed
+// oracles. Returns the minimal schedule (== input when it did not fail). `runs_out`
+// counts harness executions spent shrinking (may be null).
+Schedule ShrinkSchedule(const Schedule& schedule, const SimFuzzOptions& opts,
+                        int* runs_out);
+
+// Differential mode: runs `schedule` under the base config and under each single
+// ablation (indexes off, metrics off, reliable off) and returns one human-readable
+// line per divergence. Index/metrics ablations must produce bit-identical table
+// digests on any schedule; the reliable-transport ablation changes message
+// interleavings, so it is judged by the oracles instead of by digest.
+std::vector<std::string> DifferentialRun(const Schedule& schedule);
+
+}  // namespace simtest
+}  // namespace p2
+
+#endif  // SRC_SIMTEST_SIMFUZZ_H_

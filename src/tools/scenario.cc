@@ -9,6 +9,8 @@
 #include "src/apps/dht.h"
 #include "src/chord/chord.h"
 #include "src/common/strings.h"
+#include "src/mon/ring_checks.h"
+#include "src/mon/snapshot.h"
 #include "src/overlays/flood.h"
 
 namespace p2 {
@@ -73,6 +75,69 @@ bool IsNumber(const std::string& s) {
   char* end = nullptr;
   std::strtod(s.c_str(), &end);
   return end == s.c_str() + s.size();
+}
+
+// Strict argument parsing: a malformed number (e.g. `at=1O`) must fail the line, not
+// silently read as 0 — simfuzz round-trips generated scenario files through this
+// parser and relies on every typo being a line-numbered error.
+bool ParseDoubleArg(const std::string& text, const std::string& what, double* out,
+                    std::string* error) {
+  if (!IsNumber(text)) {
+    *error = "bad number for " + what + ": '" + text + "'";
+    return false;
+  }
+  *out = std::strtod(text.c_str(), nullptr);
+  return true;
+}
+
+// A probability argument: numeric and within [0,1].
+bool ParseRateArg(const std::string& text, const std::string& what, double* out,
+                  std::string* error) {
+  if (!ParseDoubleArg(text, what, out, error)) {
+    return false;
+  }
+  if (*out < 0.0 || *out > 1.0) {
+    *error = what + " must be in [0,1]: " + text;
+    return false;
+  }
+  return true;
+}
+
+// A non-negative duration/latency argument.
+bool ParseDurationArg(const std::string& text, const std::string& what, double* out,
+                      std::string* error) {
+  if (!ParseDoubleArg(text, what, out, error)) {
+    return false;
+  }
+  if (*out < 0.0) {
+    *error = what + " must be >= 0: " + text;
+    return false;
+  }
+  return true;
+}
+
+bool ParseU64Arg(const std::string& text, const std::string& what, uint64_t* out,
+                 std::string* error) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    *error = "bad unsigned integer for " + what + ": '" + text + "'";
+    return false;
+  }
+  *out = std::strtoull(text.c_str(), nullptr, 10);
+  return true;
+}
+
+bool ParseOnOff(const std::string& text, const std::string& what, bool* out,
+                std::string* error) {
+  if (text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "off") {
+    *out = false;
+    return true;
+  }
+  *error = what + " must be on|off: " + text;
+  return false;
 }
 
 // Parses one value of a tuple literal.
@@ -267,15 +332,22 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         *error = "expected k=v: " + words[i];
         return false;
       }
-      double d = std::strtod(v.c_str(), nullptr);
       if (k == "latency") {
-        impl_->net_config.latency = d;
+        if (!ParseDurationArg(v, "latency", &impl_->net_config.latency, error)) {
+          return false;
+        }
       } else if (k == "jitter") {
-        impl_->net_config.jitter = d;
+        if (!ParseDurationArg(v, "jitter", &impl_->net_config.jitter, error)) {
+          return false;
+        }
       } else if (k == "loss") {
-        impl_->net_config.loss_rate = d;
+        if (!ParseRateArg(v, "loss", &impl_->net_config.loss_rate, error)) {
+          return false;
+        }
       } else if (k == "seed") {
-        impl_->net_config.seed = static_cast<uint64_t>(d);
+        if (!ParseU64Arg(v, "seed", &impl_->net_config.seed, error)) {
+          return false;
+        }
       } else {
         *error = "unknown net option: " + k;
         return false;
@@ -315,7 +387,22 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       if (words[i] == "trace") {
         opts.tracing = true;
       } else if (SplitKv(words[i], &k, &v) && k == "seed") {
-        opts.seed = std::strtoull(v.c_str(), nullptr, 10);
+        if (!ParseU64Arg(v, "seed", &opts.seed, error)) {
+          return false;
+        }
+      } else if (k == "indexes") {
+        // Ablation switches, mirroring NodeOptions (simfuzz differential mode).
+        if (!ParseOnOff(v, "indexes", &opts.use_join_indexes, error)) {
+          return false;
+        }
+      } else if (k == "metrics") {
+        if (!ParseOnOff(v, "metrics", &opts.metrics, error)) {
+          return false;
+        }
+      } else if (k == "reliable") {
+        if (!ParseOnOff(v, "reliable", &opts.reliable_transport, error)) {
+          return false;
+        }
       } else {
         *error = "unknown node option: " + words[i];
         return false;
@@ -387,7 +474,10 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    uint64_t req = std::strtoull(words.back().c_str(), nullptr, 10);
+    uint64_t req = 0;
+    if (!ParseU64Arg(words.back(), "reqid", &req, error)) {
+      return false;
+    }
     if (cmd == "put") {
       DhtPut(nodes[0], words[2], words[3], req);
     } else {
@@ -416,7 +506,11 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    PublishRumor(nodes[0], std::strtoull(words[2].c_str(), nullptr, 10), words[3]);
+    uint64_t rumor = 0;
+    if (!ParseU64Arg(words[2], "rumor-id", &rumor, error)) {
+      return false;
+    }
+    PublishRumor(nodes[0], rumor, words[3]);
     return true;
   }
 
@@ -468,11 +562,15 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
 
   if (cmd == "inject") {
     size_t arg = 1;
-    double at = -1;
+    double at = 0;
+    bool have_at = false;
     std::string k;
     std::string v;
     if (arg < words.size() && SplitKv(words[arg], &k, &v) && k == "t") {
-      at = std::strtod(v.c_str(), nullptr);
+      if (!ParseDoubleArg(v, "t", &at, error)) {
+        return false;
+      }
+      have_at = true;
       ++arg;
     }
     if (arg + 1 >= words.size()) {
@@ -483,12 +581,19 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!resolve(words[arg], &nodes)) {
       return false;
     }
+    if (have_at && at < network_->Now()) {
+      // The scheduler would clamp a past time to "now", silently reordering the
+      // scenario; reject instead.
+      *error = StrFormat("t=%g is in the past (virtual time is %g)", at,
+                         network_->Now());
+      return false;
+    }
     TupleRef tuple;
     if (!ParseTupleLiteral(words[arg + 1], &tuple, error)) {
       return false;
     }
     for (Node* node : nodes) {
-      if (at < 0) {
+      if (!have_at) {
         node->InjectEvent(tuple);
       } else {
         network_->scheduler().At(at, [node, tuple] { node->InjectEvent(tuple); });
@@ -504,7 +609,11 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    network_->RunFor(std::strtod(words[1].c_str(), nullptr));
+    double secs = 0;
+    if (!ParseDurationArg(words[1], "run", &secs, error)) {
+      return false;
+    }
+    network_->RunFor(secs);
     return true;
   }
 
@@ -524,7 +633,14 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         *error = cmd + " <addr|all> [at=<secs>]";
         return false;
       }
-      at = std::strtod(v.c_str(), nullptr);
+      if (!ParseDoubleArg(v, "at", &at, error)) {
+        return false;
+      }
+      if (at < network_->Now()) {
+        *error = StrFormat("at=%g is in the past (virtual time is %g)", at,
+                           network_->Now());
+        return false;
+      }
     }
     for (Node* node : nodes) {
       auto apply = [cmd, node] {
@@ -563,20 +679,33 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         *error = "expected k=v: " + words[i];
         return false;
       }
-      double d = std::strtod(v.c_str(), nullptr);
       if (k == "loss") {
-        fault.loss = d;
+        if (!ParseRateArg(v, "loss", &fault.loss, error)) {
+          return false;
+        }
       } else if (k == "dup") {
-        fault.dup_rate = d;
+        if (!ParseRateArg(v, "dup", &fault.dup_rate, error)) {
+          return false;
+        }
       } else if (k == "reorder") {
-        fault.reorder_rate = d;
+        if (!ParseRateArg(v, "reorder", &fault.reorder_rate, error)) {
+          return false;
+        }
       } else if (k == "latency") {
-        fault.extra_latency = d;
+        if (!ParseDurationArg(v, "latency", &fault.extra_latency, error)) {
+          return false;
+        }
       } else {
         *error = "unknown linkfault option: " + k;
         return false;
       }
       any = true;
+    }
+    for (int i = 1; i <= 2; ++i) {
+      if (network_->GetNode(words[i]) == nullptr) {
+        *error = "unknown node: " + words[i];
+        return false;
+      }
     }
     if (any) {
       network_->SetLinkFault(words[1], words[2], fault);
@@ -594,7 +723,17 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    network_->Partition(Split(words[1], ','), Split(words[2], ','));
+    std::vector<std::string> group_a = Split(words[1], ',');
+    std::vector<std::string> group_b = Split(words[2], ',');
+    for (const std::vector<std::string>* group : {&group_a, &group_b}) {
+      for (const std::string& addr : *group) {
+        if (network_->GetNode(addr) == nullptr) {
+          *error = "unknown node: " + addr;
+          return false;
+        }
+      }
+    }
+    network_->Partition(group_a, group_b);
     return true;
   }
 
@@ -671,7 +810,11 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    size_t want = static_cast<size_t>(std::strtoull(words[3].c_str(), nullptr, 10));
+    uint64_t want64 = 0;
+    if (!ParseU64Arg(words[3], "count", &want64, error)) {
+      return false;
+    }
+    size_t want = static_cast<size_t>(want64);
     size_t got = nodes[0]->TableContents(words[2]).size();
     if (got != want) {
       *error = StrFormat("expect failed: %s.%s has %zu rows, wanted %zu",
@@ -679,6 +822,70 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       return false;
     }
     ++expectations_passed_;
+    return true;
+  }
+
+  if (cmd == "monitors") {
+    // monitors <addr|all> [initiator=<addr>] [snap_period=X] [abort=X] [check=X]
+    //          [probe=X] — installs the paper's monitoring programs (ring checks +
+    // Chandy-Lamport snapshots) on the selected Chord nodes. The initiator defaults
+    // to the first selected node.
+    if (words.size() < 2) {
+      *error = "monitors <addr|all> [initiator=<addr>] [snap_period=X] [abort=X] "
+               "[check=X] [probe=X]";
+      return false;
+    }
+    std::vector<Node*> nodes;
+    if (!resolve(words[1], &nodes)) {
+      return false;
+    }
+    std::string initiator = nodes.front()->addr();
+    SnapshotConfig snap_cfg;
+    RingCheckConfig ring_cfg;
+    for (size_t i = 2; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "expected k=v: " + words[i];
+        return false;
+      }
+      if (k == "initiator") {
+        if (network_->GetNode(v) == nullptr) {
+          *error = "unknown node: " + v;
+          return false;
+        }
+        initiator = v;
+      } else if (k == "snap_period") {
+        if (!ParseDurationArg(v, "snap_period", &snap_cfg.snap_period, error)) {
+          return false;
+        }
+      } else if (k == "abort") {
+        if (!ParseDurationArg(v, "abort", &snap_cfg.abort_timeout, error)) {
+          return false;
+        }
+      } else if (k == "check") {
+        if (!ParseDurationArg(v, "check", &snap_cfg.abort_check_period, error)) {
+          return false;
+        }
+      } else if (k == "probe") {
+        if (!ParseDurationArg(v, "probe", &ring_cfg.probe_period, error)) {
+          return false;
+        }
+      } else {
+        *error = "unknown monitors option: " + k;
+        return false;
+      }
+    }
+    for (Node* node : nodes) {
+      if (!InstallRingChecks(node, ring_cfg, error)) {
+        return false;
+      }
+      SnapshotConfig cfg = snap_cfg;
+      cfg.initiator = (node->addr() == initiator);
+      if (!InstallSnapshot(node, cfg, error)) {
+        return false;
+      }
+    }
     return true;
   }
 

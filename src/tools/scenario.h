@@ -8,7 +8,10 @@
 //   metrics <path>                                # stream per-sweep telemetry
 //                                                 # (.csv -> CSV, else JSONL)
 //   node <addr> [trace] [seed=N]                  # create a node
+//        [indexes=on|off] [metrics=on|off] [reliable=on|off]   # NodeOptions ablations
 //   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
+//   monitors <addr|all> [initiator=<addr>]        # ring checks + C-L snapshots
+//            [snap_period=X] [abort=X] [check=X] [probe=X]     # (needs chord)
 //   dht <addr|all>                                # DHT put/get layer (needs chord)
 //   put <addr> <key> <value> <reqid>              # DHT operations
 //   get <addr> <key> <reqid>
@@ -19,7 +22,10 @@
 //   inline <addr|all> <overlog text to end of line>
 //   inject [t=<secs>] <addr> <name>(v1, v2, ...)  # inject a tuple (now or at t)
 //   run <secs>                                    # advance virtual time
-//   crash <addr> | revive <addr>
+//   crash|revive|recover <addr|all> [at=<secs>]   # fault injection (at in the future)
+//   linkfault <src> <dst> [loss=X] [dup=X] [reorder=X] [latency=X]   # no k=v clears
+//   partition <a,b,...> <c,d,...>                 # cut links between the two groups
+//   heal                                          # undo all partitions
 //   watchprint <addr|all>                         # print watch() hits as they happen
 //   dump <addr|all> <table>                       # print a table's rows
 //   stats <addr|all>                              # print node counters
@@ -27,6 +33,11 @@
 //
 // Tuple literal values: numbers (Int/Double), "strings", id:<u64> (Id), true/false,
 // and bare identifiers (treated as strings, convenient for addresses).
+//
+// The parser is strict: unknown directives/options, malformed numbers, rates outside
+// [0,1], unknown node addresses in fault directives, and at=/t= times already in the
+// virtual-time past all fail with a line-numbered error (never silently ignored) —
+// simfuzz-generated scenario files round-trip through this grammar losslessly.
 
 #ifndef SRC_TOOLS_SCENARIO_H_
 #define SRC_TOOLS_SCENARIO_H_

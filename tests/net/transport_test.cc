@@ -292,6 +292,70 @@ TEST(TransportTest, SysChannelStatRowsArePublishedAtSweep) {
   EXPECT_TRUE(saw_rel_sent);
 }
 
+TEST(TransportTest, StaleAckAfterRecoverIsIgnored) {
+  NetworkConfig cfg;
+  cfg.latency = 0.01;
+  cfg.jitter = 0;
+  NodeOptions opts = Quiet();
+  opts.rel_rto = 5.0;  // no retransmits during the window under test
+  Pair p(cfg, opts);
+  p.net.SetLinkFault("b", "a",
+                     {/*loss=*/0, /*dup_rate=*/0, /*reorder_rate=*/0,
+                      /*extra_latency=*/1.0});  // acks crawl back
+  p.Send(1);
+  p.net.RunFor(0.5);  // delivered; its epoch-1 ack is still in flight
+  ASSERT_EQ(p.arrivals.size(), 1u);
+  EXPECT_EQ(p.a->channel_stats().at("b").acked, 0u);
+
+  p.a->Recover();     // restart: the outgoing channel advances to epoch 2
+  p.net.RunFor(2.0);  // the epoch-1 ack lands after the restart
+  EXPECT_EQ(p.a->channel_stats().at("b").acked, 0u)
+      << "an ack from a pre-restart epoch must not credit the new epoch";
+
+  // The restarted channel still works: the next send opens epoch 2 and is acked.
+  p.net.ClearLinkFault("b", "a");
+  p.a->InjectEvent(
+      Tuple::Make("go", {Value::Str("a"), Value::Str("b"), Value::Int(42)}));
+  p.net.RunFor(2.0);
+  ASSERT_EQ(p.arrivals.size(), 2u);
+  EXPECT_EQ(p.arrivals[1], 42);
+  const Node::ChannelStat& cs = p.a->channel_stats().at("b");
+  EXPECT_EQ(cs.sent, 2u);
+  EXPECT_EQ(cs.acked, 1u);
+}
+
+TEST(TransportTest, ChanFailedFiresExactlyOncePerExhaustion) {
+  NetworkConfig cfg;
+  cfg.latency = 0.01;
+  NodeOptions opts = Quiet();
+  opts.rel_rto = 0.1;
+  opts.rel_rto_max = 0.2;
+  opts.rel_max_retx = 2;
+  Pair p(cfg, opts);
+  int chan_failed = 0;
+  p.a->SubscribeEvent("chanFailed", [&](const TupleRef&) { ++chan_failed; });
+  p.net.Partition({"a"}, {"b"});
+  p.Send(4);
+  p.net.RunFor(10.0);
+  EXPECT_EQ(chan_failed, 1)
+      << "one exhaustion = one chanFailed, not one per pending message";
+  EXPECT_EQ(p.a->channel_stats().at("b").failed, 4u)
+      << "every message abandoned by the exhaustion counts as failed";
+
+  // Heal, prove the fresh-epoch channel works, then exhaust it again: a second,
+  // distinct exhaustion surfaces a second chanFailed.
+  p.net.Heal();
+  p.Send(1);
+  p.net.RunFor(5.0);
+  ASSERT_EQ(p.arrivals.size(), 1u);
+  EXPECT_EQ(chan_failed, 1);
+  p.net.Partition({"a"}, {"b"});
+  p.Send(2);
+  p.net.RunFor(10.0);
+  EXPECT_EQ(chan_failed, 2);
+  EXPECT_EQ(p.a->channel_stats().at("b").failed, 6u);
+}
+
 TEST(TransportTest, ReliableTransportOffIsAnAblation) {
   NetworkConfig cfg;
   cfg.loss_rate = 0.4;

@@ -1,0 +1,275 @@
+// Non-vacuity proofs for the simfuzz invariant oracles (docs/TESTING.md): every
+// built-in oracle must fire on a synthesized observation that violates exactly its
+// invariant, and stay silent on a healthy observation. Oracles consume plain
+// FleetObservation data, so violations are constructed directly — no fleet needed.
+
+#include <gtest/gtest.h>
+
+#include "src/simtest/oracles.h"
+
+namespace p2 {
+namespace simtest {
+namespace {
+
+// A small two-node observation every built-in oracle accepts.
+FleetObservation CleanObs() {
+  FleetObservation obs;
+  obs.now = 100.0;
+  obs.faults_free = true;
+  obs.snap_abort_timeout = 8.0;
+  obs.snap_abort_check = 1.0;
+  obs.total_msgs = 16;
+  obs.delivered_msgs = 16;
+
+  NodeObs n0;
+  n0.addr = "n0";
+  n0.stats.msgs_sent = 10;
+  n0.stats.msgs_received = 8;
+  n0.stats.tuples_emitted = 20;
+  n0.metrics_enabled = true;
+  n0.rule_emits_total = 5;
+  // A resolved two-step derivation plus an acyclic same-instant event hop.
+  RuleExecObs r1{"r1", 1, 2, 1.0, 1.5, true, true, true, true};
+  RuleExecObs r2{"r2", 3, 4, 2.0, 2.0, true, true, true, false};
+  RuleExecObs r3{"r3", 4, 5, 2.0, 2.0, true, true, true, false};
+  n0.rule_exec = {r1, r2, r3};
+  CrossRef cref;
+  cref.node = "n0";
+  cref.tuple_id = 7;
+  cref.src_addr = "n1";
+  cref.src_tuple_id = 9;
+  cref.src_node_known = true;
+  cref.resolved_local = true;
+  cref.resolved_src = true;
+  cref.local_text = "hop(n0, 5)";
+  cref.src_text = "hop(n0, 5)";
+  n0.cross_refs = {cref};
+  n0.channels["n1"] = Node::ChannelStat{4, 3, 1, 0, 0};
+  TableObs table;
+  table.name = "succ";
+  table.live_rows = 3;
+  table.max_size = 16;
+  table.counters.inserts = 10;
+  table.counters.expires = 4;
+  table.counters.deletes = 2;
+  table.counters.evictions = 1;
+  n0.tables = {table};
+  SnapObs done{1, "Done", false, 0, false};
+  SnapObs aborted{2, "Aborted", false, 0, /*has_diag=*/true};
+  SnapObs snapping{3, "Snapping", true, /*started=*/obs.now - 2.0, false};
+  n0.snapshots = {done, aborted, snapping};
+  obs.nodes.push_back(n0);
+
+  NodeObs n1;
+  n1.addr = "n1";
+  n1.stats.msgs_sent = 6;
+  n1.stats.msgs_received = 8;
+  obs.nodes.push_back(n1);
+
+  obs.deliveries = {{"n0", "n1", 1, 1}, {"n0", "n1", 1, 2}, {"n0", "n1", 1, 3},
+                    {"n0", "n1", 2, 1}};
+  return obs;
+}
+
+// Runs just the named built-in oracle.
+std::vector<Violation> RunOne(const std::string& name, const FleetObservation& obs) {
+  std::vector<Violation> out;
+  for (const Oracle& o : BuiltinOracles()) {
+    if (o.name == name) {
+      o.check(obs, &out);
+      return out;
+    }
+  }
+  ADD_FAILURE() << "no built-in oracle named " << name;
+  return out;
+}
+
+TEST(OracleTest, CleanObservationPassesEveryOracle) {
+  std::vector<Violation> out;
+  RunOracles(BuiltinOracles(), CleanObs(), &out);
+  for (const Violation& v : out) {
+    ADD_FAILURE() << v.oracle << ": " << v.detail;
+  }
+}
+
+TEST(OracleTest, CausalityFiresOnTimeInversion) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].rule_exec[0].cause_time = 2.0;
+  obs.nodes[0].rule_exec[0].out_time = 1.0;
+  EXPECT_FALSE(RunOne("causality", obs).empty());
+}
+
+TEST(OracleTest, CausalityFiresOnTimesOutsideRunWindow) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].rule_exec[0].out_time = obs.now + 50.0;
+  obs.nodes[0].rule_exec[0].cause_time = obs.now + 50.0;
+  EXPECT_FALSE(RunOne("causality", obs).empty());
+}
+
+TEST(OracleTest, CausalityFiresOnSameInstantEventCycle) {
+  FleetObservation obs = CleanObs();
+  // Close the 3 -> 4 -> 5 event chain back onto itself at the same instant.
+  RuleExecObs back{"r9", 5, 3, 2.0, 2.0, true, true, true, false};
+  obs.nodes[0].rule_exec.push_back(back);
+  EXPECT_FALSE(RunOne("causality", obs).empty());
+}
+
+TEST(OracleTest, CausalityFiresOnEventSelfDerivation) {
+  FleetObservation obs = CleanObs();
+  RuleExecObs self{"r9", 6, 6, 3.0, 3.0, true, true, true, false};
+  obs.nodes[0].rule_exec.push_back(self);
+  EXPECT_FALSE(RunOne("causality", obs).empty());
+}
+
+// The chord refresh pattern (sb10/pp5): a materialized head re-derives its own
+// cause at one instant. The table absorbs it as a refresh, so it must NOT fire.
+TEST(OracleTest, CausalityIgnoresMaterializedRefreshLoops) {
+  FleetObservation obs = CleanObs();
+  RuleExecObs self{"sb10", 6, 6, 3.0, 3.0, true, true, true, true};
+  RuleExecObs to{"agg1", 6, 7, 4.0, 4.0, true, true, true, true};
+  RuleExecObs from{"sb10", 7, 6, 4.0, 4.0, true, true, true, true};
+  obs.nodes[0].rule_exec.push_back(self);
+  obs.nodes[0].rule_exec.push_back(to);
+  obs.nodes[0].rule_exec.push_back(from);
+  EXPECT_TRUE(RunOne("causality", obs).empty());
+}
+
+TEST(OracleTest, TraceRefsFiresOnUnresolvedRuleExecIds) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].rule_exec[0].cause_resolved = false;
+  EXPECT_FALSE(RunOne("trace-refs", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].rule_exec[0].effect_resolved = false;
+  EXPECT_FALSE(RunOne("trace-refs", obs).empty());
+}
+
+TEST(OracleTest, TraceRefsFiresOnUnresolvedTupleTableRow) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].cross_refs[0].resolved_local = false;
+  EXPECT_FALSE(RunOne("trace-refs", obs).empty());
+}
+
+TEST(OracleTest, TraceRefsFiresOnCrossNodeContentMismatch) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].cross_refs[0].src_text = "hop(n0, 666)";
+  EXPECT_FALSE(RunOne("trace-refs", obs).empty());
+}
+
+TEST(OracleTest, TraceRefsAllowsRefcountExpiredOrigin) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].cross_refs[0].resolved_src = false;  // origin GCed its copy: fine
+  obs.nodes[0].cross_refs[0].src_text.clear();
+  EXPECT_TRUE(RunOne("trace-refs", obs).empty());
+}
+
+TEST(OracleTest, ReliableFifoFiresOnSequenceGap) {
+  FleetObservation obs = CleanObs();
+  obs.deliveries = {{"n0", "n1", 1, 1}, {"n0", "n1", 1, 3}};
+  EXPECT_FALSE(RunOne("reliable-fifo", obs).empty());
+}
+
+TEST(OracleTest, ReliableFifoFiresOnDuplicateDelivery) {
+  FleetObservation obs = CleanObs();
+  obs.deliveries = {{"n0", "n1", 1, 1}, {"n0", "n1", 1, 2}, {"n0", "n1", 1, 2}};
+  EXPECT_FALSE(RunOne("reliable-fifo", obs).empty());
+}
+
+TEST(OracleTest, ReliableFifoFiresOnEpochRegression) {
+  FleetObservation obs = CleanObs();
+  obs.deliveries = {{"n0", "n1", 2, 1}, {"n0", "n1", 1, 1}};
+  EXPECT_FALSE(RunOne("reliable-fifo", obs).empty());
+}
+
+TEST(OracleTest, ChannelStatsFiresOnImpossibleCounters) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].channels["n1"].acked = 99;  // > sent
+  EXPECT_FALSE(RunOne("channel-stats", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].channels["n1"].failed = 99;  // > sent
+  EXPECT_FALSE(RunOne("channel-stats", obs).empty());
+}
+
+TEST(OracleTest, SoftStateFiresOnMaxSizeOverflow) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].tables[0].live_rows = 17;  // > max_size 16
+  obs.nodes[0].tables[0].counters.inserts = 100;
+  EXPECT_FALSE(RunOne("soft-state", obs).empty());
+}
+
+TEST(OracleTest, SoftStateFiresOnCounterInconsistency) {
+  FleetObservation obs = CleanObs();
+  // 3 live rows but the counters only account for 10 - 4 - 2 - 1 = 3; one more
+  // removal makes a live row unexplained.
+  obs.nodes[0].tables[0].counters.deletes += 1;
+  EXPECT_FALSE(RunOne("soft-state", obs).empty());
+}
+
+TEST(OracleTest, SnapshotLivenessFiresOnHungSnapshot) {
+  FleetObservation obs = CleanObs();
+  // Deadline is abort (8) + 3 * check (1) + 1 = 12s; started 30s ago.
+  obs.nodes[0].snapshots[2].started_time = obs.now - 30.0;
+  EXPECT_FALSE(RunOne("snapshot-liveness", obs).empty());
+}
+
+TEST(OracleTest, SnapshotLivenessFiresOnAbortWithoutDiag) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].snapshots[1].has_diag = false;
+  EXPECT_FALSE(RunOne("snapshot-liveness", obs).empty());
+}
+
+TEST(OracleTest, SnapshotLivenessSkipsDownNodes) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].snapshots[2].started_time = obs.now - 30.0;
+  obs.nodes[0].up = false;  // crashed: timers dead, judged after recovery
+  EXPECT_TRUE(RunOne("snapshot-liveness", obs).empty());
+}
+
+TEST(OracleTest, ConservationFiresOnSendAccountingMismatch) {
+  FleetObservation obs = CleanObs();
+  obs.total_msgs += 1;  // network carried a message nobody sent
+  EXPECT_FALSE(RunOne("conservation", obs).empty());
+}
+
+TEST(OracleTest, ConservationFiresOnDeliveryImbalance) {
+  FleetObservation obs = CleanObs();
+  obs.delivered_msgs -= 1;  // delivered != sent - dropped + duplicated
+  EXPECT_FALSE(RunOne("conservation", obs).empty());
+}
+
+TEST(OracleTest, ConservationFiresOnDropDuringFaultFreeRun) {
+  FleetObservation obs = CleanObs();
+  obs.dropped_msgs = 1;
+  obs.delivered_msgs -= 1;  // keep the balance equation satisfied
+  obs.nodes[1].stats.msgs_received -= 1;
+  EXPECT_FALSE(RunOne("conservation", obs).empty());
+}
+
+TEST(OracleTest, ConservationAllowsDropsWhenFaultsInjected) {
+  FleetObservation obs = CleanObs();
+  obs.faults_free = false;
+  obs.dropped_msgs = 1;
+  obs.delivered_msgs -= 1;
+  obs.nodes[1].stats.msgs_received -= 1;  // the dropped message never arrived
+  EXPECT_TRUE(RunOne("conservation", obs).empty());
+}
+
+TEST(OracleTest, ConservationFiresWhenRuleEmitsExceedNodeTotal) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].rule_emits_total = obs.nodes[0].stats.tuples_emitted + 1;
+  EXPECT_FALSE(RunOne("conservation", obs).empty());
+}
+
+TEST(OracleTest, BrokenCrashOracleFiresOnlyOnCrashes) {
+  FleetObservation obs = CleanObs();
+  std::vector<Violation> out;
+  BrokenCrashOracle().check(obs, &out);
+  EXPECT_TRUE(out.empty());
+  obs.crash_events = 2;
+  BrokenCrashOracle().check(obs, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].oracle, "broken-crash");
+}
+
+}  // namespace
+}  // namespace simtest
+}  // namespace p2

@@ -209,6 +209,75 @@ TEST_F(ScenarioTest, ErrorsAreReportedWithLineNumbers) {
   fails("node a\ncrash a when=2\n", "at=");
 }
 
+// Strict argument parsing (simfuzz round-trips its generated scenarios through this
+// grammar, so every malformed value must be a hard, line-numbered error).
+TEST_F(ScenarioTest, MalformedValuesAreLineNumberedErrors) {
+  auto fails = [](const std::string& script, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    EXPECT_FALSE(runner.RunScript(script, &error)) << script;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  fails("net latency=fast\n", "bad number for latency");
+  fails("net loss=1.5\n", "loss must be in [0,1]");
+  fails("net seed=12x\n", "bad unsigned integer for seed");
+  fails("node a\nrun -1\n", "run must be >= 0");
+  fails("node a\nnode b\nlinkfault a b loss=2\n", "loss must be in [0,1]");
+  fails("node a\nnode b\nlinkfault a b dup=nope\n", "bad number for dup");
+  fails("node a\ncrash a at=1O\n", "line 2: bad number for at");
+  fails("node a\ninject t=soon a t(a, 1)\n", "bad number for t");
+  fails("node a\nput a k v abc\n", "bad unsigned integer for reqid");
+}
+
+TEST_F(ScenarioTest, PastTimesAreRejected) {
+  auto fails = [](const std::string& script, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    EXPECT_FALSE(runner.RunScript(script, &error)) << script;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  fails("node a\nrun 5\ninject t=2 a t(a, 1)\n", "t=2 is in the past");
+  fails("node a\nrun 5\ncrash a at=2\n", "at=2 is in the past");
+  fails("node a\nrun 5\nrecover a at=4.5\n", "at=4.5 is in the past");
+}
+
+TEST_F(ScenarioTest, UnknownNodesInFaultDirectivesAreRejected) {
+  auto fails = [](const std::string& script, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    EXPECT_FALSE(runner.RunScript(script, &error)) << script;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  fails("node a\nnode b\nlinkfault a z loss=0.5\n", "unknown node: z");
+  fails("node a\nnode b\npartition a z\n", "unknown node: z");
+  fails("node a\nmonitors all initiator=z\n", "unknown node: z");
+  fails("node a\nmonitors all frob=1\n", "unknown monitors option: frob");
+}
+
+TEST_F(ScenarioTest, NodeAblationOptionsParse) {
+  ASSERT_TRUE(Run("node a indexes=off metrics=off reliable=off\nrun 0.1\n"))
+      << error_;
+  ScenarioRunner runner([](const std::string&) {});
+  std::string error;
+  EXPECT_FALSE(runner.RunScript("node a indexes=maybe\n", &error));
+  EXPECT_NE(error.find("indexes must be on|off"), std::string::npos) << error;
+}
+
+TEST_F(ScenarioTest, MonitorsDirectiveInstallsRingChecksAndSnapshots) {
+  const char* script = R"(
+node n0
+node n1
+node n2
+chord all landmark=n0
+monitors all initiator=n0 snap_period=5 abort=8 check=1 probe=10
+run 45
+dump n0 snapState
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_NE(output_.find("snapState("), std::string::npos) << output_;
+  EXPECT_NE(output_.find("Done"), std::string::npos) << output_;
+}
+
 TEST_F(ScenarioTest, StatsPrints) {
   ASSERT_TRUE(Run("node a\nrun 1\nstats a\n")) << error_;
   EXPECT_NE(output_.find("a: sent="), std::string::npos);
