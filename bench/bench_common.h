@@ -38,8 +38,8 @@ struct WindowMetrics {
 inline TestbedConfig PaperTestbed(int num_nodes = 21, bool tracing = false) {
   TestbedConfig cfg;
   cfg.num_nodes = num_nodes;
-  cfg.node_options.tracing = tracing;
-  cfg.node_options.introspection = false;
+  cfg.fleet.node_defaults.tracing = tracing;
+  cfg.fleet.node_defaults.introspection = false;
   cfg.chord.stabilize_period = 5.0;
   cfg.chord.ping_period = 5.0;
   cfg.chord.finger_period = 10.0;

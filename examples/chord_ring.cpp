@@ -34,28 +34,29 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < ring.size(); ++i) {
     const std::string& addr = ring[i].second;
     const std::string& expect = ring[(i + 1) % ring.size()].second;
-    p2::Node* node = bed.network().GetNode(addr);
-    std::string succ = p2::BestSuccAddr(node);
+    // Host-side read-only access between Run calls; mutation goes through handles.
+    p2::NodeHandle node = bed.fleet().Handle(addr);
+    std::string succ = p2::BestSuccAddr(node.raw());
     bool ok = succ == expect;
     correct += ok ? 1 : 0;
     std::string note = ok ? "" : "  <- WRONG (expected " + expect + ")";
     printf("  %-4s id=%020llu succ=%-4s pred=%-4s %s\n", addr.c_str(),
            static_cast<unsigned long long>(ring[i].first), succ.c_str(),
-           p2::PredAddr(node).c_str(), note.c_str());
+           p2::PredAddr(node.raw()).c_str(), note.c_str());
   }
   printf("correct successors: %d/%zu\n", correct, ring.size());
 
   printf("\n== lookups ==\n");
   std::map<uint64_t, std::string> results;
-  p2::Node* requester = bed.node(num_nodes / 2);
-  requester->SubscribeEvent("lookupResults", [&](const p2::TupleRef& t) {
+  p2::NodeHandle requester = bed.handle(num_nodes / 2);
+  requester.OnEvent("lookupResults", [&](const p2::TupleRef& t) {
     results[t->field(4).AsId()] = t->field(3).AsString();
   });
   p2::Rng rng(2024);
   std::map<uint64_t, uint64_t> keys;
   for (uint64_t req = 1; req <= 5; ++req) {
     keys[req] = rng.Next();
-    p2::IssueLookup(requester, keys[req], req);
+    requester.Call([&](p2::Node* n) { p2::IssueLookup(n, keys[req], req); });
   }
   bed.Run(10);
   for (const auto& [req, key] : keys) {

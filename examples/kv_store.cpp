@@ -22,17 +22,18 @@ int main() {
 
   std::map<uint64_t, std::string> acks;
   std::map<uint64_t, std::pair<std::string, bool>> gets;
-  for (p2::Node* node : bed.nodes()) {
+  for (p2::NodeHandle node : bed.handles()) {
     p2::DhtConfig dc;
     std::string error;
-    if (!InstallDht(node, dc, &error)) {
+    if (!node.Install([&](p2::Node* n, std::string* e) { return InstallDht(n, dc, e); },
+                      &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
-    node->SubscribeEvent("dhtPutAck", [&](const p2::TupleRef& t) {
+    node.OnEvent("dhtPutAck", [&](const p2::TupleRef& t) {
       acks[t->field(2).AsId()] = t->field(3).AsString();
     });
-    node->SubscribeEvent("dhtGetResp", [&](const p2::TupleRef& t) {
+    node.OnEvent("dhtGetResp", [&](const p2::TupleRef& t) {
       gets[t->field(3).AsId()] = {t->field(2).AsString(), t->field(4).Truthy()};
     });
   }
@@ -42,11 +43,14 @@ int main() {
   cc.tally_period = 5.0;
   cc.tally_age = 5.0;
   std::string error;
-  if (!InstallConsistencyProbes(bed.node(4), cc, &error)) {
+  p2::NodeHandle monitor = bed.handle(4);
+  if (!monitor.Install(
+          [&](p2::Node* n, std::string* e) { return InstallConsistencyProbes(n, cc, e); },
+          &error)) {
     fprintf(stderr, "probe install failed: %s\n", error.c_str());
     return 1;
   }
-  bed.node(4)->SubscribeEvent("consistency", [&](const p2::TupleRef& t) {
+  monitor.OnEvent("consistency", [&](const p2::TupleRef& t) {
     printf("  [monitor] routing consistency metric: %s\n",
            t->field(2).ToString().c_str());
   });
@@ -59,7 +63,7 @@ int main() {
                         {"delta", "4"}, {"echo", "5"}};
   uint64_t req = 1;
   for (const Pair& p : pairs) {
-    DhtPut(bed.node(req % bed.size()), p.key, p.value, req);
+    bed.handle(req % bed.size()).Call([&](p2::Node* n) { DhtPut(n, p.key, p.value, req); });
     ++req;
   }
   bed.Run(10);
@@ -70,7 +74,7 @@ int main() {
 
   printf("\n== gets from different nodes ==\n");
   for (const Pair& p : pairs) {
-    DhtGet(bed.node(req % bed.size()), p.key, req);
+    bed.handle(req % bed.size()).Call([&](p2::Node* n) { DhtGet(n, p.key, req); });
     ++req;
   }
   bed.Run(10);
@@ -81,13 +85,13 @@ int main() {
   }
 
   // Crash the owner of "alpha" and show the replica taking over.
-  p2::Node* owner = bed.network().GetNode(acks[1]);
-  printf("\n== crashing %s (owner of \"alpha\") ==\n", owner->addr().c_str());
-  owner->Crash();
+  p2::NodeHandle owner = bed.fleet().Handle(acks[1]);
+  printf("\n== crashing %s (owner of \"alpha\") ==\n", owner.addr().c_str());
+  owner.Crash();
   printf("waiting for failure detection and ring repair...\n");
   bed.Run(60);
   uint64_t retry = req++;
-  DhtGet(bed.node(2), "alpha", retry);
+  bed.handle(2).Call([&](p2::Node* n) { DhtGet(n, "alpha", retry); });
   bed.Run(10);
   printf("  get after crash -> %s  (served by the successor replica)\n",
          gets[retry].second ? gets[retry].first.c_str() : "(miss) !!");

@@ -16,37 +16,44 @@
 int main() {
   p2::TestbedConfig config;
   config.num_nodes = 8;
-  config.node_options.tracing = true;  // the diagnosable system: execution logging on
+  config.fleet.node_defaults.tracing = true;  // the diagnosable system: execution logging on
   // Model 2 ms of local queueing between rule strands so the LocalT component of the
   // decomposition is visible (instantaneous by default in a discrete-event engine).
-  config.node_options.local_queue_delay = 0.002;
+  config.fleet.node_defaults.local_queue_delay = 0.002;
   p2::ChordTestbed bed(config);
   printf("forming an 8-node ring with execution tracing enabled...\n");
   bed.Run(100);
   printf("ring correct: %s\n", bed.RingIsCorrect() ? "yes" : "no");
 
-  p2::Node* prober = bed.node(3);
+  p2::NodeHandle prober = bed.handle(3);
   p2::ConsistencyConfig cc;
   cc.probe_period = 5.0;
   cc.tally_period = 60.0;
   std::string error;
-  if (!InstallConsistencyProbes(prober, cc, &error)) {
+  if (!prober.Install(
+          [&](p2::Node* n, std::string* e) {
+            return InstallConsistencyProbes(n, cc, e);
+          },
+          &error)) {
     fprintf(stderr, "install failed: %s\n", error.c_str());
     return 1;
   }
   p2::ProfilerConfig pc;
   pc.target_rule = "cs2";  // consistency lookups originate at rule cs2
-  for (p2::Node* node : bed.nodes()) {
-    if (!InstallProfiler(node, pc, &error)) {
+  for (p2::NodeHandle node : bed.handles()) {
+    if (!node.Install(
+            [&](p2::Node* n, std::string* e) { return InstallProfiler(n, pc, e); },
+            &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
-    node->SubscribeEvent("report", [node, &bed](const p2::TupleRef& t) {
+    std::string addr = node.addr();
+    node.OnEvent("report", [addr, &bed](const p2::TupleRef& t) {
       double rule_t = t->field(2).ToDouble() * 1000;
       double net_t = t->field(3).ToDouble() * 1000;
       double local_t = t->field(4).ToDouble() * 1000;
       printf("\n  [%7.2fs] latency decomposition (report at %s):\n",
-             bed.network().Now(), node->addr().c_str());
+             bed.network().Now(), addr.c_str());
       printf("      in rule strands : %8.3f ms\n", rule_t);
       printf("      on the network  : %8.3f ms\n", net_t);
       printf("      queued locally  : %8.3f ms\n", local_t);
@@ -59,11 +66,11 @@ int main() {
     p2::TupleRef tuple;
     double at = -1;
   } cap;
-  prober->SubscribeEvent("lookupResults", [&](const p2::TupleRef& t) {
+  prober.OnEvent("lookupResults", [&, prober](const p2::TupleRef& t) mutable {
     if (cap.at >= 0) {
       return;
     }
-    for (const p2::TupleRef& row : prober->TableContents("conLookupTable")) {
+    for (const p2::TupleRef& row : prober.Query("conLookupTable")) {
       if (row->arity() >= 3 && row->field(2) == t->field(4)) {
         cap.tuple = t;
         cap.at = bed.network().Now();
@@ -79,13 +86,13 @@ int main() {
   }
   printf("captured response %s at t=%.3f; tracing backwards...\n",
          cap.tuple->ToString().c_str(), cap.at);
-  StartTrace(prober, cap.tuple, cap.at);
+  prober.Call([&](p2::Node* n) { StartTrace(n, cap.tuple, cap.at); });
   bed.Run(5);
 
   // Show some of the raw provenance the walk consumed.
   printf("\n== sample of the prober's ruleExec causality table ==\n");
   int shown = 0;
-  for (const p2::TupleRef& t : prober->TableContents("ruleExec")) {
+  for (const p2::TupleRef& t : prober.Query("ruleExec")) {
     if (shown++ >= 8) {
       break;
     }
@@ -94,7 +101,7 @@ int main() {
            t->field(3).ToString().c_str(),
            t->field(6).Truthy() ? "event" : "precondition");
   }
-  printf("  ... %zu rows total\n", prober->TableContents("ruleExec").size());
+  printf("  ... %zu rows total\n", prober.Count("ruleExec"));
   printf("\ndone.\n");
   return 0;
 }

@@ -21,22 +21,26 @@ int main() {
 
   printf("installing oscillation detectors fleet-wide "
          "(window 120 s, check 5 s, repeat threshold 3)\n\n");
-  for (p2::Node* node : bed.nodes()) {
+  for (p2::NodeHandle node : bed.handles()) {
     p2::OscillationConfig oc;
     oc.check_period = 5.0;
     std::string error;
-    if (!InstallOscillationChecks(node, oc, &error)) {
+    if (!node.Install(
+            [&](p2::Node* n, std::string* e) {
+              return InstallOscillationChecks(n, oc, e);
+            },
+            &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
-    node->SubscribeEvent("repeatOscill", [node, &bed](const p2::TupleRef& t) {
+    std::string addr = node.addr();
+    node.OnEvent("repeatOscill", [addr, &bed](const p2::TupleRef& t) {
       printf("  [%7.2fs] %s: REPEAT oscillator %s\n", bed.network().Now(),
-             node->addr().c_str(), t->field(1).ToString().c_str());
+             addr.c_str(), t->field(1).ToString().c_str());
     });
-    node->SubscribeEvent("chaotic", [node, &bed](const p2::TupleRef& t) {
+    node.OnEvent("chaotic", [addr, &bed](const p2::TupleRef& t) {
       printf("  [%7.2fs] %s: node %s declared CHAOTIC by the neighborhood\n",
-             bed.network().Now(), node->addr().c_str(),
-             t->field(1).ToString().c_str());
+             bed.network().Now(), addr.c_str(), t->field(1).ToString().c_str());
     });
   }
 
@@ -46,12 +50,12 @@ int main() {
   const char* zombie = "zombie:1";
   for (int round = 0; round < 4; ++round) {
     for (int i = 1; i <= 5; ++i) {
-      p2::Node* node = bed.node(i);
-      node->InjectEvent(p2::Tuple::Make(
-          "faultyNode", {p2::Value::Str(node->addr()), p2::Value::Str(zombie),
+      p2::NodeHandle node = bed.handle(i);
+      node.Inject(p2::Tuple::Make(
+          "faultyNode", {p2::Value::Str(node.addr()), p2::Value::Str(zombie),
                          p2::Value::Double(bed.network().Now())}));
-      node->InjectEvent(p2::Tuple::Make(
-          "sendPred", {p2::Value::Str(node->addr()), p2::Value::Id(4242),
+      node.Inject(p2::Tuple::Make(
+          "sendPred", {p2::Value::Str(node.addr()), p2::Value::Id(4242),
                        p2::Value::Str(zombie)}));
     }
     bed.Run(2.5);
@@ -59,11 +63,11 @@ int main() {
   bed.Run(20);
 
   printf("\n== oscillation history per node ==\n");
-  for (p2::Node* node : bed.nodes()) {
-    size_t own = node->TableContents("oscill").size();
-    size_t heard = node->TableContents("nbrOscill").size();
+  for (p2::NodeHandle node : bed.handles()) {
+    size_t own = node.Count("oscill");
+    size_t heard = node.Count("nbrOscill");
     printf("  %-4s oscillations observed: %zu, neighborhood reports held: %zu\n",
-           node->addr().c_str(), own, heard);
+           node.addr().c_str(), own, heard);
   }
   printf("\ndone.\n");
   return 0;

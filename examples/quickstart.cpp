@@ -1,7 +1,7 @@
 // Quickstart: declarative path-vector routing in six lines of OverLog (paper §2).
 //
 // Demonstrates the core public API:
-//   1. build a simulated Network and add Nodes;
+//   1. build a p2::Fleet and add nodes (handles are how hosts touch nodes);
 //   2. load an OverLog program (tables + rules) on each node;
 //   3. inject base facts (link tuples);
 //   4. run the simulation and query the derived state;
@@ -13,7 +13,7 @@
 #include <map>
 #include <vector>
 
-#include "src/net/network.h"
+#include "src/net/fleet.h"
 
 namespace {
 
@@ -27,24 +27,25 @@ p1 path@A(B, [B], W) :- link@A(B, W).
 p2 path@B(C, [A] + P, W + Y) :- link@A(B, W), path@A(C, P, Y), f_size(P) < 3.
 )";
 
-void AddLink(p2::Node* node, const std::string& from, const std::string& to, int weight) {
-  node->InjectEvent(p2::Tuple::Make(
+void AddLink(p2::NodeHandle node, const std::string& from, const std::string& to,
+             int weight) {
+  node.Inject(p2::Tuple::Make(
       "link", {p2::Value::Str(from), p2::Value::Str(to), p2::Value::Int(weight)}));
 }
 
 }  // namespace
 
 int main() {
-  p2::NetworkConfig net_config;
-  net_config.latency = 0.01;
-  p2::Network net(net_config);
+  p2::FleetConfig config;
+  config.latency = 0.01;
+  p2::Fleet fleet(config);
 
   // A diamond topology: a - b - d and a - c - d, plus a direct (expensive) a - d.
   const char* addrs[] = {"a", "b", "c", "d"};
   for (const char* addr : addrs) {
-    p2::Node* node = net.AddNode(addr);
+    p2::NodeHandle node = fleet.AddNode(addr);
     std::string error;
-    if (!node->LoadProgram(kPathVector, &error)) {
+    if (!node.Load(kPathVector, &error)) {
       fprintf(stderr, "load failed: %s\n", error.c_str());
       return 1;
     }
@@ -56,15 +57,15 @@ int main() {
   const Edge edges[] = {{"a", "b", 1}, {"b", "d", 1}, {"a", "c", 2},
                         {"c", "d", 1}, {"a", "d", 9}};
   for (const Edge& e : edges) {
-    AddLink(net.GetNode(e.from), e.from, e.to, e.weight);
-    AddLink(net.GetNode(e.to), e.to, e.from, e.weight);
+    AddLink(fleet.Handle(e.from), e.from, e.to, e.weight);
+    AddLink(fleet.Handle(e.to), e.to, e.from, e.weight);
   }
 
-  net.RunFor(5.0);
+  fleet.RunFor(5.0);
 
   // The naive rule derives every bounded walk (including cycles, as the paper notes);
   // summarize with the cheapest route per destination.
-  std::vector<p2::TupleRef> paths = net.GetNode("d")->TableContents("path");
+  std::vector<p2::TupleRef> paths = fleet.Handle("d").Query("path");
   printf("== cheapest derived route per destination at node d (%zu paths total) ==\n",
          paths.size());
   std::map<std::string, p2::TupleRef> best;
@@ -81,14 +82,14 @@ int main() {
   }
 
   printf("\n== compiled dataflow for the program at node a (paper Figure 1) ==\n");
-  for (const p2::TupleRef& t : net.GetNode("a")->TableContents("sysElement")) {
+  for (const p2::TupleRef& t : fleet.Handle("a").Query("sysElement")) {
     printf("  rule %-4s stage %s: %-8s %s\n", t->field(1).ToString().c_str(),
            t->field(2).ToString().c_str(), t->field(3).ToString().c_str(),
            t->field(4).ToString().c_str());
   }
 
   printf("\n== loaded rules (sysRule) ==\n");
-  for (const p2::TupleRef& t : net.GetNode("a")->TableContents("sysRule")) {
+  for (const p2::TupleRef& t : fleet.Handle("a").Query("sysRule")) {
     printf("  %s\n", t->field(2).ToString().c_str());
   }
   return 0;

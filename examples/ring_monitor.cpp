@@ -23,23 +23,26 @@ int main() {
 
   // Deploy the monitors piecemeal, on-line — no restart, no recompilation.
   printf("\ninstalling ring checks (rp1-rp4) and ordering checks (ri1-ri8) fleet-wide\n");
-  for (p2::Node* node : bed.nodes()) {
+  for (p2::NodeHandle node : bed.handles()) {
     p2::RingCheckConfig rc;
     rc.probe_period = 2.0;
     std::string error;
-    if (!InstallRingChecks(node, rc, &error) ||
-        !InstallOrderingChecks(node, &error)) {
+    if (!node.Install(
+            [&](p2::Node* n, std::string* e) {
+              return InstallRingChecks(n, rc, e) && InstallOrderingChecks(n, e);
+            },
+            &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
-    node->SubscribeEvent("inconsistentPred", [node, &bed](const p2::TupleRef& t) {
+    std::string addr = node.addr();
+    node.OnEvent("inconsistentPred", [addr, &bed](const p2::TupleRef& t) {
       printf("  [%7.2fs] %s: inconsistentPred%s\n", bed.network().Now(),
-             node->addr().c_str(), t->ToString().substr(t->name().size()).c_str());
+             addr.c_str(), t->ToString().substr(t->name().size()).c_str());
     });
-    node->SubscribeEvent("closerID", [node, &bed](const p2::TupleRef& t) {
+    node.OnEvent("closerID", [addr, &bed](const p2::TupleRef& t) {
       printf("  [%7.2fs] %s: closerID — unknown node %s between pred and succ\n",
-             bed.network().Now(), node->addr().c_str(),
-             t->field(1).ToString().c_str());
+             bed.network().Now(), addr.c_str(), t->field(1).ToString().c_str());
     });
   }
 
@@ -47,48 +50,49 @@ int main() {
   bed.Run(20);
 
   printf("\n-- traversal check on the healthy ring --\n");
-  p2::Node* initiator = bed.node(0);
-  initiator->SubscribeEvent("orderingOk", [&](const p2::TupleRef& t) {
+  p2::NodeHandle initiator = bed.handle(0);
+  initiator.OnEvent("orderingOk", [&](const p2::TupleRef& t) {
     printf("  [%7.2fs] traversal %s completed: %s wrap-around(s), %s hops — ring OK\n",
            bed.network().Now(), t->field(1).ToString().c_str(),
            t->field(2).ToString().c_str(), t->field(3).ToString().c_str());
   });
-  initiator->SubscribeEvent("orderingProblem", [&](const p2::TupleRef& t) {
+  initiator.OnEvent("orderingProblem", [&](const p2::TupleRef& t) {
     printf("  [%7.2fs] ORDERING PROBLEM: %s wrap-arounds (expected 1)\n",
            bed.network().Now(), t->field(4).ToString().c_str());
   });
-  StartRingTraversal(initiator, 1);
+  initiator.Call([](p2::Node* n) { StartRingTraversal(n, 1); });
   bed.Run(5);
 
   printf("\n-- fault 1: corrupting n4's predecessor pointer --\n");
-  p2::Node* victim = bed.node(4);
-  p2::Node* wrong = nullptr;
-  for (p2::Node* candidate : bed.nodes()) {
-    if (candidate != victim && candidate->addr() != p2::PredAddr(victim) &&
-        candidate->addr() != p2::BestSuccAddr(victim)) {
+  p2::NodeHandle victim = bed.handle(4);
+  p2::NodeHandle wrong;
+  for (p2::NodeHandle candidate : bed.handles()) {
+    if (candidate.addr() != victim.addr() &&
+        candidate.addr() != p2::PredAddr(victim.raw()) &&
+        candidate.addr() != p2::BestSuccAddr(victim.raw())) {
       wrong = candidate;
       break;
     }
   }
-  std::string true_pred = p2::PredAddr(victim);
+  std::string true_pred = p2::PredAddr(victim.raw());
   // Re-inject across several phases: Chord heals the pointer within a notify round,
   // so a single corruption can fall entirely between two probes.
   for (int i = 0; i < 4; ++i) {
-    victim->InjectEvent(p2::Tuple::Make(
-        "pred", {p2::Value::Str(victim->addr()), p2::Value::Id(ChordId(wrong)),
-                 p2::Value::Str(wrong->addr())}));
+    victim.Inject(p2::Tuple::Make(
+        "pred", {p2::Value::Str(victim.addr()), p2::Value::Id(ChordId(wrong.raw())),
+                 p2::Value::Str(wrong.addr())}));
     bed.Run(1.3);
   }
   bed.Run(6);
   printf("   (corrupted to %s; Chord has healed the pointer by now: pred=%s, was %s)\n",
-         wrong->addr().c_str(), p2::PredAddr(victim).c_str(), true_pred.c_str());
+         wrong.addr().c_str(), p2::PredAddr(victim.raw()).c_str(), true_pred.c_str());
 
   printf("\n-- fault 2: a lookup response advertising a node nobody knows --\n");
-  p2::Node* observer = bed.node(7);
-  uint64_t ghost = ChordId(observer) - 1;
-  observer->InjectEvent(p2::Tuple::Make(
+  p2::NodeHandle observer = bed.handle(7);
+  uint64_t ghost = ChordId(observer.raw()) - 1;
+  observer.Inject(p2::Tuple::Make(
       "lookupResults",
-      {p2::Value::Str(observer->addr()), p2::Value::Id(ghost), p2::Value::Id(ghost),
+      {p2::Value::Str(observer.addr()), p2::Value::Id(ghost), p2::Value::Id(ghost),
        p2::Value::Str("ghost:1234"), p2::Value::Id(777),
        p2::Value::Str("ghost:1234")}));
   bed.Run(3);

@@ -11,34 +11,39 @@
 
 #include "src/mon/profiler.h"
 #include "src/mon/snapshot.h"
-#include "src/net/network.h"
+#include "src/net/fleet.h"
 #include "src/overlays/flood.h"
 
 int main() {
-  p2::NetworkConfig net_config;
-  net_config.latency = 0.015;
-  net_config.jitter = 0.005;
-  p2::Network net(net_config);
+  p2::FleetConfig config;
+  config.latency = 0.015;
+  config.jitter = 0.005;
+  config.seed = 500;
+  config.node_defaults.tracing = true;  // so the profiler can explain propagation
+  config.node_defaults.introspection = false;
+  p2::Fleet fleet(config);
 
   // A 12-node "double ring with chords" membership graph.
   const int kNodes = 12;
-  std::vector<p2::Node*> nodes;
+  std::vector<p2::NodeHandle> nodes;
   for (int i = 0; i < kNodes; ++i) {
-    p2::NodeOptions opts;
-    opts.tracing = true;  // so the profiler can explain propagation
-    opts.introspection = false;
-    opts.seed = 500 + i;
-    p2::Node* node = net.AddNode("g" + std::to_string(i), opts);
+    p2::NodeHandle node = fleet.AddNode("g" + std::to_string(i));
     std::string error;
-    if (!InstallFlood(node, p2::FloodConfig(), &error)) {
+    if (!node.Install(
+            [](p2::Node* n, std::string* e) {
+              return InstallFlood(n, p2::FloodConfig(), e);
+            },
+            &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
     nodes.push_back(node);
   }
   auto edge = [&](int a, int b) {
-    AddMember(nodes[a], nodes[b]->addr());
-    AddMember(nodes[b], nodes[a]->addr());
+    std::string addr_a = nodes[a].addr();
+    std::string addr_b = nodes[b].addr();
+    nodes[a].Call([&](p2::Node* n) { AddMember(n, addr_b); });
+    nodes[b].Call([&](p2::Node* n) { AddMember(n, addr_a); });
   };
   for (int i = 0; i < kNodes; ++i) {
     edge(i, (i + 1) % kNodes);  // ring
@@ -46,57 +51,61 @@ int main() {
       edge(i, (i + kNodes / 2) % kNodes);  // a few chords
     }
   }
-  net.RunFor(1.0);
+  fleet.RunFor(1.0);
 
   // Monitoring: coverage printout at the origin, profiler everywhere.
-  p2::Node* origin = nodes[0];
-  origin->SubscribeEvent("coverage", [&](const p2::TupleRef& t) {
-    printf("  [%7.3fs] coverage of rumor %s: %s/%d nodes\n", net.Now(),
+  p2::NodeHandle origin = nodes[0];
+  origin.OnEvent("coverage", [&](const p2::TupleRef& t) {
+    printf("  [%7.3fs] coverage of rumor %s: %s/%d nodes\n", fleet.Now(),
            t->field(1).ToString().c_str(), t->field(2).ToString().c_str(), kNodes);
   });
-  for (p2::Node* node : nodes) {
+  for (p2::NodeHandle node : nodes) {
     p2::ProfilerConfig prof;
     prof.target_rule = "fl0";  // rumor origination
     std::string error;
-    if (!InstallProfiler(node, prof, &error)) {
+    if (!node.Install(
+            [&](p2::Node* n, std::string* e) { return InstallProfiler(n, prof, e); },
+            &error)) {
       fprintf(stderr, "profiler install failed: %s\n", error.c_str());
       return 1;
     }
-    node->SubscribeEvent("report", [&, node](const p2::TupleRef& t) {
-      printf("\n  propagation latency decomposition (reported at %s):\n",
-             node->addr().c_str());
+    std::string addr = node.addr();
+    node.OnEvent("report", [addr](const p2::TupleRef& t) {
+      printf("\n  propagation latency decomposition (reported at %s):\n", addr.c_str());
       printf("    in rule strands : %8.3f ms\n", t->field(2).ToDouble() * 1000);
       printf("    on the network  : %8.3f ms\n", t->field(3).ToDouble() * 1000);
       printf("    queued locally  : %8.3f ms\n", t->field(4).ToDouble() * 1000);
     });
   }
 
-  printf("== publishing rumor 777 at %s ==\n", origin->addr().c_str());
+  printf("== publishing rumor 777 at %s ==\n", origin.addr().c_str());
   struct Cap {
     p2::TupleRef tuple;
     double at = -1;
   } cap;
-  p2::Node* far_node = nodes[kNodes / 2 + 1];
-  far_node->SubscribeEvent("rumorFresh", [&](const p2::TupleRef& t) {
+  p2::NodeHandle far_node = nodes[kNodes / 2 + 1];
+  far_node.OnEvent("rumorFresh", [&](const p2::TupleRef& t) {
     if (cap.at < 0) {
       cap.tuple = t;
-      cap.at = net.Now();
+      cap.at = fleet.Now();
     }
   });
-  PublishRumor(origin, 777, "the paper's techniques generalize");
-  net.RunFor(3.0);
+  origin.Call([](p2::Node* n) {
+    PublishRumor(n, 777, "the paper's techniques generalize");
+  });
+  fleet.RunFor(3.0);
 
   printf("\n== rumor acceptance across the overlay ==\n");
-  for (p2::Node* node : nodes) {
-    printf("  %-4s has rumor: %s\n", node->addr().c_str(),
-           HasRumor(node, 777) ? "yes" : "NO");
+  for (p2::NodeHandle node : nodes) {
+    printf("  %-4s has rumor: %s\n", node.addr().c_str(),
+           HasRumor(node.raw(), 777) ? "yes" : "NO");
   }
 
   if (cap.at >= 0) {
     printf("\n== tracing the copy that reached %s backwards to the origin ==\n",
-           far_node->addr().c_str());
-    StartTrace(far_node, cap.tuple, cap.at);
-    net.RunFor(2.0);
+           far_node.addr().c_str());
+    far_node.Call([&](p2::Node* n) { StartTrace(n, cap.tuple, cap.at); });
+    fleet.RunFor(2.0);
   }
 
   printf("\n== consistent snapshot of the overlay (unchanged snapshot program) ==\n");
@@ -107,18 +116,19 @@ int main() {
     sc.chord_state = false;
     sc.extra_captures = {{"rumorSeen", 1}, {"member", 1}};
     std::string error;
-    if (!InstallSnapshot(nodes[i], sc, &error)) {
+    if (!nodes[i].Install(
+            [&](p2::Node* n, std::string* e) { return InstallSnapshot(n, sc, e); },
+            &error)) {
       fprintf(stderr, "snapshot install failed: %s\n", error.c_str());
       return 1;
     }
   }
-  net.RunFor(12.0);
-  for (p2::Node* node : nodes) {
+  fleet.RunFor(12.0);
+  for (p2::NodeHandle node : nodes) {
     printf("  %-4s snapshot %lld done; captured rumors: %zu, membership edges: %zu\n",
-           node->addr().c_str(),
-           static_cast<long long>(p2::LatestDoneSnapshot(node)),
-           node->TableContents("snapCap_rumorSeen").size(),
-           node->TableContents("snapCap_member").size());
+           node.addr().c_str(),
+           static_cast<long long>(p2::LatestDoneSnapshot(node.raw())),
+           node.Count("snapCap_rumorSeen"), node.Count("snapCap_member"));
   }
   printf("\ndone.\n");
   return 0;

@@ -25,8 +25,8 @@
 int main() {
   p2::TestbedConfig config;
   config.num_nodes = 8;
-  config.node_options.introspection = true;  // the defaults, spelled out: the sys*
-  config.node_options.metrics = true;        // tables need both switches on
+  config.fleet.node_defaults.introspection = true;  // the defaults, spelled out: the sys*
+  config.fleet.node_defaults.metrics = true;        // tables need both switches on
   p2::ChordTestbed bed(config);
 
   // Structured export rides along: every node's per-sweep snapshot goes to JSONL.
@@ -41,27 +41,27 @@ int main() {
   printf("forming an 8-node ring...\n");
   bed.Run(60);
 
-  p2::Node* target = bed.last_node();
+  p2::NodeHandle target = bed.last_handle();
   printf("planting an expensive rule on %s: hog1 scans a 2000-row table twice/sec\n",
-         target->addr().c_str());
+         target.addr().c_str());
   std::string error;
-  if (!target->LoadProgram("materialize(big, infinity, 5000, keys(1,2)).\n"
-                           "hog1 burnt@N(Y) :- periodic@N(E, 0.5), big@N(Y), Y < 0.\n",
-                           &error)) {
+  if (!target.Load("materialize(big, infinity, 5000, keys(1,2)).\n"
+                   "hog1 burnt@N(Y) :- periodic@N(E, 0.5), big@N(Y), Y < 0.\n",
+                   &error)) {
     fprintf(stderr, "install failed: %s\n", error.c_str());
     return 1;
   }
   for (int i = 0; i < 2000; ++i) {
-    target->InjectEvent(p2::Tuple::Make(
-        "big", {p2::Value::Str(target->addr()), p2::Value::Int(i)}));
+    target.Inject(p2::Tuple::Make(
+        "big", {p2::Value::Str(target.addr()), p2::Value::Int(i)}));
   }
   bed.Run(5);
 
   // The self-monitor, in OverLog. sysRuleStat(N, Rule, Execs, BusyNs, Emits) and
   // sysStat(N, "busy_ns", Total) refresh each sweep, so a periodic join over them
   // sees the node's own accounting ~1 s stale at worst. Share is a percentage.
-  printf("installing the self-monitoring rules on %s\n", target->addr().c_str());
-  if (!target->LoadProgram(
+  printf("installing the self-monitoring rules on %s\n", target.addr().c_str());
+  if (!target.Load(
           "mon1 ruleShare@N(Rule, Share) :- periodic@N(E, 5),\n"
           "    sysRuleStat@N(Rule, Execs, Busy, Emits),\n"
           "    sysStat@N(\"busy_ns\", Total), Total > 0,\n"
@@ -71,9 +71,9 @@ int main() {
     fprintf(stderr, "install failed: %s\n", error.c_str());
     return 1;
   }
-  target->SubscribeEvent("hotRule", [&](const p2::TupleRef& t) {
+  target.OnEvent("hotRule", [&](const p2::TupleRef& t) {
     printf("  [%7.2fs] HOT RULE on %s: %s is using %s%% of this node's busy time\n",
-           bed.network().Now(), target->addr().c_str(),
+           bed.network().Now(), target.addr().c_str(),
            t->field(1).AsString().c_str(), t->field(2).ToString().c_str());
   });
 
@@ -82,8 +82,8 @@ int main() {
 
   // The same data is available to plain C++ through the tables.
   printf("\nTop rules by cumulative busy time on %s (from sysRuleStat):\n",
-         target->addr().c_str());
-  std::vector<p2::TupleRef> rows = target->TableContents("sysRuleStat");
+         target.addr().c_str());
+  std::vector<p2::TupleRef> rows = target.Query("sysRuleStat");
   std::sort(rows.begin(), rows.end(),
             [](const p2::TupleRef& a, const p2::TupleRef& b) {
               return a->field(3).AsInt() > b->field(3).AsInt();
@@ -97,7 +97,7 @@ int main() {
   }
 
   printf("\nSelected node-wide counters (from sysStat):\n");
-  for (const p2::TupleRef& t : target->TableContents("sysStat")) {
+  for (const p2::TupleRef& t : target.Query("sysStat")) {
     const std::string& name = t->field(1).AsString();
     if (name == "busy_ns" || name == "strand_triggers" || name == "tuples_emitted" ||
         name == "tuples_expired" || name == "queue_hwm") {

@@ -29,7 +29,9 @@ int main() {
     sc.snap_period = 10.0;
     sc.initiator = (i == 0);
     std::string error;
-    if (!InstallSnapshot(bed.node(i), sc, &error)) {
+    if (!bed.handle(i).Install(
+            [&](p2::Node* n, std::string* e) { return InstallSnapshot(n, sc, e); },
+            &error)) {
       fprintf(stderr, "install failed: %s\n", error.c_str());
       return 1;
     }
@@ -37,26 +39,26 @@ int main() {
   bed.Run(25);
 
   printf("\n== snapshot status per node ==\n");
-  for (p2::Node* node : bed.nodes()) {
+  for (p2::NodeHandle node : bed.handles()) {
     printf("  %-4s latest completed snapshot: %lld  (backpointers: %zu)\n",
-           node->addr().c_str(),
-           static_cast<long long>(p2::LatestDoneSnapshot(node)),
-           node->TableContents("backPointer").size());
+           node.addr().c_str(),
+           static_cast<long long>(p2::LatestDoneSnapshot(node.raw())),
+           node.Count("backPointer"));
   }
 
-  p2::Node* prober = bed.node(5);
-  int64_t snap = p2::LatestDoneSnapshot(prober);
+  p2::NodeHandle prober = bed.handle(5);
+  int64_t snap = p2::LatestDoneSnapshot(prober.raw());
   printf("\n== lookups over frozen snapshot %lld (live ring keeps running) ==\n",
          static_cast<long long>(snap));
   std::map<uint64_t, std::string> results;
-  prober->SubscribeEvent("sLookupResults", [&](const p2::TupleRef& t) {
+  prober.OnEvent("sLookupResults", [&](const p2::TupleRef& t) {
     results[t->field(5).AsId()] = t->field(4).AsString();
   });
   p2::Rng rng(31);
   std::map<uint64_t, uint64_t> keys;
   for (uint64_t req = 1; req <= 4; ++req) {
     keys[req] = rng.Next();
-    IssueSnapshotLookup(prober, snap, keys[req], req);
+    prober.Call([&](p2::Node* n) { IssueSnapshotLookup(n, snap, keys[req], req); });
   }
   bed.Run(10);
   std::map<std::string, uint64_t> ids = bed.Ids();
@@ -83,13 +85,17 @@ int main() {
   cc.tally_period = 2.0;
   cc.tally_age = 2.0;
   cc.snapshot_mode = true;
-  cc.snapshot_id = p2::LatestDoneSnapshot(prober);
+  cc.snapshot_id = p2::LatestDoneSnapshot(prober.raw());
   std::string error;
-  if (!InstallConsistencyProbes(prober, cc, &error)) {
+  if (!prober.Install(
+          [&](p2::Node* n, std::string* e) {
+            return InstallConsistencyProbes(n, cc, e);
+          },
+          &error)) {
     fprintf(stderr, "install failed: %s\n", error.c_str());
     return 1;
   }
-  prober->SubscribeEvent("consistency", [&](const p2::TupleRef& t) {
+  prober.OnEvent("consistency", [&](const p2::TupleRef& t) {
     printf("  [%7.2fs] consistency metric over snapshot %lld: %s\n",
            bed.network().Now(), static_cast<long long>(cc.snapshot_id),
            t->field(2).ToString().c_str());
@@ -100,10 +106,10 @@ int main() {
   size_t stab = 0;
   size_t notify = 0;
   size_t lookups = 0;
-  for (p2::Node* node : bed.nodes()) {
-    stab += node->TableContents("channelDumpStab").size();
-    notify += node->TableContents("channelDumpNotify").size();
-    lookups += node->TableContents("channelDumpLookupRes").size();
+  for (p2::NodeHandle node : bed.handles()) {
+    stab += node.Count("channelDumpStab");
+    notify += node.Count("channelDumpNotify");
+    lookups += node.Count("channelDumpLookupRes");
   }
   printf("  in-flight messages recorded: %zu stabilize, %zu notify, %zu lookup-results\n",
          stab, notify, lookups);

@@ -24,9 +24,9 @@ int main() {
 
   // Watchpoint 1: a standing query over the introspection tables — alarm if any
   // table on the node holds more than 60 rows (a leak detector).
-  p2::Node* node = bed.node(2);
+  p2::NodeHandle node = bed.handle(2);
   std::string error;
-  if (!node->LoadProgram(
+  if (!node.Load(
           "materialize(auditLog, infinity, 1000, keys(1, 2)).\n"
           "w1 tableGrowth@N(Name, C) :- periodic@N(E, 2), sysTable@N(Name, L, M, C), "
           "C > 60, f_prefix(Name, \"sys\") == false.",
@@ -34,7 +34,7 @@ int main() {
     fprintf(stderr, "load failed: %s\n", error.c_str());
     return 1;
   }
-  node->SubscribeEvent("tableGrowth", [&](const p2::TupleRef& t) {
+  node.OnEvent("tableGrowth", [&](const p2::TupleRef& t) {
     printf("  [%7.2fs] WATCHPOINT: table %s holds %s rows\n", bed.network().Now(),
            t->field(1).ToString().c_str(), t->field(2).ToString().c_str());
   });
@@ -43,34 +43,47 @@ int main() {
   // (more expensive) active probing rules on the spot.
   p2::RingCheckConfig passive_only;
   passive_only.active = false;
-  if (!InstallRingChecks(node, passive_only, &error)) {
+  if (!node.Install(
+          [&](p2::Node* n, std::string* e) {
+            return InstallRingChecks(n, passive_only, e);
+          },
+          &error)) {
     fprintf(stderr, "install failed: %s\n", error.c_str());
     return 1;
   }
   bool escalated = false;
-  node->SubscribeEvent("inconsistentPred", [&](const p2::TupleRef&) {
+  // The reactive installation runs inside the alarm callback, i.e. on the shard
+  // executing this node — installing on the local node directly is safe, and peers
+  // are reached through their own schedulers via Post.
+  node.OnEvent("inconsistentPred", [&, node](const p2::TupleRef&) mutable {
     if (escalated) {
       return;
     }
     escalated = true;
     printf("  [%7.2fs] passive alarm fired -> escalating: installing active probes\n",
            bed.network().Now());
-    // The reactive installation: the same API the operator would use, driven by the
-    // alarm itself. (rp1-rp3 need unique rule ids; the passive program used rp4.)
+    // The same API the operator would use, driven by the alarm itself. (rp1-rp3 need
+    // unique rule ids; the passive program used rp4.)
     p2::RingCheckConfig active_only;
     active_only.passive = false;
     active_only.probe_period = 1.0;
-    std::string err;
-    for (p2::Node* peer : bed.nodes()) {
-      if (peer == node) {
+    for (p2::NodeHandle peer : bed.handles()) {
+      if (peer.addr() == node.addr()) {
         continue;
       }
-      p2::RingCheckConfig peer_cfg = active_only;
-      if (!InstallRingChecks(peer, peer_cfg, &err)) {
-        printf("    (peer install failed: %s)\n", err.c_str());
-      }
+      peer.Post(bed.network().Now(), [active_only](p2::Node& n) {
+        std::string err;
+        if (!InstallRingChecks(&n, active_only, &err)) {
+          printf("    (peer install failed: %s)\n", err.c_str());
+        }
+      });
     }
-    if (!InstallRingChecks(node, active_only, &err)) {
+    std::string err;
+    if (!node.Install(
+            [&](p2::Node* n, std::string* e) {
+              return InstallRingChecks(n, active_only, e);
+            },
+            &err)) {
       printf("    (local install failed: %s)\n", err.c_str());
     }
   });
@@ -80,16 +93,16 @@ int main() {
 
   printf("\n-- fault: flooding a table to trip the leak watchpoint --\n");
   for (int i = 0; i < 70; ++i) {
-    node->InjectEvent(p2::Tuple::Make(
-        "auditLog", {p2::Value::Str(node->addr()), p2::Value::Int(i)}));
+    node.Inject(p2::Tuple::Make(
+        "auditLog", {p2::Value::Str(node.addr()), p2::Value::Int(i)}));
   }
   bed.Run(5);
 
   printf("\n-- fault: corrupting the predecessor to trigger the escalation --\n");
-  p2::Node* wrong = bed.node(5);
-  node->InjectEvent(p2::Tuple::Make(
-      "pred", {p2::Value::Str(node->addr()), p2::Value::Id(ChordId(wrong)),
-               p2::Value::Str(wrong->addr())}));
+  p2::NodeHandle wrong = bed.handle(5);
+  node.Inject(p2::Tuple::Make(
+      "pred", {p2::Value::Str(node.addr()), p2::Value::Id(ChordId(wrong.raw())),
+               p2::Value::Str(wrong.addr())}));
   bed.Run(10);
   printf("\nescalation happened: %s\n", escalated ? "yes" : "no");
   printf("done.\n");

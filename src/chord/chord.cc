@@ -13,6 +13,7 @@ materialize(succ, 30, 32, keys(1, 3)).
 materialize(pred, infinity, 1, keys(1)).
 materialize(bestSucc, infinity, 1, keys(1)).
 materialize(bestSuccDist, infinity, 1, keys(1)).
+materialize(succCount, infinity, 1, keys(1)).
 materialize(finger, 30, 70, keys(1, 2)).
 materialize(uniqueFinger, infinity, 70, keys(1, 2)).
 materialize(fingerPos, infinity, 70, keys(1, 2)).
@@ -68,6 +69,17 @@ sb7 succ@NAddr(SID, SAddr) :- returnSucc@NAddr(SID, SAddr), node@NAddr(NID),
    this, a node's own best successor would age out of the succ table (its pred is the
    node itself, and it never appears in its own successor list). */
 sb10 succ@NAddr(SID, SAddr) :- pingResp@NAddr(SAddr), succ@NAddr(SID, SAddr).
+
+/* Bound the successor set by ring distance, not table age: stabilization gossips
+   whole successor sets (sb6), so at fleet scale the succ table would overflow its
+   size bound and evict arbitrary rows — including the true successor. The count is
+   a continuous view (like bestSuccDist), so every insert that pushes the set past
+   succSize immediately evicts the farthest entry (P2-Chord's eviction rules). */
+sb11 succCount@NAddr(count<*>) :- succ@NAddr(SID, SAddr).
+sb12 maxSuccDist@NAddr(max<D>) :- succCount@NAddr(C), C > succSize,
+     succ@NAddr(SID, SAddr), node@NAddr(NID), D := SID - NID - 1.
+sb13 delete succ@NAddr(SID, SAddr) :- maxSuccDist@NAddr(D), succ@NAddr(SID, SAddr),
+     node@NAddr(NID), SID - NID - 1 == D.
 
 /* Tell the successor about ourselves; it adopts us as predecessor if we are closer. */
 sb8 notify@SAddr(NID, NAddr) :- periodic@NAddr(E, tStab), node@NAddr(NID),
@@ -135,6 +147,7 @@ ParamMap ChordParams(const ChordConfig& config) {
   params["tFix"] = Value::Double(config.finger_period);
   params["pingTmo"] = Value::Double(config.ping_timeout);
   params["tJoinCheck"] = Value::Double(config.rejoin_check_period);
+  params["succSize"] = Value::Int(config.succ_size);
   return params;
 }
 
@@ -168,7 +181,7 @@ bool InstallChord(Node* node, const ChordConfig& config, std::string* error) {
   }
   // Schedule the join attempts (the first one fires immediately).
   for (int attempt = 0; attempt < config.join_attempts; ++attempt) {
-    node->network().scheduler().After(attempt * 2.0, [node] {
+    node->own_scheduler().After(attempt * 2.0, [node] {
       node->InjectEvent(Tuple::Make(
           "joinEvent", {Value::Str(node->addr()), Value::Id(node->rng().Next())}));
     });

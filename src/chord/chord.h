@@ -42,6 +42,11 @@ struct ChordConfig {
   int join_attempts = 2;
   // How often an isolated node (empty successor set) re-bootstraps via the landmark.
   double rejoin_check_period = 15.0;
+  // Successor-set bound: each stabilize tick evicts the farthest succ entry while
+  // the set is larger than this (the table's own size bound is a last resort —
+  // gossiped successor sets would otherwise overflow it at fleet scale and evict
+  // the true successor).
+  int succ_size = 8;
 };
 
 // The Chord OverLog program text (identical on every node; periods arrive as params).

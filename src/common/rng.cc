@@ -28,4 +28,18 @@ double Rng::NextDouble() {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+uint64_t DeriveSeed(uint64_t base, std::string_view label) {
+  // FNV-style absorption of the label into the base, finished with one SplitMix64
+  // avalanche so adjacent labels ("node/n1" vs "node/n2") land far apart.
+  uint64_t h = base ^ 0x9e3779b97f4a7c15ULL;
+  for (char c : label) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
 }  // namespace p2

@@ -9,6 +9,7 @@
 #define SRC_COMMON_RNG_H_
 
 #include <cstdint>
+#include <string_view>
 
 namespace p2 {
 
@@ -32,6 +33,12 @@ class Rng {
  private:
   uint64_t state_;
 };
+
+// Derives a child seed from a base seed and a label, e.g. DeriveSeed(fleet, "node/n3")
+// or DeriveSeed(net, "link/n0>n1"). The derivation is pure — it depends only on the
+// two inputs, never on creation order — which is what makes "same fleet seed" mean
+// the same thing regardless of node-add order or shard count (docs/SCALING.md).
+uint64_t DeriveSeed(uint64_t base, std::string_view label);
 
 }  // namespace p2
 

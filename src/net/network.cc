@@ -1,17 +1,70 @@
 #include "src/net/network.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace p2 {
 
-Network::Network(NetworkConfig config) : config_(config), rng_(config.seed) {}
+namespace {
 
-Network::~Network() = default;
+// Barrier wait helper: a short pause-spin (cheap when the other shards are about to
+// arrive), then yield so single-core hosts make progress instead of burning a whole
+// timeslice per window.
+inline void SpinWait(int* spins) {
+  if (++*spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::this_thread::yield();
+#endif
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace
+
+Network::Network(NetworkConfig config) : config_(config) {
+  int shards = std::max(1, config_.shards);
+  // The conservative window width is the minimum link latency; with zero latency
+  // there is no lookahead and the protocol degenerates, so fall back to one shard.
+  if (config_.latency <= 0) {
+    shards = 1;
+  }
+  config_.shards = shards;
+  shards_.reserve(shards);
+  for (int i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->outbox.resize(shards);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Network::~Network() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(pool_mu_);
+      shutdown_ = true;
+    }
+    pool_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
 
 Node* Network::AddNode(const std::string& addr, NodeOptions options) {
+  assert(!session_active_.load(std::memory_order_relaxed) &&
+         "AddNode must not be called while the network is running");
   auto [it, inserted] = nodes_.emplace(addr, nullptr);
   if (!inserted) {
     return it->second.get();
   }
-  it->second = std::make_unique<Node>(addr, this, options);
+  int shard = next_shard_;
+  next_shard_ = (next_shard_ + 1) % static_cast<int>(shards_.size());
+  ++shards_[shard]->node_count;
+  it->second =
+      std::make_unique<Node>(addr, this, options, &shards_[shard]->sched, shard);
   return it->second.get();
 }
 
@@ -20,23 +73,41 @@ Node* Network::GetNode(const std::string& addr) {
   return it == nodes_.end() ? nullptr : it->second.get();
 }
 
+Network::ChannelState& Network::ChannelFor(Shard& shard, const std::string& src,
+                                           const std::string& dst) {
+  auto key = std::make_pair(src, dst);
+  auto it = shard.channels.find(key);
+  if (it == shard.channels.end()) {
+    // The stream depends only on (network seed, link name) — never on creation
+    // order or shard count — so "same seed" replays the same link behavior at any K.
+    uint64_t link_seed = DeriveSeed(config_.seed, "link/" + src + ">" + dst);
+    it = shard.channels.emplace(key, ChannelState(link_seed)).first;
+  }
+  return it->second;
+}
+
 size_t Network::SendReturningSize(const std::string& src, const std::string& dst,
                                   const WireEnvelope& env) {
   std::string bytes = EncodeEnvelope(env);
   size_t size = bytes.size();
-  ++total_msgs_;
-  total_bytes_ += size;
-  ChannelState& channel = channels_[std::make_pair(src, dst)];
+  Node* src_node = GetNode(src);
+  // Sends always originate from a node's own event handler, so this runs on the
+  // source shard's thread and may touch only that shard's state.
+  Shard& shard = src_node != nullptr ? *shards_[src_node->shard_index()] : *shards_[0];
+  ++shard.total_msgs;
+  shard.total_bytes += size;
+  ChannelState& channel = ChannelFor(shard, src, dst);
   ++channel.msgs;
   channel.bytes += size;
-  // Fault pipeline: global loss first (so fault-free runs replay the historical RNG
-  // draw sequence exactly), then partition cuts, then the link's own fault spec.
-  if (config_.loss_rate > 0 && rng_.NextDouble() < config_.loss_rate) {
-    ++dropped_msgs_;
+  // Fault pipeline: global loss first, then partition cuts, then the link's own
+  // fault spec. Every draw comes from the link's stream, in a fixed per-message
+  // order, so the sequence depends only on this link's send history.
+  if (config_.loss_rate > 0 && channel.rng.NextDouble() < config_.loss_rate) {
+    ++shard.dropped_msgs;
     return size;
   }
   if (!partitioned_.empty() && IsPartitioned(src, dst)) {
-    ++dropped_msgs_;
+    ++shard.dropped_msgs;
     return size;
   }
   const LinkFault* fault = nullptr;
@@ -46,8 +117,8 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
       fault = &it->second;
     }
   }
-  if (fault != nullptr && fault->loss > 0 && rng_.NextDouble() < fault->loss) {
-    ++dropped_msgs_;
+  if (fault != nullptr && fault->loss > 0 && channel.rng.NextDouble() < fault->loss) {
+    ++shard.dropped_msgs;
     return size;
   }
   Node* dst_node = GetNode(dst);
@@ -55,20 +126,21 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
     if (external_sender_) {
       external_sender_(dst, bytes);
     } else {
-      ++dropped_msgs_;
+      ++shard.dropped_msgs;
     }
     return size;
   }
-  double deliver_at = sched_.Now() + config_.latency + config_.jitter * rng_.NextDouble();
+  double deliver_at =
+      shard.sched.Now() + config_.latency + config_.jitter * channel.rng.NextDouble();
   if (fault != nullptr) {
     deliver_at += fault->extra_latency;
   }
   if (fault != nullptr && fault->reorder_rate > 0 &&
-      rng_.NextDouble() < fault->reorder_rate) {
+      channel.rng.NextDouble() < fault->reorder_rate) {
     // Reordered: an extra random delay, no FIFO clamp, and `last_delivery` is left
     // alone — this message can overtake earlier ones and later ones can overtake it.
-    ++reordered_msgs_;
-    deliver_at += (config_.latency + config_.jitter) * rng_.NextDouble();
+    ++shard.reordered_msgs;
+    deliver_at += (config_.latency + config_.jitter) * channel.rng.NextDouble();
   } else {
     if (deliver_at <= channel.last_delivery) {
       deliver_at = channel.last_delivery + 1e-9;  // FIFO: never overtake an earlier message
@@ -77,19 +149,211 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
   }
   ++channel.delivered_msgs;
   channel.delivered_bytes += size;
-  if (fault != nullptr && fault->dup_rate > 0 && rng_.NextDouble() < fault->dup_rate) {
+  bool duplicate = false;
+  double dup_at = 0;
+  if (fault != nullptr && fault->dup_rate > 0 &&
+      channel.rng.NextDouble() < fault->dup_rate) {
     // Duplicate: a second copy trails the original by a random fraction of a hop.
-    ++duplicated_msgs_;
+    duplicate = true;
+    ++shard.duplicated_msgs;
     ++channel.delivered_msgs;
     channel.delivered_bytes += size;
-    double dup_at =
-        deliver_at + (config_.latency + config_.jitter) * rng_.NextDouble() + 1e-9;
-    sched_.At(dup_at, [dst_node, bytes] { dst_node->ReceiveBytes(bytes); });
+    dup_at = deliver_at + (config_.latency + config_.jitter) * channel.rng.NextDouble() +
+             1e-9;
   }
-  sched_.At(deliver_at,
-            [dst_node, bytes = std::move(bytes)] { dst_node->ReceiveBytes(bytes); });
+  int dst_shard = dst_node->shard_index();
+  if (src_node != nullptr && dst_shard != src_node->shard_index()) {
+    // Cross-shard: park in the outbox until the window barrier. Every deliver_at is
+    // >= send time + latency >= the current window's end, so the destination heap
+    // never receives an event in its past.
+    ++shard.sent_cross_shard;
+    shard.outbox[dst_shard].push_back(CrossShardMsg{deliver_at, dst_node, bytes});
+    if (duplicate) {
+      ++shard.sent_cross_shard;
+      shard.outbox[dst_shard].push_back(
+          CrossShardMsg{dup_at, dst_node, std::move(bytes)});
+    }
+    return size;
+  }
+  if (duplicate) {
+    shard.sched.At(dup_at, [dst_node, bytes] { dst_node->ReceiveBytes(bytes); });
+  }
+  shard.sched.At(deliver_at,
+                 [dst_node, bytes = std::move(bytes)] { dst_node->ReceiveBytes(bytes); });
   return size;
 }
+
+void Network::RunUntil(double t) {
+  if (shards_.size() == 1) {
+    uint64_t start = MonotonicNs();
+    shards_[0]->sched.RunUntil(t);
+    uint64_t elapsed = MonotonicNs() - start;
+    shards_[0]->busy_ns += elapsed;
+    critical_path_ns_ += elapsed;
+    return;
+  }
+  RunUntilParallel(t);
+}
+
+void Network::RunUntilParallel(double t) {
+  EnsureWorkers();
+  session_active_.store(true, std::memory_order_release);
+  {
+    // Empty critical section: pairs with the wait in WorkerLoop so the notify
+    // cannot slip between a worker's predicate check and its sleep.
+    std::lock_guard<std::mutex> lock(pool_mu_);
+  }
+  pool_cv_.notify_all();
+  const double lookahead = config_.latency;
+  double now = shards_[0]->sched.Now();
+  while (now < t) {
+    // Window end: at least one lookahead ahead, fast-forwarded to the globally
+    // earliest pending event when everyone is idle beyond that, capped at t.
+    double earliest = std::numeric_limits<double>::infinity();
+    for (auto& shard : shards_) {
+      earliest = std::min(earliest, shard->sched.NextEventTime());
+    }
+    double wend = std::min(t, std::max(now + lookahead, earliest));
+    window_end_ = wend;
+    window_done_.store(0, std::memory_order_relaxed);
+    window_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    RunShardWindow(0);
+    int spins = 0;
+    while (window_done_.load(std::memory_order_acquire) != shards_.size() - 1) {
+      SpinWait(&spins);
+    }
+    ++windows_;
+    uint64_t max_busy = 0;
+    for (const auto& shard : shards_) {
+      max_busy = std::max(max_busy, shard->window_busy_ns);
+    }
+    critical_path_ns_ += max_busy;
+    ExchangeWindow();
+    now = wend;
+  }
+  session_active_.store(false, std::memory_order_release);
+}
+
+void Network::RunShardWindow(size_t index) {
+  Shard& shard = *shards_[index];
+  uint64_t start = MonotonicNs();
+  shard.sched.RunUntil(window_end_);
+  uint64_t elapsed = MonotonicNs() - start;
+  shard.busy_ns += elapsed;
+  shard.window_busy_ns = elapsed;
+}
+
+void Network::ExchangeWindow() {
+  // Coordinator-only, while the workers spin at the barrier: merge each destination
+  // shard's incoming batches (source shards visited in index order, entries already
+  // in send order) and insert them in delivery-time order, so heap sequence numbers
+  // — the equal-time tie-break — match the single-shard insertion order.
+  std::vector<CrossShardMsg> incoming;
+  for (size_t dst = 0; dst < shards_.size(); ++dst) {
+    incoming.clear();
+    for (auto& src : shards_) {
+      auto& batch = src->outbox[dst];
+      incoming.insert(incoming.end(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+      batch.clear();
+    }
+    if (incoming.empty()) {
+      continue;
+    }
+    std::stable_sort(incoming.begin(), incoming.end(),
+                     [](const CrossShardMsg& a, const CrossShardMsg& b) {
+                       return a.deliver_at < b.deliver_at;
+                     });
+    Scheduler& sched = shards_[dst]->sched;
+    for (CrossShardMsg& msg : incoming) {
+      Node* node = msg.dst;
+      sched.At(msg.deliver_at,
+               [node, bytes = std::move(msg.bytes)] { node->ReceiveBytes(bytes); });
+    }
+  }
+  FlushMetricsBuffers();
+}
+
+void Network::FlushMetricsBuffers() {
+  if (metrics_sink_ == nullptr) {
+    return;
+  }
+  std::vector<MetricsSnapshot> all;
+  for (auto& shard : shards_) {
+    all.insert(all.end(), std::make_move_iterator(shard->metrics_buf.begin()),
+               std::make_move_iterator(shard->metrics_buf.end()));
+    shard->metrics_buf.clear();
+  }
+  if (all.empty()) {
+    return;
+  }
+  // (time, node) is a total order here — a node sweeps at most once per instant —
+  // so the JSONL stream is byte-identical at any shard count.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const MetricsSnapshot& a, const MetricsSnapshot& b) {
+                     if (a.time != b.time) {
+                       return a.time < b.time;
+                     }
+                     return a.node < b.node;
+                   });
+  for (MetricsSnapshot& snap : all) {
+    metrics_sink_->Write(snap);
+  }
+}
+
+void Network::EnsureWorkers() {
+  if (!workers_.empty() || shards_.size() <= 1) {
+    return;
+  }
+  workers_.reserve(shards_.size() - 1);
+  for (size_t i = 1; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void Network::WorkerLoop(size_t index) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mu_);
+      pool_cv_.wait(lock, [this] {
+        return shutdown_ || session_active_.load(std::memory_order_acquire);
+      });
+      if (shutdown_) {
+        return;
+      }
+    }
+    int spins = 0;
+    while (true) {
+      uint64_t epoch = window_epoch_.load(std::memory_order_acquire);
+      if (epoch == seen_epoch) {
+        if (!session_active_.load(std::memory_order_acquire)) {
+          break;  // session over: park on the condvar again
+        }
+        SpinWait(&spins);
+        continue;
+      }
+      seen_epoch = epoch;
+      RunShardWindow(index);
+      spins = 0;
+      window_done_.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+uint64_t Network::SumShards(uint64_t Shard::* field) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += (*shard).*field;
+  }
+  return total;
+}
+
+uint64_t Network::total_msgs() const { return SumShards(&Shard::total_msgs); }
+uint64_t Network::total_bytes() const { return SumShards(&Shard::total_bytes); }
+uint64_t Network::dropped_msgs() const { return SumShards(&Shard::dropped_msgs); }
+uint64_t Network::duplicated_msgs() const { return SumShards(&Shard::duplicated_msgs); }
+uint64_t Network::reordered_msgs() const { return SumShards(&Shard::reordered_msgs); }
 
 void Network::SetLinkFault(const std::string& src, const std::string& dst,
                            LinkFault fault) {
@@ -111,13 +375,70 @@ void Network::Partition(const std::vector<std::string>& group_a,
 }
 
 std::vector<Network::ChannelTraffic> Network::ChannelsSnapshot() const {
+  // Each (src,dst) pair lives in exactly one shard (the source node's), so
+  // concatenating and sorting yields one row per channel.
   std::vector<ChannelTraffic> out;
-  out.reserve(channels_.size());
-  for (const auto& [key, state] : channels_) {
-    out.push_back({key.first, key.second, state.msgs, state.bytes,
-                   state.delivered_msgs, state.delivered_bytes});
+  for (const auto& shard : shards_) {
+    out.reserve(out.size() + shard->channels.size());
+    for (const auto& [key, state] : shard->channels) {
+      out.push_back({key.first, key.second, state.msgs, state.bytes,
+                     state.delivered_msgs, state.delivered_bytes});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ChannelTraffic& a, const ChannelTraffic& b) {
+    if (a.src != b.src) {
+      return a.src < b.src;
+    }
+    return a.dst < b.dst;
+  });
+  return out;
+}
+
+std::vector<Network::ShardStats> Network::ShardStatsSnapshot() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardStats stats;
+    stats.index = static_cast<int>(i);
+    stats.nodes = shard.node_count;
+    stats.events = shard.sched.ExecutedCount();
+    stats.heap_hwm = shard.sched.HeapHighWaterMark();
+    stats.busy_ns = shard.busy_ns;
+    stats.sent_cross_shard = shard.sent_cross_shard;
+    out.push_back(stats);
   }
   return out;
+}
+
+void Network::PublishShardGauges(Node* node) {
+  if (shards_.size() == 1) {
+    return;
+  }
+  // Runs during the node's own sweep, on its shard's thread — which owns every
+  // value read here (windows_ is coordinator-written only at barriers, ordered by
+  // the epoch handshake).
+  const Shard& shard = *shards_[node->shard_index()];
+  MetricsRegistry& reg = node->metrics();
+  reg.GetGauge("shard")->Set(node->shard_index());
+  reg.GetGauge("shard_events")->Set(static_cast<int64_t>(shard.sched.ExecutedCount()));
+  reg.GetGauge("shard_heap_hwm")
+      ->Set(static_cast<int64_t>(shard.sched.HeapHighWaterMark()));
+  reg.GetGauge("shard_windows")->Set(static_cast<int64_t>(windows_));
+  reg.GetGauge("shard_xmsgs")->Set(static_cast<int64_t>(shard.sent_cross_shard));
+  reg.GetGauge("shard_busy_ms")->Set(static_cast<int64_t>(shard.busy_ns / 1000000));
+}
+
+void Network::WriteNodeMetrics(Node* node) {
+  if (metrics_sink_ == nullptr) {
+    return;
+  }
+  MetricsSnapshot snap = SnapshotNodeMetrics(node);
+  if (shards_.size() == 1) {
+    metrics_sink_->Write(snap);
+    return;
+  }
+  shards_[node->shard_index()]->metrics_buf.push_back(std::move(snap));
 }
 
 uint64_t Network::SumStats(uint64_t NodeStats::* field) const {

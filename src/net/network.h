@@ -1,19 +1,36 @@
-// Network: the simulated transport connecting nodes, plus the shared virtual clock.
+// Network: the simulated transport connecting nodes, plus the virtual clock(s).
 //
 // Substitution (DESIGN.md §2): the paper's testbed ran 21 processes over UDP on two
 // Xeon servers. Here nodes exchange genuinely serialized messages over per-(src,dst)
-// FIFO channels with configurable latency, jitter, and loss, all driven by one
-// deterministic discrete-event scheduler. Message and byte counters feed the Tx-message
-// series of Figures 6 and 7.
+// FIFO channels with configurable latency, jitter, and loss. Message and byte counters
+// feed the Tx-message series of Figures 6 and 7.
+//
+// Sharded execution (docs/SCALING.md): with `NetworkConfig::shards == 1` every node
+// shares one discrete-event scheduler — the historical single-threaded path. With
+// K > 1, nodes are partitioned round-robin across K shards, each owning a private
+// Scheduler run on its own thread. Shards advance in lockstep windows of width
+// `latency` (the conservative-PDES lookahead: no message can arrive sooner than the
+// minimum link latency, so events inside one window cannot affect another shard within
+// the same window). Cross-shard deliveries are batched into per-(src,dst)-shard
+// outboxes and merged into the destination heaps at the window barrier. Every random
+// draw on the send path comes from a per-link RNG stream seeded by
+// DeriveSeed(seed, "link/src>dst"), so the draw sequence depends only on the order of
+// sends on that link — which is shard-count invariant — and a K-shard run produces
+// bit-identical table digests to the K=1 run (see docs/SCALING.md for the exact
+// determinism contract; it requires jitter > 0).
 
 #ifndef SRC_NET_NETWORK_H_
 #define SRC_NET_NETWORK_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,10 +43,14 @@
 namespace p2 {
 
 struct NetworkConfig {
-  double latency = 0.02;   // base one-way delay, seconds
+  double latency = 0.02;   // base one-way delay, seconds; also the shard lookahead
   double jitter = 0.01;    // uniform extra delay in [0, jitter)
   double loss_rate = 0.0;  // per-message drop probability
-  uint64_t seed = 42;
+  uint64_t seed = 42;      // per-link RNG streams derive from this (rng.h DeriveSeed)
+  // Worker shards. 1 = the single-threaded path; K > 1 partitions nodes across K
+  // schedulers advanced in parallel lockstep windows. Requires latency > 0 (the
+  // lookahead); shards are clamped to 1 otherwise.
+  int shards = 1;
 };
 
 class Network {
@@ -40,40 +61,53 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  // Creates a node with address `addr`. Addresses must be unique.
+  // Creates a node with address `addr`, assigned round-robin (in add order) to a
+  // shard. Addresses must be unique. Must not be called while RunUntil is executing.
   Node* AddNode(const std::string& addr, NodeOptions options = NodeOptions());
 
   // Returns the node with address `addr`, or nullptr.
   Node* GetNode(const std::string& addr);
 
-  Scheduler& scheduler() { return sched_; }
-  double Now() const { return sched_.Now(); }
+  // Shard 0's scheduler. Single-shard/host-side use only: with shards > 1, events
+  // placed here run on shard 0's thread and may not target nodes owned by other
+  // shards — schedule through Node::own_scheduler() (or the p2::Fleet facade, which
+  // posts onto the owning shard) instead.
+  Scheduler& scheduler() { return shards_[0]->sched; }
+  double Now() const { return shards_[0]->sched.Now(); }
+
+  const NetworkConfig& config() const { return config_; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
 
   // Serializes `env` and schedules its delivery to `dst` (FIFO per channel, subject to
   // latency/jitter/loss). Returns the encoded size in bytes (counted whether or not the
-  // message is subsequently dropped — the sender pays for the transmission).
+  // message is subsequently dropped — the sender pays for the transmission). During a
+  // run this must be called from the thread of `src`'s shard (nodes only send from
+  // their own event handlers, which guarantees that).
   size_t SendReturningSize(const std::string& src, const std::string& dst,
                            const WireEnvelope& env);
 
-  // Runs the simulation.
-  void RunUntil(double t) { sched_.RunUntil(t); }
-  void RunFor(double dt) { sched_.RunUntil(sched_.Now() + dt); }
-  bool Step() { return sched_.Step(); }
+  // Runs the simulation until virtual time `t`. With shards > 1 this drives the
+  // windowed parallel protocol; it blocks until every shard's clock reaches `t`, so
+  // callers never observe partially advanced state.
+  void RunUntil(double t);
+  void RunFor(double dt) { RunUntil(Now() + dt); }
+  // Runs the next event on shard 0. Single-shard use only (engine unit tests).
+  bool Step() { return shards_[0]->sched.Step(); }
 
-  // Fleet-wide counters.
-  uint64_t total_msgs() const { return total_msgs_; }
-  uint64_t total_bytes() const { return total_bytes_; }
-  uint64_t dropped_msgs() const { return dropped_msgs_; }
-  uint64_t duplicated_msgs() const { return duplicated_msgs_; }
-  uint64_t reordered_msgs() const { return reordered_msgs_; }
+  // Fleet-wide counters (summed across shards; call between runs).
+  uint64_t total_msgs() const;
+  uint64_t total_bytes() const;
+  uint64_t dropped_msgs() const;
+  uint64_t duplicated_msgs() const;
+  uint64_t reordered_msgs() const;
 
   // ---- link-level fault injection ----
   //
   // Faults compose with the global loss_rate: a message first survives the global
   // coin, then a partition check, then its link's fault spec. All randomness draws
-  // from the network's seeded RNG, so a given seed + fault schedule replays
-  // bit-identically; with no faults configured the draw sequence is exactly the
-  // pre-fault-injection one.
+  // from the link's own seeded RNG stream, so a given seed + fault schedule replays
+  // bit-identically at any shard count. Fault specs and partitions are host-side
+  // configuration: install them between runs, not from node callbacks.
   struct LinkFault {
     double loss = 0;           // per-message drop probability on this link
     double dup_rate = 0;       // probability a delivered message arrives twice
@@ -111,10 +145,39 @@ class Network {
   };
   std::vector<ChannelTraffic> ChannelsSnapshot() const;
 
+  // Per-shard runtime statistics (docs/SCALING.md; surfaced per node as shard_*
+  // gauges in sysStat when shards > 1).
+  struct ShardStats {
+    int index = 0;
+    uint64_t nodes = 0;             // nodes assigned to this shard
+    uint64_t events = 0;            // events executed by its scheduler
+    uint64_t heap_hwm = 0;          // high-water mark of its pending-event heap
+    uint64_t busy_ns = 0;           // wall-clock time spent running its windows
+    uint64_t sent_cross_shard = 0;  // messages it sent through a window barrier
+  };
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+  // Synchronization windows completed (0 while single-sharded).
+  uint64_t windows() const { return windows_; }
+  // Modeled parallel wall-clock: sum over windows of the busiest shard's time in
+  // that window. On a machine with >= K free cores this is what RunUntil costs; the
+  // bench reports it alongside the actual wall-clock (bench/parallel_fleet).
+  uint64_t critical_path_ns() const { return critical_path_ns_; }
+
   // Structured telemetry export: when set, every node writes one MetricsSnapshot to
-  // `sink` per soft-state sweep. Non-owning; the sink must outlive the network.
+  // `sink` per soft-state sweep. Non-owning; the sink must outlive the network. With
+  // shards > 1 snapshots are buffered per shard and flushed at window barriers in
+  // deterministic (time, node) order, so the sink itself needs no locking.
   void SetMetricsSink(MetricsSink* sink) { metrics_sink_ = sink; }
   MetricsSink* metrics_sink() const { return metrics_sink_; }
+
+  // Called by Node::Sweep before its introspection refresh: publishes the owning
+  // shard's runtime counters as shard_* gauges on the node's registry (no-op while
+  // single-sharded, keeping the historical sysStat row set).
+  void PublishShardGauges(Node* node);
+
+  // Called by Node::Sweep: routes the node's MetricsSnapshot to the sink, buffering
+  // per shard under parallel execution.
+  void WriteNodeMetrics(Node* node);
 
   // Sum of a statistic across nodes.
   uint64_t SumStats(uint64_t NodeStats::* field) const;
@@ -122,7 +185,7 @@ class Network {
   // External gateway: when set, messages addressed to nodes NOT in this Network are
   // handed (destination address, serialized bytes) to this callback instead of being
   // dropped. Real-time drivers (src/net/udp_driver.h) use it to put tuples on actual
-  // sockets.
+  // sockets. Single-shard use only.
   using ExternalSender =
       std::function<void(const std::string& dst, const std::string& bytes)>;
   void SetExternalSender(ExternalSender sender) { external_sender_ = std::move(sender); }
@@ -131,30 +194,76 @@ class Network {
   std::vector<Node*> AllNodes();
 
  private:
-  NetworkConfig config_;
-  Scheduler sched_;
-  Rng rng_;
-  std::map<std::string, std::unique_ptr<Node>> nodes_;
-  // Per-(src, dst) channel state: FIFO enforcement (last scheduled delivery time)
-  // plus traffic counters. The map lookup was already paid for FIFO ordering, so the
-  // counters ride along for free on the send path.
+  // Per-(src, dst) channel state: the link's private RNG stream, FIFO enforcement
+  // (last scheduled delivery time), and traffic counters. Owned by the *source*
+  // node's shard — sends on a link always execute on that shard's thread.
   struct ChannelState {
+    explicit ChannelState(uint64_t link_seed) : rng(link_seed) {}
+    Rng rng;
     double last_delivery = -std::numeric_limits<double>::infinity();
     uint64_t msgs = 0;
     uint64_t bytes = 0;
     uint64_t delivered_msgs = 0;
     uint64_t delivered_bytes = 0;
   };
-  std::map<std::pair<std::string, std::string>, ChannelState> channels_;
+
+  // A delivery crossing a shard boundary, parked until the next window barrier.
+  struct CrossShardMsg {
+    double deliver_at = 0;
+    Node* dst = nullptr;
+    std::string bytes;
+  };
+
+  struct Shard {
+    Scheduler sched;
+    std::map<std::pair<std::string, std::string>, ChannelState> channels;
+    // outbox[d]: messages bound for shard d, in send order.
+    std::vector<std::vector<CrossShardMsg>> outbox;
+    std::vector<MetricsSnapshot> metrics_buf;
+    uint64_t node_count = 0;
+    uint64_t total_msgs = 0;
+    uint64_t total_bytes = 0;
+    uint64_t dropped_msgs = 0;
+    uint64_t duplicated_msgs = 0;
+    uint64_t reordered_msgs = 0;
+    uint64_t sent_cross_shard = 0;
+    uint64_t busy_ns = 0;
+    uint64_t window_busy_ns = 0;  // last window only (critical-path accounting)
+  };
+
+  ChannelState& ChannelFor(Shard& shard, const std::string& src, const std::string& dst);
+  uint64_t SumShards(uint64_t Shard::* field) const;
+
+  // ---- windowed parallel runtime (shards > 1) ----
+  void RunUntilParallel(double t);
+  void RunShardWindow(size_t index);  // run shard `index` up to window_end_
+  void ExchangeWindow();              // barrier step: merge outboxes, flush metrics
+  void FlushMetricsBuffers();
+  void EnsureWorkers();
+  void WorkerLoop(size_t index);
+
+  NetworkConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, std::unique_ptr<Node>> nodes_;
+  int next_shard_ = 0;  // round-robin assignment cursor
   std::map<std::pair<std::string, std::string>, LinkFault> link_faults_;
   std::set<std::pair<std::string, std::string>> partitioned_;
-  uint64_t total_msgs_ = 0;
-  uint64_t total_bytes_ = 0;
-  uint64_t dropped_msgs_ = 0;
-  uint64_t duplicated_msgs_ = 0;
-  uint64_t reordered_msgs_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t critical_path_ns_ = 0;
   ExternalSender external_sender_;
   MetricsSink* metrics_sink_ = nullptr;
+
+  // Worker pool: shards 1..K-1 each get a thread, parked on `pool_cv_` between
+  // RunUntil sessions and synchronized by an epoch-counter barrier within one
+  // (bounded spin, then yield — see network.cc). Shard 0 runs on the calling thread.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;
+  bool shutdown_ = false;
+  std::atomic<bool> session_active_{false};
+  std::atomic<uint64_t> window_epoch_{0};
+  std::atomic<size_t> window_done_{0};
+  double window_end_ = 0;  // written by coordinator before each epoch bump
 };
 
 }  // namespace p2

@@ -12,8 +12,14 @@ BusyTimer::BusyTimer(NodeStats* stats) : stats_(stats), start_ns_(MonotonicNs())
 
 BusyTimer::~BusyTimer() { stats_->busy_ns += MonotonicNs() - start_ns_; }
 
-Node::Node(std::string addr, Network* network, NodeOptions options)
-    : addr_(std::move(addr)), network_(network), options_(options), rng_(options.seed) {
+Node::Node(std::string addr, Network* network, NodeOptions options, Scheduler* sched,
+           int shard_index)
+    : addr_(std::move(addr)),
+      network_(network),
+      sched_(sched != nullptr ? sched : &network->scheduler()),
+      shard_index_(shard_index),
+      options_(options),
+      rng_(options.seed) {
   tracer_ = std::make_unique<Tracer>(addr_, &store_, options_.tracer_records_per_rule);
   InstallBuiltinTables();
   tracer_->set_enabled(options_.tracing);
@@ -28,7 +34,7 @@ Node::Node(std::string addr, Network* network, NodeOptions options)
 
 Node::~Node() = default;
 
-double Node::Now() const { return network_->Now(); }
+double Node::Now() const { return sched_->Now(); }
 
 void Node::InstallBuiltinTables() {
   TableSpec rule_exec;
@@ -254,7 +260,7 @@ void Node::RegisterPeriodic(Strand* strand, double period) {
 }
 
 void Node::SchedulePeriodic(Strand* strand, double period) {
-  network_->scheduler().After(period, [this, strand, period] {
+  sched_->After(period, [this, strand, period] {
     if (inactive_strands_.count(strand) > 0) {
       periodic_entries_.erase(strand);
       return;  // program unloaded: the timer chain ends here
@@ -289,7 +295,7 @@ void Node::SchedulePeriodic(Strand* strand, double period) {
 
 void Node::ScheduleSweep() {
   sweep_scheduled_ = true;
-  network_->scheduler().After(options_.sweep_interval, [this] {
+  sched_->After(options_.sweep_interval, [this] {
     if (!up_) {
       sweep_scheduled_ = false;  // chain dies; Revive re-arms it
       return;
@@ -358,18 +364,21 @@ void Node::Sweep() {
     expired += table->ExpireStale(now);
   }
   stats_.tuples_expired += expired;
+  if (options_.metrics) {
+    network_->PublishShardGauges(this);
+  }
   if (options_.introspection) {
     RefreshTableIntrospection(this);
     RefreshStatIntrospection(this);
   }
-  if (options_.metrics && network_->metrics_sink() != nullptr) {
-    network_->metrics_sink()->Write(SnapshotNodeMetrics(this));
+  if (options_.metrics) {
+    network_->WriteNodeMetrics(this);
   }
   Drain();
 }
 
 void Node::InjectEvent(const TupleRef& tuple) {
-  network_->scheduler().At(Now(), [this, tuple] {
+  sched_->At(Now(), [this, tuple] {
     if (!up_) {
       return;
     }
@@ -412,7 +421,7 @@ void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask
     p.is_delete = is_delete;
     p.bound_mask = bound_mask;
     if (options_.local_queue_delay > 0) {
-      network_->scheduler().After(options_.local_queue_delay,
+      sched_->After(options_.local_queue_delay,
                                   [this, p = std::move(p)]() mutable {
                                     if (!up_) {
                                       return;
@@ -492,7 +501,7 @@ void Node::ScheduleRetransmit(const std::string& dst, uint64_t epoch, uint64_t s
   if (delay > options_.rel_rto_max) {
     delay = options_.rel_rto_max;
   }
-  network_->scheduler().After(delay, [this, dst, epoch, seq, retries] {
+  sched_->After(delay, [this, dst, epoch, seq, retries] {
     if (!up_) {
       return;  // the channel restarts (new epoch) via Recover
     }

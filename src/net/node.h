@@ -94,9 +94,15 @@ struct NodeStats {
   uint64_t busy_ns = 0;  // wall-clock nanoseconds spent executing this node's dataflow
 };
 
+class Scheduler;
+
 class Node {
  public:
-  Node(std::string addr, Network* network, NodeOptions options);
+  // `sched` is the scheduler of the shard that owns this node (nullptr = the
+  // network's shard 0) — nodes are created through Network::AddNode, which wires
+  // both. All of the node's timers, injections, and local hand-offs run there.
+  Node(std::string addr, Network* network, NodeOptions options,
+       Scheduler* sched = nullptr, int shard_index = 0);
   ~Node();
 
   Node(const Node&) = delete;
@@ -113,6 +119,12 @@ class Node {
   TupleStore& store() { return store_; }
   Rng& rng() { return rng_; }
   Network& network() { return *network_; }
+  // The owning shard's scheduler: the only scheduler this node's events may run on.
+  // Host code targeting a specific node (timed injections, crash schedules) must use
+  // this, not Network::scheduler(), or the event lands on the wrong shard's thread
+  // under parallel execution.
+  Scheduler& own_scheduler() { return *sched_; }
+  int shard_index() const { return shard_index_; }
 
   // Current virtual time.
   double Now() const;
@@ -303,6 +315,8 @@ class Node {
 
   std::string addr_;
   Network* network_;
+  Scheduler* sched_;
+  int shard_index_;
   NodeOptions options_;
   NodeStats stats_;
   MetricsRegistry metrics_;

@@ -9,6 +9,9 @@ uint64_t Scheduler::At(double time, Task fn) {
   uint64_t id = next_id_++;
   heap_.push(Event{std::max(time, now_), next_seq_++, id});
   tasks_.emplace(id, std::move(fn));
+  if (heap_.size() > heap_hwm_) {
+    heap_hwm_ = heap_.size();
+  }
   return id;
 }
 
@@ -37,6 +40,7 @@ bool Scheduler::Step() {
     Task fn = std::move(it->second);
     tasks_.erase(it);
     now_ = ev.time;
+    ++executed_;
     fn();
     return true;
   }

@@ -49,8 +49,15 @@ class Scheduler {
   size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
 
   // Virtual time of the earliest pending (non-cancelled) event, or +infinity if none.
-  // Used by real-time drivers to size their poll timeouts.
+  // Used by real-time drivers to size their poll timeouts, and by the sharded fleet
+  // runtime to fast-forward across globally idle stretches.
   double NextEventTime();
+
+  // Events executed so far (Step calls that ran a task).
+  uint64_t ExecutedCount() const { return executed_; }
+
+  // High-water mark of the pending-event heap.
+  uint64_t HeapHighWaterMark() const { return heap_hwm_; }
 
  private:
   struct Event {
@@ -69,6 +76,8 @@ class Scheduler {
   double now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  uint64_t heap_hwm_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
   std::unordered_map<uint64_t, Task> tasks_;
   std::unordered_set<uint64_t> cancelled_;

@@ -1,6 +1,7 @@
 #include "src/runtime/table.h"
 
 #include <cmath>
+#include <iterator>
 
 namespace p2 {
 
@@ -140,10 +141,21 @@ void Table::EvictOverflow() {
     return;
   }
   while (rows_.size() > spec_.max_size) {
-    Row victim = rows_.front();
+    // Evict the row closest to expiry: capacity pressure accelerates the aging the
+    // table would do anyway. Refreshes push a row's expiry out, so soft state that
+    // is still being maintained (e.g. a Chord node's own best successor) survives
+    // while once-gossiped entries go first. Ties (notably infinite-lifetime tables)
+    // fall back to insertion order, since rows_ is insertion-ordered.
+    auto victim_it = rows_.begin();
+    for (auto it = std::next(rows_.begin()); it != rows_.end(); ++it) {
+      if (it->expires_at < victim_it->expires_at) {
+        victim_it = it;
+      }
+    }
+    Row victim = *victim_it;
     index_.erase(MakeKey(*victim.tuple));
-    SecondaryRemove(rows_.begin());
-    rows_.pop_front();
+    SecondaryRemove(victim_it);
+    rows_.erase(victim_it);
     ++counters_.evictions;
     Notify(TableChange::kEvict, victim.tuple);
   }

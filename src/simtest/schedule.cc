@@ -239,12 +239,14 @@ std::string ScheduleToScenario(const Schedule& s, const Ablation& ablation) {
       << " abort=" << FmtNum(p.snap_abort) << " check=" << FmtNum(p.snap_check)
       << " probe=" << FmtNum(p.probe_period) << " churn=" << p.churn_events
       << " linkfaults=" << p.linkfault_events << " partitions=" << p.partition_events
-      << " puts=" << p.put_events << " gets=" << p.get_events << "\n";
+      << " puts=" << p.put_events << " gets=" << p.get_events
+      << " shards=" << p.shards << "\n";
   out << "# ablation indexes=" << (ablation.use_join_indexes ? "on" : "off")
       << " metrics=" << (ablation.metrics ? "on" : "off")
       << " reliable=" << (ablation.reliable_transport ? "on" : "off") << "\n";
   out << "net latency=" << FmtNum(p.latency) << " jitter=" << FmtNum(p.jitter)
-      << " loss=" << FmtNum(p.loss) << " seed=" << FmtU64(s.seed) << "\n";
+      << " loss=" << FmtNum(p.loss) << " seed=" << FmtU64(s.seed)
+      << " shards=" << p.shards << "\n";
   for (int i = 0; i < p.num_nodes; ++i) {
     out << "node " << AddrOf(i) << " trace seed=" << FmtU64(NodeSeed(s.seed, i));
     if (!ablation.use_join_indexes) {
@@ -389,6 +391,7 @@ bool ScenarioToSchedule(const std::string& text, Schedule* out, std::string* err
             {"partitions", nullptr, &p.partition_events},
             {"puts", nullptr, &p.put_events},
             {"gets", nullptr, &p.get_events},
+            {"shards", nullptr, &p.shards},
         };
         for (const Field& f : fields) {
           if (!ParseKvNum(kv, f.key, &v, error)) {

@@ -1,6 +1,7 @@
 #include "src/simtest/simfuzz.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -107,7 +108,11 @@ RunResult RunScenarioText(const std::string& scenario, const Schedule* meta,
   result.scenario = scenario;
   // Swallow interpreter output (dump/stats are not part of the harness contract).
   ScenarioRunner runner([](const std::string&) {});
-  std::vector<ChannelDelivery> deliveries;
+  // One buffer per destination node: a node's tap fires on its owning shard's
+  // thread, so a shared vector would race on sharded fleets. The map itself is
+  // only mutated host-side between script lines (shards quiescent), and map nodes
+  // are address-stable, so each tap can hold a reference to its own buffer.
+  std::map<std::string, std::vector<ChannelDelivery>> deliveries_by_dst;
   std::set<std::string> tapped;
   std::istringstream in(scenario);
   std::string line;
@@ -126,11 +131,10 @@ RunResult RunScenarioText(const std::string& scenario, const Schedule* meta,
       for (Node* node : runner.network()->AllNodes()) {
         if (tapped.insert(node->addr()).second) {
           std::string dst = node->addr();
-          node->SetReliableDeliveryTap(
-              [&deliveries, dst](const WireEnvelope& env) {
-                deliveries.push_back(
-                    ChannelDelivery{env.src_addr, dst, env.epoch, env.seq});
-              });
+          std::vector<ChannelDelivery>& buf = deliveries_by_dst[dst];
+          node->SetReliableDeliveryTap([&buf, dst](const WireEnvelope& env) {
+            buf.push_back(ChannelDelivery{env.src_addr, dst, env.epoch, env.seq});
+          });
         }
       }
     }
@@ -141,6 +145,12 @@ RunResult RunScenarioText(const std::string& scenario, const Schedule* meta,
       result.script_error = "scenario created no nodes";
     }
     return result;
+  }
+  // Concatenate per-destination buffers in address order: the FIFO oracle only
+  // needs per-(src,dst) order, which each destination's own buffer preserves.
+  std::vector<ChannelDelivery> deliveries;
+  for (auto& [addr, buf] : deliveries_by_dst) {
+    deliveries.insert(deliveries.end(), buf.begin(), buf.end());
   }
   FleetObservation obs = ObserveFleet(runner.network(), std::move(deliveries));
   if (meta != nullptr) {

@@ -11,22 +11,21 @@ namespace p2 {
 std::string ChordTestbed::AddrOf(int i) { return StrFormat("n%d", i); }
 
 ChordTestbed::ChordTestbed(TestbedConfig config)
-    : config_(config), net_(config.net) {
-  Rng seeder(config_.seed);
+    : config_(config), fleet_(config.fleet) {
   for (int i = 0; i < config_.num_nodes; ++i) {
-    NodeOptions opts = config_.node_options;
-    opts.seed = seeder.Next() | 1;
-    Node* node = net_.AddNode(AddrOf(i), opts);
-    nodes_.push_back(node);
+    NodeHandle handle = fleet_.AddNode(AddrOf(i));
+    handles_.push_back(handle);
+    nodes_.push_back(handle.raw());
     ChordConfig chord = config_.chord;
     chord.landmark = i == 0 ? std::string() : AddrOf(0);
     chord.node_id = 0;  // derived from the node's own seeded RNG
-    // Stagger joins so the ring grows incrementally, as in a real deployment.
+    // Stagger joins so the ring grows incrementally, as in a real deployment;
+    // posted onto each node's own shard.
     double start = i * config_.join_stagger;
-    net_.scheduler().At(start, [node, chord] {
+    handle.Post(start, [chord](Node& node) {
       std::string error;
-      if (!InstallChord(node, chord, &error)) {
-        fprintf(stderr, "InstallChord(%s) failed: %s\n", node->addr().c_str(),
+      if (!InstallChord(&node, chord, &error)) {
+        fprintf(stderr, "InstallChord(%s) failed: %s\n", node.addr().c_str(),
                 error.c_str());
         abort();
       }
@@ -61,7 +60,7 @@ int ChordTestbed::CorrectSuccessorCount() {
   for (size_t i = 0; i < ring.size(); ++i) {
     const std::string& addr = ring[i].second;
     const std::string& true_succ = ring[(i + 1) % ring.size()].second;
-    Node* node = net_.GetNode(addr);
+    Node* node = fleet_.network().GetNode(addr);
     if (node != nullptr && BestSuccAddr(node) == true_succ) {
       ++correct;
     }

@@ -1,4 +1,4 @@
-// ChordTestbed: spins up an N-node P2-Chord deployment on the simulated network —
+// ChordTestbed: spins up an N-node P2-Chord deployment on a p2::Fleet —
 // the common substrate for the paper's experiments, the examples, and the tests.
 //
 // Mirrors the paper's §4 setup: a population of virtual nodes (21 by default) that
@@ -13,18 +13,19 @@
 #include <vector>
 
 #include "src/chord/chord.h"
-#include "src/net/network.h"
+#include "src/net/fleet.h"
 
 namespace p2 {
 
 struct TestbedConfig {
   int num_nodes = 21;
-  NodeOptions node_options;
-  NetworkConfig net;
+  // One layered config: the fleet seed is the only seed knob (network links and
+  // per-node RNG streams derive from it — src/net/fleet.h), and node_defaults
+  // replaces the old per-testbed NodeOptions.
+  FleetConfig fleet;
   ChordConfig chord;
   // Seconds between consecutive node joins.
   double join_stagger = 0.5;
-  uint64_t seed = 7;
 };
 
 class ChordTestbed {
@@ -34,7 +35,14 @@ class ChordTestbed {
   ChordTestbed(const ChordTestbed&) = delete;
   ChordTestbed& operator=(const ChordTestbed&) = delete;
 
-  Network& network() { return net_; }
+  Fleet& fleet() { return fleet_; }
+  // The underlying network: host-side fault injection and counters. Direct node
+  // mutation through it is single-thread/test-only (src/net/fleet.h).
+  Network& network() { return fleet_.network(); }
+  const std::vector<NodeHandle>& handles() const { return handles_; }
+  NodeHandle handle(size_t i) { return handles_[i]; }
+  NodeHandle last_handle() { return handles_.back(); }
+  // Raw node access for tests and host-side ground-truth checks.
   const std::vector<Node*>& nodes() const { return nodes_; }
   Node* node(size_t i) { return nodes_[i]; }
   Node* last_node() { return nodes_.back(); }
@@ -44,11 +52,11 @@ class ChordTestbed {
   static std::string AddrOf(int i);
 
   // Runs the simulation for `secs` simulated seconds.
-  void Run(double secs) { net_.RunFor(secs); }
+  void Run(double secs) { fleet_.RunFor(secs); }
 
   // Structured telemetry: every node writes one MetricsSnapshot per sweep to `sink`
   // (non-owning; pass nullptr to detach). See docs/OBSERVABILITY.md.
-  void SetMetricsSink(MetricsSink* sink) { net_.SetMetricsSink(sink); }
+  void SetMetricsSink(MetricsSink* sink) { fleet_.SetMetricsSink(sink); }
 
   // The ring IDs, address -> id.
   std::map<std::string, uint64_t> Ids();
@@ -62,7 +70,8 @@ class ChordTestbed {
 
  private:
   TestbedConfig config_;
-  Network net_;
+  Fleet fleet_;
+  std::vector<NodeHandle> handles_;
   std::vector<Node*> nodes_;
 };
 

@@ -244,8 +244,7 @@ bool ParseTupleLiteral(const std::string& text, TupleRef* out, std::string* erro
 
 struct ScenarioRunner::Impl {
   std::function<void(const std::string&)> out;
-  NetworkConfig net_config;
-  uint64_t node_seed = 1000;
+  FleetConfig fleet_config;
   // Telemetry export: the sink is owned here (it must outlive the network, which
   // holds a raw pointer); a path requested before the network exists is held
   // pending and attached when the first node creates it.
@@ -296,32 +295,31 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   const std::string& cmd = words[0];
 
   auto need_network = [&]() -> bool {
-    if (network_ == nullptr) {
+    if (fleet_ == nullptr) {
       *error = "no nodes created yet";
       return false;
     }
     return true;
   };
-  // Resolves <addr|all> into a node list.
-  auto resolve = [&](const std::string& which, std::vector<Node*>* nodes) -> bool {
+  // Resolves <addr|all> into a handle list.
+  auto resolve = [&](const std::string& which, std::vector<NodeHandle>* nodes) -> bool {
     if (!need_network()) {
       return false;
     }
     if (which == "all") {
-      *nodes = network_->AllNodes();
+      *nodes = fleet_->Handles();
       return true;
     }
-    Node* node = network_->GetNode(which);
-    if (node == nullptr) {
+    if (!fleet_->HasNode(which)) {
       *error = "unknown node: " + which;
       return false;
     }
-    nodes->push_back(node);
+    nodes->push_back(fleet_->Handle(which));
     return true;
   };
 
   if (cmd == "net") {
-    if (network_ != nullptr) {
+    if (fleet_ != nullptr) {
       *error = "net must precede the first node";
       return false;
     }
@@ -333,21 +331,31 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
       if (k == "latency") {
-        if (!ParseDurationArg(v, "latency", &impl_->net_config.latency, error)) {
+        if (!ParseDurationArg(v, "latency", &impl_->fleet_config.latency, error)) {
           return false;
         }
       } else if (k == "jitter") {
-        if (!ParseDurationArg(v, "jitter", &impl_->net_config.jitter, error)) {
+        if (!ParseDurationArg(v, "jitter", &impl_->fleet_config.jitter, error)) {
           return false;
         }
       } else if (k == "loss") {
-        if (!ParseRateArg(v, "loss", &impl_->net_config.loss_rate, error)) {
+        if (!ParseRateArg(v, "loss", &impl_->fleet_config.loss_rate, error)) {
           return false;
         }
       } else if (k == "seed") {
-        if (!ParseU64Arg(v, "seed", &impl_->net_config.seed, error)) {
+        if (!ParseU64Arg(v, "seed", &impl_->fleet_config.seed, error)) {
           return false;
         }
+      } else if (k == "shards") {
+        uint64_t shards = 0;
+        if (!ParseU64Arg(v, "shards", &shards, error)) {
+          return false;
+        }
+        if (shards < 1 || shards > 64) {
+          *error = "shards must be in [1,64]: " + v;
+          return false;
+        }
+        impl_->fleet_config.shards = static_cast<int>(shards);
       } else {
         *error = "unknown net option: " + k;
         return false;
@@ -369,8 +377,12 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = "node <addr> [trace] [seed=N]";
       return false;
     }
-    if (network_ == nullptr) {
-      network_ = std::make_unique<Network>(impl_->net_config);
+    if (fleet_ == nullptr) {
+      if (impl_->fleet_config.shards > 1 && impl_->fleet_config.latency <= 0) {
+        *error = "net shards>1 requires latency>0 (the shard lookahead)";
+        return false;
+      }
+      fleet_ = std::make_unique<Fleet>(impl_->fleet_config);
       if (!impl_->pending_metrics_path.empty()) {
         std::string pending = impl_->pending_metrics_path;
         impl_->pending_metrics_path.clear();
@@ -380,16 +392,18 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
     }
     NodeOptions opts;
-    opts.seed = impl_->node_seed++;
+    bool explicit_seed = false;
+    uint64_t node_seed = 0;
     for (size_t i = 2; i < words.size(); ++i) {
       std::string k;
       std::string v;
       if (words[i] == "trace") {
         opts.tracing = true;
       } else if (SplitKv(words[i], &k, &v) && k == "seed") {
-        if (!ParseU64Arg(v, "seed", &opts.seed, error)) {
+        if (!ParseU64Arg(v, "seed", &node_seed, error)) {
           return false;
         }
+        explicit_seed = true;
       } else if (k == "indexes") {
         // Ablation switches, mirroring NodeOptions (simfuzz differential mode).
         if (!ParseOnOff(v, "indexes", &opts.use_join_indexes, error)) {
@@ -408,7 +422,11 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
     }
-    network_->AddNode(words[1], opts);
+    if (explicit_seed) {
+      fleet_->AddNodeWithSeed(words[1], opts, node_seed);
+    } else {
+      fleet_->AddNode(words[1], opts);
+    }
     return true;
   }
 
@@ -417,7 +435,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = "chord <addr|all> [landmark=<addr>]";
       return false;
     }
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (!resolve(words[1], &nodes)) {
       return false;
     }
@@ -432,13 +450,15 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
     }
-    for (Node* node : nodes) {
+    for (NodeHandle& node : nodes) {
       ChordConfig cfg;
-      cfg.landmark = (node->addr() == landmark) ? std::string() : landmark;
-      if (landmark.empty() && node != nodes.front()) {
-        cfg.landmark = nodes.front()->addr();
+      cfg.landmark = (node.addr() == landmark) ? std::string() : landmark;
+      if (landmark.empty() && node.addr() != nodes.front().addr()) {
+        cfg.landmark = nodes.front().addr();
       }
-      if (!InstallChord(node, cfg, error)) {
+      if (!node.Install(
+              [&cfg](Node* n, std::string* e) { return InstallChord(n, cfg, e); },
+              error)) {
         return false;
       }
     }
@@ -450,13 +470,17 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = cmd + " <addr|all>";
       return false;
     }
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (!resolve(words[1], &nodes)) {
       return false;
     }
-    for (Node* node : nodes) {
-      bool ok = cmd == "dht" ? InstallDht(node, DhtConfig(), error)
-                             : InstallFlood(node, FloodConfig(), error);
+    for (NodeHandle& node : nodes) {
+      bool ok = node.Install(
+          [&cmd](Node* n, std::string* e) {
+            return cmd == "dht" ? InstallDht(n, DhtConfig(), e)
+                                : InstallFlood(n, FloodConfig(), e);
+          },
+          error);
       if (!ok) {
         return false;
       }
@@ -465,7 +489,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   }
 
   if (cmd == "put" || cmd == "get") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     size_t want_args = cmd == "put" ? 5u : 4u;
     if (words.size() != want_args || !resolve(words[1], &nodes)) {
       if (error->empty()) {
@@ -478,28 +502,30 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!ParseU64Arg(words.back(), "reqid", &req, error)) {
       return false;
     }
-    if (cmd == "put") {
-      DhtPut(nodes[0], words[2], words[3], req);
-    } else {
-      DhtGet(nodes[0], words[2], req);
-    }
+    nodes[0].Call([&](Node* n) {
+      if (cmd == "put") {
+        DhtPut(n, words[2], words[3], req);
+      } else {
+        DhtGet(n, words[2], req);
+      }
+    });
     return true;
   }
 
   if (cmd == "member") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 3 || !resolve(words[1], &nodes)) {
       if (error->empty()) {
         *error = "member <addr> <peer>";
       }
       return false;
     }
-    AddMember(nodes[0], words[2]);
+    nodes[0].Call([&](Node* n) { AddMember(n, words[2]); });
     return true;
   }
 
   if (cmd == "publish") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 4 || !resolve(words[1], &nodes)) {
       if (error->empty()) {
         *error = "publish <addr> <rumor-id> <payload>";
@@ -510,7 +536,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!ParseU64Arg(words[2], "rumor-id", &rumor, error)) {
       return false;
     }
-    PublishRumor(nodes[0], rumor, words[3]);
+    nodes[0].Call([&](Node* n) { PublishRumor(n, rumor, words[3]); });
     return true;
   }
 
@@ -519,7 +545,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = cmd + " <addr|all> <file or text> ...";
       return false;
     }
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (!resolve(words[1], &nodes)) {
       return false;
     }
@@ -552,8 +578,8 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       size_t pos = raw.find(words[1]);
       source = raw.substr(pos + words[1].size());
     }
-    for (Node* node : nodes) {
-      if (!node->LoadProgram(source, params, error)) {
+    for (NodeHandle& node : nodes) {
+      if (!node.Load(source, params, error)) {
         return false;
       }
     }
@@ -577,26 +603,28 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = "inject [t=<secs>] <addr> <tuple literal>";
       return false;
     }
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (!resolve(words[arg], &nodes)) {
       return false;
     }
-    if (have_at && at < network_->Now()) {
+    if (have_at && at < fleet_->Now()) {
       // The scheduler would clamp a past time to "now", silently reordering the
       // scenario; reject instead.
       *error = StrFormat("t=%g is in the past (virtual time is %g)", at,
-                         network_->Now());
+                         fleet_->Now());
       return false;
     }
     TupleRef tuple;
     if (!ParseTupleLiteral(words[arg + 1], &tuple, error)) {
       return false;
     }
-    for (Node* node : nodes) {
+    for (NodeHandle& node : nodes) {
       if (!have_at) {
-        node->InjectEvent(tuple);
+        node.Inject(tuple);
       } else {
-        network_->scheduler().At(at, [node, tuple] { node->InjectEvent(tuple); });
+        // Posted onto the node's own shard, so timed injections stay correct
+        // under the parallel runtime.
+        node.InjectAt(at, tuple);
       }
     }
     return true;
@@ -613,12 +641,12 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!ParseDurationArg(words[1], "run", &secs, error)) {
       return false;
     }
-    network_->RunFor(secs);
+    fleet_->RunFor(secs);
     return true;
   }
 
   if (cmd == "crash" || cmd == "revive" || cmd == "recover") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     double at = -1;
     if (words.size() < 2 || words.size() > 3 || !resolve(words[1], &nodes)) {
       if (error->empty()) {
@@ -636,26 +664,20 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       if (!ParseDoubleArg(v, "at", &at, error)) {
         return false;
       }
-      if (at < network_->Now()) {
+      if (at < fleet_->Now()) {
         *error = StrFormat("at=%g is in the past (virtual time is %g)", at,
-                           network_->Now());
+                           fleet_->Now());
         return false;
       }
     }
-    for (Node* node : nodes) {
-      auto apply = [cmd, node] {
-        if (cmd == "crash") {
-          node->Crash();
-        } else if (cmd == "revive") {
-          node->Revive();
-        } else {
-          node->Recover();
-        }
-      };
-      if (at < 0) {
-        apply();
+    for (NodeHandle& node : nodes) {
+      // The *At variants post onto each node's own shard.
+      if (cmd == "crash") {
+        at < 0 ? node.Crash() : node.CrashAt(at);
+      } else if (cmd == "revive") {
+        at < 0 ? node.Revive() : node.ReviveAt(at);
       } else {
-        network_->scheduler().At(at, apply);
+        at < 0 ? node.Recover() : node.RecoverAt(at);
       }
     }
     return true;
@@ -702,15 +724,15 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       any = true;
     }
     for (int i = 1; i <= 2; ++i) {
-      if (network_->GetNode(words[i]) == nullptr) {
+      if (!fleet_->HasNode(words[i])) {
         *error = "unknown node: " + words[i];
         return false;
       }
     }
     if (any) {
-      network_->SetLinkFault(words[1], words[2], fault);
+      fleet_->SetLinkFault(words[1], words[2], fault);
     } else {
-      network_->ClearLinkFault(words[1], words[2]);
+      fleet_->ClearLinkFault(words[1], words[2]);
     }
     return true;
   }
@@ -727,13 +749,13 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     std::vector<std::string> group_b = Split(words[2], ',');
     for (const std::vector<std::string>* group : {&group_a, &group_b}) {
       for (const std::string& addr : *group) {
-        if (network_->GetNode(addr) == nullptr) {
+        if (!fleet_->HasNode(addr)) {
           *error = "unknown node: " + addr;
           return false;
         }
       }
     }
-    network_->Partition(group_a, group_b);
+    fleet_->Partition(group_a, group_b);
     return true;
   }
 
@@ -744,19 +766,19 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
-    network_->Heal();
+    fleet_->Heal();
     return true;
   }
 
   if (cmd == "watchprint") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 2 || !resolve(words[1], &nodes)) {
       return false;
     }
-    for (Node* node : nodes) {
+    for (NodeHandle& node : nodes) {
       Impl* impl = impl_.get();
-      std::string addr = node->addr();
-      node->SetWatchSink([impl, addr](double t, const TupleRef& tuple) {
+      std::string addr = node.addr();
+      node.WatchSink([impl, addr](double t, const TupleRef& tuple) {
         impl->Print(StrFormat("[%9.3f] %s: %s\n", t, addr.c_str(),
                               tuple->ToString().c_str()));
       });
@@ -765,16 +787,16 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   }
 
   if (cmd == "dump") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 3 || !resolve(words[1], &nodes)) {
       if (*error == "") {
         *error = "dump <addr|all> <table>";
       }
       return false;
     }
-    for (Node* node : nodes) {
-      std::vector<TupleRef> rows = node->TableContents(words[2]);
-      impl_->Print(StrFormat("-- %s %s (%zu rows) --\n", node->addr().c_str(),
+    for (NodeHandle& node : nodes) {
+      std::vector<TupleRef> rows = node.Query(words[2]);
+      impl_->Print(StrFormat("-- %s %s (%zu rows) --\n", node.addr().c_str(),
                              words[2].c_str(), rows.size()));
       for (const TupleRef& t : rows) {
         impl_->Print("  " + t->ToString() + "\n");
@@ -784,15 +806,15 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   }
 
   if (cmd == "stats") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 2 || !resolve(words[1], &nodes)) {
       return false;
     }
-    for (Node* node : nodes) {
-      const NodeStats& s = node->stats();
+    for (NodeHandle& node : nodes) {
+      const NodeStats& s = node.Stats();
       impl_->Print(StrFormat(
           "%s: sent=%llu recv=%llu triggers=%llu emitted=%llu dead=%llu busy=%.3fms\n",
-          node->addr().c_str(), static_cast<unsigned long long>(s.msgs_sent),
+          node.addr().c_str(), static_cast<unsigned long long>(s.msgs_sent),
           static_cast<unsigned long long>(s.msgs_received),
           static_cast<unsigned long long>(s.strand_triggers),
           static_cast<unsigned long long>(s.tuples_emitted),
@@ -803,7 +825,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
   }
 
   if (cmd == "expect") {
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (words.size() != 4 || !resolve(words[1], &nodes)) {
       if (*error == "") {
         *error = "expect <addr> <table> <count>";
@@ -815,7 +837,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       return false;
     }
     size_t want = static_cast<size_t>(want64);
-    size_t got = nodes[0]->TableContents(words[2]).size();
+    size_t got = nodes[0].Count(words[2]);
     if (got != want) {
       *error = StrFormat("expect failed: %s.%s has %zu rows, wanted %zu",
                          words[1].c_str(), words[2].c_str(), got, want);
@@ -835,11 +857,11 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
                "[check=X] [probe=X]";
       return false;
     }
-    std::vector<Node*> nodes;
+    std::vector<NodeHandle> nodes;
     if (!resolve(words[1], &nodes)) {
       return false;
     }
-    std::string initiator = nodes.front()->addr();
+    std::string initiator = nodes.front().addr();
     SnapshotConfig snap_cfg;
     RingCheckConfig ring_cfg;
     for (size_t i = 2; i < words.size(); ++i) {
@@ -850,7 +872,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
       if (k == "initiator") {
-        if (network_->GetNode(v) == nullptr) {
+        if (!fleet_->HasNode(v)) {
           *error = "unknown node: " + v;
           return false;
         }
@@ -876,13 +898,19 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
     }
-    for (Node* node : nodes) {
-      if (!InstallRingChecks(node, ring_cfg, error)) {
+    for (NodeHandle& node : nodes) {
+      if (!node.Install(
+              [&ring_cfg](Node* n, std::string* e) {
+                return InstallRingChecks(n, ring_cfg, e);
+              },
+              error)) {
         return false;
       }
       SnapshotConfig cfg = snap_cfg;
-      cfg.initiator = (node->addr() == initiator);
-      if (!InstallSnapshot(node, cfg, error)) {
+      cfg.initiator = (node.addr() == initiator);
+      if (!node.Install(
+              [&cfg](Node* n, std::string* e) { return InstallSnapshot(n, cfg, e); },
+              error)) {
         return false;
       }
     }
@@ -894,7 +922,7 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
 }
 
 bool ScenarioRunner::SetMetricsOut(const std::string& path, std::string* error) {
-  if (network_ == nullptr) {
+  if (fleet_ == nullptr) {
     impl_->pending_metrics_path = path;
     return true;
   }
@@ -903,7 +931,7 @@ bool ScenarioRunner::SetMetricsOut(const std::string& path, std::string* error) 
     return false;
   }
   impl_->metrics_sink = std::move(sink);
-  network_->SetMetricsSink(impl_->metrics_sink.get());
+  fleet_->SetMetricsSink(impl_->metrics_sink.get());
   return true;
 }
 

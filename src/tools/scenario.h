@@ -4,10 +4,13 @@
 //
 // Scenario language (one command per line, `#` comments):
 //
-//   net latency=0.02 jitter=0.01 loss=0 seed=42   # before any node; optional
+//   net latency=0.02 jitter=0.01 loss=0 seed=42 shards=1   # before any node; optional
+//                                                 # shards>1 = parallel fleet runtime
+//                                                 # (needs latency>0; docs/SCALING.md)
 //   metrics <path>                                # stream per-sweep telemetry
 //                                                 # (.csv -> CSV, else JSONL)
-//   node <addr> [trace] [seed=N]                  # create a node
+//   node <addr> [trace] [seed=N]                  # create a node (seed derives from
+//                                                 # the fleet seed unless given)
 //        [indexes=on|off] [metrics=on|off] [reliable=on|off]   # NodeOptions ablations
 //   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
 //   monitors <addr|all> [initiator=<addr>]        # ring checks + C-L snapshots
@@ -46,7 +49,7 @@
 #include <memory>
 #include <string>
 
-#include "src/net/network.h"
+#include "src/net/fleet.h"
 
 namespace p2 {
 
@@ -71,8 +74,10 @@ class ScenarioRunner {
   // directive and olgrun's --metrics-out flag.
   bool SetMetricsOut(const std::string& path, std::string* error);
 
-  // The network under interpretation (valid after the first `node` command).
-  Network* network() { return network_.get(); }
+  // The fleet under interpretation (valid after the first `node` command).
+  Fleet* fleet() { return fleet_.get(); }
+  // Its network: host-side counters/faults and test-only node access.
+  Network* network() { return fleet_ == nullptr ? nullptr : &fleet_->network(); }
 
   // Number of `expect` commands that have passed so far.
   int expectations_passed() const { return expectations_passed_; }
@@ -80,7 +85,7 @@ class ScenarioRunner {
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
-  std::unique_ptr<Network> network_;
+  std::unique_ptr<Fleet> fleet_;
   int expectations_passed_ = 0;
 };
 

@@ -4,6 +4,8 @@
 //   simfuzz --seed N [--iters K]          run K schedules from seeds N, N+1, ...
 //           [--profile faulty|quiet]      fault intensity (default faulty)
 //           [--nodes N]                   fleet size override
+//           [--shards K]                  run fleets on K worker shards (digests
+//                                         must match K=1 bit-exactly)
 //           [--shrink]                    on failure, greedily minimize the schedule
 //           [--scenario-out PATH]         where to write the (shrunk) failing scenario
 //           [--print-scenario]            print each schedule's scenario text
@@ -47,7 +49,7 @@ using p2::simtest::SimFuzzOptions;
 int Usage() {
   fprintf(stderr,
           "usage: simfuzz [--seed N] [--iters K] [--profile faulty|quiet] "
-          "[--nodes N]\n"
+          "[--nodes N] [--shards K]\n"
           "               [--shrink] [--scenario-out PATH] [--print-scenario]\n"
           "               [--replay FILE] [--differential] [--broken-oracle]\n"
           "               [--bench] [--list-oracles]\n");
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   int iters = 1;
   int nodes = 0;
+  int shards = 0;
   bool shrink = false;
   bool differential = false;
   bool print_scenario = false;
@@ -111,6 +114,12 @@ int main(int argc, char** argv) {
       iters = std::atoi(next("--iters"));
     } else if (arg == "--nodes") {
       nodes = std::atoi(next("--nodes"));
+    } else if (arg == "--shards") {
+      shards = std::atoi(next("--shards"));
+      if (shards < 1 || shards > 64) {
+        fprintf(stderr, "simfuzz: --shards must be in [1,64]\n");
+        return Usage();
+      }
     } else if (arg == "--profile") {
       profile_name = next("--profile");
     } else if (arg == "--shrink") {
@@ -149,6 +158,9 @@ int main(int argc, char** argv) {
   }
   if (nodes > 0) {
     profile.num_nodes = nodes;
+  }
+  if (shards > 0) {
+    profile.shards = shards;
   }
 
   if (!replay_path.empty()) {

@@ -16,7 +16,7 @@ class DhtTest : public ::testing::Test {
   void Start(int nodes, bool replicate = true) {
     TestbedConfig tb;
     tb.num_nodes = nodes;
-    tb.node_options.introspection = false;
+    tb.fleet.node_defaults.introspection = false;
     bed_ = std::make_unique<ChordTestbed>(tb);
     bed_->Run(100);
     ASSERT_TRUE(bed_->RingIsCorrect());

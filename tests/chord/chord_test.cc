@@ -13,9 +13,9 @@ namespace {
 TestbedConfig SmallConfig(int n) {
   TestbedConfig cfg;
   cfg.num_nodes = n;
-  cfg.node_options.introspection = false;
-  cfg.net.latency = 0.02;
-  cfg.net.jitter = 0.01;
+  cfg.fleet.node_defaults.introspection = false;
+  cfg.fleet.latency = 0.02;
+  cfg.fleet.jitter = 0.01;
   return cfg;
 }
 
@@ -130,7 +130,7 @@ TEST(ChordTest, NodeFailureIsDetectedAndRouted) {
 
 TEST(ChordTest, RingSurvivesMessageLoss) {
   TestbedConfig cfg = SmallConfig(6);
-  cfg.net.loss_rate = 0.05;
+  cfg.fleet.loss_rate = 0.05;
   ChordTestbed bed(cfg);
   bed.Run(120);
   // With 5% loss and soft-state refresh the ring still converges.
@@ -143,8 +143,7 @@ TEST(ChordTest, IdsAreDeterministicPerAddress) {
   ChordTestbed bed1(SmallConfig(5));
   bed1.Run(5);
   TestbedConfig other = SmallConfig(5);
-  other.seed = 9999;  // different RNG streams; same addresses
-  other.net.seed = 777;
+  other.fleet.seed = 777;
   ChordTestbed bed2(other);
   bed2.Run(5);
   EXPECT_EQ(bed1.Ids(), bed2.Ids());

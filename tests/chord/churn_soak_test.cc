@@ -16,10 +16,9 @@ class ChurnSoak : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(ChurnSoak, SurvivesAndHeals) {
   TestbedConfig cfg;
   cfg.num_nodes = 10;
-  cfg.node_options.introspection = false;
-  cfg.net.loss_rate = 0.02;
-  cfg.net.seed = GetParam();
-  cfg.seed = GetParam() * 13 + 1;
+  cfg.fleet.node_defaults.introspection = false;
+  cfg.fleet.loss_rate = 0.02;
+  cfg.fleet.seed = GetParam();
   ChordTestbed bed(cfg);
   bed.Run(100);
   int settled = bed.CorrectSuccessorCount();

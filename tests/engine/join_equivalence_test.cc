@@ -190,9 +190,9 @@ TEST(JoinEquivalenceTest, ChordFleetWithMonitorsMatchesScanBaseline) {
   auto run = [](bool use_indexes, size_t* num_indexes) {
     TestbedConfig tb;
     tb.num_nodes = 8;
-    tb.node_options.introspection = false;
-    tb.node_options.tracing = true;
-    tb.node_options.use_join_indexes = use_indexes;
+    tb.fleet.node_defaults.introspection = false;
+    tb.fleet.node_defaults.tracing = true;
+    tb.fleet.node_defaults.use_join_indexes = use_indexes;
     ChordTestbed bed(tb);
     bed.Run(80);
     EXPECT_TRUE(bed.RingIsCorrect());

@@ -20,7 +20,7 @@ ConsistencyConfig FastProbes() {
 TEST(ConsistencyTest, ConvergedRingScoresOne) {
   TestbedConfig tb;
   tb.num_nodes = 8;
-  tb.node_options.introspection = false;
+  tb.fleet.node_defaults.introspection = false;
   ChordTestbed bed(tb);
   bed.Run(100);
   ASSERT_TRUE(bed.RingIsCorrect());
@@ -45,7 +45,7 @@ TEST(ConsistencyTest, ProbeStateIsReclaimed) {
   // cs10/cs11 delete tallied probe state; tables must not grow without bound.
   TestbedConfig tb;
   tb.num_nodes = 6;
-  tb.node_options.introspection = false;
+  tb.fleet.node_defaults.introspection = false;
   ChordTestbed bed(tb);
   bed.Run(80);
   Node* prober = bed.node(1);
@@ -63,7 +63,7 @@ TEST(ConsistencyTest, ProbeStateIsReclaimed) {
 TEST(ConsistencyTest, HeavyLossDegradesMetricAndRaisesAlarm) {
   TestbedConfig tb;
   tb.num_nodes = 8;
-  tb.node_options.introspection = false;
+  tb.fleet.node_defaults.introspection = false;
   ChordTestbed bed(tb);
   bed.Run(100);
   ASSERT_TRUE(bed.RingIsCorrect());

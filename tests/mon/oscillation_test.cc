@@ -169,7 +169,7 @@ TEST_F(OscillationTest, ChaoticRequiresManyReporters) {
 TEST_F(OscillationTest, EndToEndOnChordRing) {
   TestbedConfig tb;
   tb.num_nodes = 5;
-  tb.node_options.introspection = false;
+  tb.fleet.node_defaults.introspection = false;
   ChordTestbed bed(tb);
   bed.Run(60);
   ASSERT_TRUE(bed.RingIsCorrect());

@@ -15,8 +15,8 @@ class ProfilerTest : public ::testing::Test {
   void Start(int nodes) {
     TestbedConfig tb;
     tb.num_nodes = nodes;
-    tb.node_options.introspection = false;
-    tb.node_options.tracing = true;  // the profiler consumes ruleExec/tupleTable
+    tb.fleet.node_defaults.introspection = false;
+    tb.fleet.node_defaults.tracing = true;  // the profiler consumes ruleExec/tupleTable
     bed_ = std::make_unique<ChordTestbed>(tb);
     bed_->Run(100);
     ASSERT_TRUE(bed_->RingIsCorrect());
@@ -115,8 +115,8 @@ TEST_F(ProfilerTest, NoReportWithoutTracing) {
   // On an untraced node the walk finds no provenance and dies silently.
   TestbedConfig tb;
   tb.num_nodes = 2;
-  tb.node_options.introspection = false;
-  tb.node_options.tracing = false;
+  tb.fleet.node_defaults.introspection = false;
+  tb.fleet.node_defaults.tracing = false;
   ChordTestbed bed(tb);
   bed.Run(20);
   Node* node = bed.node(0);

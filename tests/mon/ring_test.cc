@@ -15,7 +15,7 @@ namespace {
 TestbedConfig Config(int n) {
   TestbedConfig cfg;
   cfg.num_nodes = n;
-  cfg.node_options.introspection = false;
+  cfg.fleet.node_defaults.introspection = false;
   return cfg;
 }
 

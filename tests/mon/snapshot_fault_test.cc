@@ -18,6 +18,12 @@ double LossRate() {
   return env != nullptr ? std::atof(env) : 0.2;
 }
 
+// The CI TSan job re-runs the fault matrix on a sharded fleet via P2_SHARDS.
+int ShardsFromEnv() {
+  const char* env = std::getenv("P2_SHARDS");
+  return env != nullptr ? std::atoi(env) : 1;
+}
+
 // Forms the ring loss-free, then turns on pairwise link loss and installs the
 // snapshot machinery. Chord's soft-state refresh tolerates the loss; the marker
 // flood is what needs (or misses) the reliable class.
@@ -25,8 +31,9 @@ std::unique_ptr<ChordTestbed> LossyRing(int nodes, bool reliable,
                                         double abort_timeout) {
   TestbedConfig tb;
   tb.num_nodes = nodes;
-  tb.node_options.introspection = false;
-  tb.node_options.reliable_transport = reliable;
+  tb.fleet.shards = ShardsFromEnv();
+  tb.fleet.node_defaults.introspection = false;
+  tb.fleet.node_defaults.reliable_transport = reliable;
   auto bed = std::make_unique<ChordTestbed>(tb);
   bed->Run(100);
   EXPECT_TRUE(bed->RingIsCorrect());
@@ -98,10 +105,10 @@ TEST(SnapshotFaultTest, ChanFailedAbortsInFlightSnapshot) {
   // snapping aborts the snapshot with a "chanFailed" diagnostic (rule sra2).
   TestbedConfig tb;
   tb.num_nodes = 6;
-  tb.node_options.introspection = false;
-  tb.node_options.rel_rto = 0.2;
-  tb.node_options.rel_rto_max = 0.8;
-  tb.node_options.rel_max_retx = 3;
+  tb.fleet.node_defaults.introspection = false;
+  tb.fleet.node_defaults.rel_rto = 0.2;
+  tb.fleet.node_defaults.rel_rto_max = 0.8;
+  tb.fleet.node_defaults.rel_max_retx = 3;
   ChordTestbed bed(tb);
   bed.Run(100);
   ASSERT_TRUE(bed.RingIsCorrect());

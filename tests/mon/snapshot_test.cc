@@ -18,7 +18,7 @@ class SnapshotTest : public ::testing::Test {
   void Start(int nodes, double snap_period = 10.0) {
     TestbedConfig tb;
     tb.num_nodes = nodes;
-    tb.node_options.introspection = false;
+    tb.fleet.node_defaults.introspection = false;
     bed_ = std::make_unique<ChordTestbed>(tb);
     bed_->Run(100);
     ASSERT_TRUE(bed_->RingIsCorrect());

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/net/network.h"
 #include "src/testbed/testbed.h"
 
@@ -17,10 +19,19 @@ NodeOptions Quiet() {
   return opts;
 }
 
+// The CI TSan job re-runs the whole transport matrix on a sharded fleet via
+// P2_SHARDS; results must be identical because delivery draws are per-link.
+NetworkConfig WithShards(NetworkConfig cfg) {
+  if (const char* env = std::getenv("P2_SHARDS")) {
+    cfg.shards = std::atoi(env);
+  }
+  return cfg;
+}
+
 // Two nodes where `a` forwards go(a, b, X) as a reliable rel(b, X) event.
 struct Pair {
   explicit Pair(NetworkConfig cfg, NodeOptions opts = Quiet())
-      : net(cfg), a(net.AddNode("a", opts)), b(net.AddNode("b", opts)) {
+      : net(WithShards(cfg)), a(net.AddNode("a", opts)), b(net.AddNode("b", opts)) {
     std::string error;
     EXPECT_TRUE(a->LoadProgram("r1 rel@Other(NAddr, X) :- go@NAddr(Other, X).",
                                &error))
@@ -202,7 +213,7 @@ TEST(TransportTest, RecoverResumesPeriodicTimersAndSweeps) {
 TEST(TransportTest, RecoveredNodeRejoinsChordRing) {
   TestbedConfig cfg;
   cfg.num_nodes = 6;
-  cfg.node_options.introspection = false;
+  cfg.fleet.node_defaults.introspection = false;
   ChordTestbed bed(cfg);
   bed.Run(100);
   ASSERT_TRUE(bed.RingIsCorrect());

@@ -56,6 +56,18 @@ TEST(TableTest, SizeBoundEvictsOldest) {
   EXPECT_EQ(rows[2]->field(1), Value::Int(4));
 }
 
+TEST(TableTest, SizeBoundEvictsNextToExpireSoRefreshedRowsSurvive) {
+  Table table(Spec("t", 10, 2, {0, 1}));
+  table.Insert(Row("n", 1, 1), 0);  // expires at 10
+  table.Insert(Row("n", 2, 1), 5);  // expires at 15
+  table.Insert(Row("n", 1, 1), 8);  // refresh: now expires at 18
+  table.Insert(Row("n", 3, 1), 9);  // over capacity: (n,2) is closest to expiry
+  std::vector<TupleRef> rows = table.Scan(9);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0]->field(1), Value::Int(1));
+  EXPECT_EQ(rows[1]->field(1), Value::Int(3));
+}
+
 TEST(TableTest, WholeTupleKeyWhenNoKeysDeclared) {
   Table table(Spec("t", 100, 10, {}));
   table.Insert(Row("n", 1, 10), 0);

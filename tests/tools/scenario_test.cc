@@ -209,6 +209,34 @@ TEST_F(ScenarioTest, ErrorsAreReportedWithLineNumbers) {
   fails("node a\ncrash a when=2\n", "at=");
 }
 
+TEST_F(ScenarioTest, ShardedNetRunsAndRejectsBadShardCounts) {
+  const char* script = R"(
+net latency=0.01 jitter=0.005 shards=2
+node a
+node b
+inline all materialize(s, infinity, 10, keys(1,2)).
+inline a fwd s@Other(X) :- go@NAddr(Other, X).
+inject a go(a, b, 7)
+run 1
+expect b s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 1);
+
+  auto fails = [](const std::string& s, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    EXPECT_FALSE(runner.RunScript(s, &error)) << s;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  fails("net shards=0\nnode a\n", "shards must be in [1,64]");
+  fails("net shards=65\nnode a\n", "shards must be in [1,64]");
+  fails("net shards=two\nnode a\n", "shards");
+  // shards>1 without a positive latency has no conservative lookahead to window on.
+  fails("net latency=0 shards=2\nnode a\n",
+        "net shards>1 requires latency>0 (the shard lookahead)");
+}
+
 // Strict argument parsing (simfuzz round-trips its generated scenarios through this
 // grammar, so every malformed value must be a hard, line-numbered error).
 TEST_F(ScenarioTest, MalformedValuesAreLineNumberedErrors) {
