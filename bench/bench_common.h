@@ -35,11 +35,15 @@ struct WindowMetrics {
 };
 
 // Builds the paper's 21-node deployment (stabilize 5 s, fingers 10 s, ping 5 s).
-inline TestbedConfig PaperTestbed(int num_nodes = 21, bool tracing = false) {
+// `forensics` layers the bounded retention store on top of tracing (which it
+// implies); it defaults off so pre-existing benchmark rows stay bit-identical.
+inline TestbedConfig PaperTestbed(int num_nodes = 21, bool tracing = false,
+                                  bool forensics = false) {
   TestbedConfig cfg;
   cfg.num_nodes = num_nodes;
   cfg.fleet.node_defaults.tracing = tracing;
   cfg.fleet.node_defaults.introspection = false;
+  cfg.fleet.node_defaults.forensics.enabled = forensics;
   cfg.chord.stabilize_period = 5.0;
   cfg.chord.ping_period = 5.0;
   cfg.chord.finger_period = 10.0;

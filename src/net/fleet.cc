@@ -1,6 +1,8 @@
 #include "src/net/fleet.h"
 
 #include <cassert>
+#include <map>
+#include <memory>
 
 namespace p2 {
 
@@ -39,6 +41,31 @@ NodeHandle Fleet::Handle(const std::string& addr) {
   Node* node = net_.GetNode(addr);
   assert(node != nullptr && "Fleet::Handle: unknown node address");
   return NodeHandle(this, node);
+}
+
+std::vector<CausalChain> Fleet::ReplayChains(const std::string& addr,
+                                             const std::string& key, double t1,
+                                             double t2) {
+  // One trace source per node: the forensics store where retention is enabled,
+  // the live tables otherwise — so a mixed fleet still stitches cross-node hops.
+  // Host-side immediate (Run blocks until shards quiesce), like NodeHandle::Query.
+  std::vector<std::unique_ptr<TraceSource>> sources;
+  std::map<std::string, TraceSource*> by_addr;
+  for (Node* node : net_.AllNodes()) {
+    std::unique_ptr<TraceSource> src;
+    if (node->forensics() != nullptr) {
+      src = std::make_unique<ForensicsTraceSource>(node->forensics());
+    } else {
+      src = std::make_unique<LiveTraceSource>(node);
+    }
+    by_addr[node->addr()] = src.get();
+    sources.push_back(std::move(src));
+  }
+  auto resolver = [&by_addr](const std::string& a) -> TraceSource* {
+    auto it = by_addr.find(a);
+    return it == by_addr.end() ? nullptr : it->second;
+  };
+  return p2::ReplayChains(resolver, addr, key, t1, t2);
 }
 
 std::vector<NodeHandle> Fleet::Handles() {
@@ -118,6 +145,11 @@ std::vector<TupleRef> NodeHandle::Query(const std::string& table) {
 
 size_t NodeHandle::Count(const std::string& table) {
   return node_->TableContents(table).size();
+}
+
+std::vector<CausalChain> NodeHandle::ReplayChains(const std::string& key, double t1,
+                                                  double t2) {
+  return fleet_->ReplayChains(node_->addr(), key, t1, t2);
 }
 
 void NodeHandle::OnEvent(const std::string& name,

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/net/network.h"
+#include "src/trace/replay.h"
 
 namespace p2 {
 
@@ -94,6 +95,13 @@ class NodeHandle {
   // Contents of a materialized table at the current instant (empty if absent).
   std::vector<TupleRef> Query(const std::string& table);
   size_t Count(const std::string& table);
+  // Time-travel forensics (docs/OBSERVABILITY.md): causal chains of tuples
+  // matching `key` derived on this node during [t1, t2], cross-node hops stitched
+  // through peer stores. Answers from the node's ForensicsStore when retention is
+  // enabled (windows older than the live soft state still resolve), falling back
+  // to the live ruleExec / tupleTable walk otherwise. Host-side immediate: safe
+  // between Run calls only.
+  std::vector<CausalChain> ReplayChains(const std::string& key, double t1, double t2);
   const NodeStats& Stats() const { return node_->stats(); }
   void OnEvent(const std::string& name, std::function<void(const TupleRef&)> fn);
   void WatchSink(std::function<void(double, const TupleRef&)> sink);
@@ -146,6 +154,9 @@ class Fleet {
 
   // Handle for an existing node; dies (assert) on unknown addresses.
   NodeHandle Handle(const std::string& addr);
+  // Fleet-level entry point for NodeHandle::ReplayChains (same contract).
+  std::vector<CausalChain> ReplayChains(const std::string& addr, const std::string& key,
+                                        double t1, double t2);
   bool HasNode(const std::string& addr) { return net_.GetNode(addr) != nullptr; }
   // All nodes in address order.
   std::vector<NodeHandle> Handles();

@@ -22,6 +22,11 @@ Node::Node(std::string addr, Network* network, NodeOptions options, Scheduler* s
       rng_(options.seed) {
   tracer_ = std::make_unique<Tracer>(addr_, &store_, options_.tracer_records_per_rule);
   InstallBuiltinTables();
+  if (options_.forensics.enabled) {
+    forensics_ = std::make_unique<ForensicsStore>(addr_, options_.forensics);
+    tracer_->set_forensics(forensics_.get());
+    options_.tracing = true;  // the store is fed by the tracer's taps
+  }
   tracer_->set_enabled(options_.tracing);
   if (options_.metrics) {
     trigger_hist_ = metrics_.GetHistogram("strand_trigger_ns");
@@ -364,6 +369,9 @@ void Node::Sweep() {
     expired += table->ExpireStale(now);
   }
   stats_.tuples_expired += expired;
+  if (forensics_ != nullptr) {
+    forensics_->Compact(now);
+  }
   if (options_.metrics) {
     network_->PublishShardGauges(this);
   }

@@ -25,6 +25,7 @@
 #include "src/lang/parser.h"
 #include "src/net/wire.h"
 #include "src/runtime/catalog.h"
+#include "src/trace/forensics.h"
 #include "src/trace/metrics.h"
 #include "src/trace/tracer.h"
 #include "src/trace/tuple_store.h"
@@ -44,6 +45,11 @@ struct NodeOptions {
   size_t rule_exec_max = 100000;
   // Bound on tracer records per rule (paper's "fixed number of execution records").
   size_t tracer_records_per_rule = 8;
+  // Bounded log-structured trace retention (docs/OBSERVABILITY.md): when
+  // forensics.enabled, the tracer dual-writes execution records and tuple payloads
+  // into a per-node ForensicsStore so causal chains stay answerable after the live
+  // ruleExec / tupleTable rows expire. Implies tracing.
+  ForensicsOptions forensics;
   // Install introspection tables (sysRule / sysTable / sysElement, plus the
   // telemetry tables sysStat / sysRuleStat / sysTableStat).
   bool introspection = true;
@@ -117,6 +123,8 @@ class Node {
   size_t QueueDepth() const { return queue_.size() + low_queue_.size(); }
   Tracer& tracer() { return *tracer_; }
   TupleStore& store() { return store_; }
+  // The bounded retention store; nullptr unless NodeOptions::forensics.enabled.
+  ForensicsStore* forensics() { return forensics_.get(); }
   Rng& rng() { return rng_; }
   Network& network() { return *network_; }
   // The owning shard's scheduler: the only scheduler this node's events may run on.
@@ -325,6 +333,7 @@ class Node {
   Catalog catalog_;
   TupleStore store_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<ForensicsStore> forensics_;
 
   struct LoadedProgram {
     uint64_t id = 0;

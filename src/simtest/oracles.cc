@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "src/common/strings.h"
 #include "src/net/network.h"
+#include "src/trace/replay.h"
 
 namespace p2 {
 namespace simtest {
@@ -307,6 +309,41 @@ void CheckConservation(const FleetObservation& obs, std::vector<Violation>* out)
   }
 }
 
+// The forensics retention store is a dual-write mirror of the live trace tables:
+// as long as neither side has lost history (no dropped segments, no expired/evicted
+// trace rows — ObserveFleet checks and sets forensics_comparable), replaying a
+// window through the store must reconstruct bit-identical causal chains to walking
+// the live tables. Any digest divergence means the mirror recorded, indexed, or
+// replayed an execution differently than it happened.
+void CheckRetentionConsistency(const FleetObservation& obs,
+                               std::vector<Violation>* out) {
+  if (!obs.forensics_comparable) {
+    return;  // history was (legitimately) lost on one side; nothing to compare
+  }
+  for (const NodeObs& n : obs.nodes) {
+    if (!n.forensics_enabled) {
+      continue;
+    }
+    if (n.live_chain_digest != n.replay_chain_digest) {
+      Report(out, "retention-consistency",
+             StrFormat("%s: forensics replay digest %s != live walk digest %s",
+                       n.addr.c_str(), n.replay_chain_digest.c_str(),
+                       n.live_chain_digest.c_str()));
+    }
+  }
+}
+
+// FNV-1a over the JSONL chain export (stable across platforms; the oracle only
+// needs equality, the hex form just keeps violations printable).
+std::string ChainDigest(const std::string& jsonl) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : jsonl) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
 }  // namespace
 
 std::vector<Oracle> BuiltinOracles() {
@@ -325,6 +362,9 @@ std::vector<Oracle> BuiltinOracles() {
        CheckSnapshotLiveness},
       {"conservation", "network message accounting balances (strict when faults-free)",
        CheckConservation},
+      {"retention-consistency",
+       "forensics replay reproduces the live causal walk when nothing was lost",
+       CheckRetentionConsistency},
   };
 }
 
@@ -363,6 +403,7 @@ FleetObservation ObserveFleet(Network* net, std::vector<ChannelDelivery> deliver
     n.up = node->IsUp();
     n.stats = node->stats();
     n.metrics_enabled = node->options().metrics;
+    n.forensics_enabled = node->forensics() != nullptr;
     for (const auto& [rule_id, rm] : node->metrics().rules()) {
       n.rule_emits_total += rm->emits;
     }
@@ -439,6 +480,76 @@ FleetObservation ObserveFleet(Network* net, std::vector<ChannelDelivery> deliver
       n.snapshots.push_back(std::move(s));
     }
     obs.nodes.push_back(std::move(n));
+  }
+  // Retention-consistency inputs. Runs only when some node retains forensics
+  // history (forensics-off observation is unchanged). Comparability demands that
+  // neither representation lost anything: no store dropped a segment, and no
+  // ruleExec/tupleTable row anywhere expired or was deleted/evicted (the table
+  // counters above were read after the lazy purge in Table::Size, so they are
+  // current). Cross-node hops walk through peers, so loss anywhere in the fleet
+  // voids the comparison for every node.
+  std::vector<Node*> all_nodes = net->AllNodes();
+  bool any_forensics = false;
+  for (Node* node : all_nodes) {
+    any_forensics = any_forensics || node->forensics() != nullptr;
+  }
+  if (any_forensics) {
+    bool comparable = true;
+    for (Node* node : all_nodes) {
+      if (node->forensics() != nullptr &&
+          node->forensics()->Stats().dropped_segments > 0) {
+        comparable = false;
+      }
+    }
+    for (const NodeObs& n : obs.nodes) {
+      for (const TableObs& t : n.tables) {
+        if ((t.name == "ruleExec" || t.name == "tupleTable") &&
+            t.counters.expires + t.counters.deletes + t.counters.evictions > 0) {
+          comparable = false;
+        }
+      }
+    }
+    obs.forensics_comparable = comparable;
+    if (comparable) {
+      // Two resolver universes over the same fleet: all-live, and
+      // forensics-where-available (what Fleet::ReplayChains serves).
+      std::vector<std::unique_ptr<TraceSource>> live_sources;
+      std::vector<std::unique_ptr<TraceSource>> replay_sources;
+      std::map<std::string, TraceSource*> live_by_addr;
+      std::map<std::string, TraceSource*> replay_by_addr;
+      for (Node* node : all_nodes) {
+        live_sources.push_back(std::make_unique<LiveTraceSource>(node));
+        live_by_addr[node->addr()] = live_sources.back().get();
+        if (node->forensics() != nullptr) {
+          replay_sources.push_back(
+              std::make_unique<ForensicsTraceSource>(node->forensics()));
+        } else {
+          replay_sources.push_back(std::make_unique<LiveTraceSource>(node));
+        }
+        replay_by_addr[node->addr()] = replay_sources.back().get();
+      }
+      auto resolver = [](std::map<std::string, TraceSource*>* m) {
+        return [m](const std::string& a) -> TraceSource* {
+          auto it = m->find(a);
+          return it == m->end() ? nullptr : it->second;
+        };
+      };
+      // Modest limits keep the sweep cheap; both walks truncate identically
+      // because head enumeration is canonically ordered on both sources.
+      ReplayLimits limits;
+      limits.max_heads = 64;
+      limits.max_depth = 32;
+      for (size_t i = 0; i < all_nodes.size(); ++i) {
+        NodeObs& n = obs.nodes[i];
+        if (!n.forensics_enabled) {
+          continue;
+        }
+        n.live_chain_digest = ChainDigest(ExportChainsJsonl(ReplayChains(
+            resolver(&live_by_addr), n.addr, "*", 0, obs.now, limits)));
+        n.replay_chain_digest = ChainDigest(ExportChainsJsonl(ReplayChains(
+            resolver(&replay_by_addr), n.addr, "*", 0, obs.now, limits)));
+      }
+    }
   }
   return obs;
 }

@@ -90,6 +90,13 @@ struct NodeObs {
   NodeStats stats;
   uint64_t rule_emits_total = 0;    // Σ RuleMetrics.emits (0 when metrics off)
   bool metrics_enabled = false;
+  // Forensics retention (docs/OBSERVABILITY.md): digests of the key="*" causal-chain
+  // export over the whole run window, walked once from the live trace tables and
+  // once replayed through the fleet's forensics stores. Equal whenever neither side
+  // has lost history (see FleetObservation::forensics_comparable).
+  bool forensics_enabled = false;
+  std::string live_chain_digest;
+  std::string replay_chain_digest;
   std::vector<RuleExecObs> rule_exec;
   std::vector<CrossRef> cross_refs;
   std::map<std::string, Node::ChannelStat> channels;  // per-peer reliable stats
@@ -110,6 +117,11 @@ struct FleetObservation {
   // Number of crash directives the schedule executed (consumed by the test-only
   // broken oracle that anchors the shrinking tests).
   uint64_t crash_events = 0;
+  // True when the live-vs-replay chain digests are a fair comparison: no forensics
+  // store dropped a segment and no ruleExec/tupleTable row expired, was deleted, or
+  // was evicted anywhere in the fleet — then the forensics dual-write must
+  // reconstruct exactly the chains the live tables walk to.
+  bool forensics_comparable = false;
   // Network-level counters.
   uint64_t total_msgs = 0;
   uint64_t dropped_msgs = 0;
@@ -146,6 +158,9 @@ struct Oracle {
 //                      every "Aborted" snapshot left a snapDiag row
 //   conservation     — network message accounting balances (and is loss-free when
 //                      the schedule injected no faults)
+//   retention-consistency — when no history has been lost on either side, chains
+//                      replayed from the forensics stores are bit-identical to the
+//                      chains walked from the live trace tables
 std::vector<Oracle> BuiltinOracles();
 
 // Test-only oracle that rejects any schedule containing a crash event: a known-false

@@ -243,10 +243,16 @@ std::string ScheduleToScenario(const Schedule& s, const Ablation& ablation) {
       << " shards=" << p.shards << "\n";
   out << "# ablation indexes=" << (ablation.use_join_indexes ? "on" : "off")
       << " metrics=" << (ablation.metrics ? "on" : "off")
-      << " reliable=" << (ablation.reliable_transport ? "on" : "off") << "\n";
+      << " reliable=" << (ablation.reliable_transport ? "on" : "off")
+      << " forensics=" << (ablation.forensics ? "on" : "off") << "\n";
   out << "net latency=" << FmtNum(p.latency) << " jitter=" << FmtNum(p.jitter)
       << " loss=" << FmtNum(p.loss) << " seed=" << FmtU64(s.seed)
       << " shards=" << p.shards << "\n";
+  if (ablation.forensics) {
+    // Generous budget: fuzz runs must not drop segments, so the
+    // retention-consistency oracle compares complete histories.
+    out << "forensics budget=8388608 span=5\n";
+  }
   for (int i = 0; i < p.num_nodes; ++i) {
     out << "node " << AddrOf(i) << " trace seed=" << FmtU64(NodeSeed(s.seed, i));
     if (!ablation.use_join_indexes) {
@@ -409,6 +415,7 @@ bool ScenarioToSchedule(const std::string& text, Schedule* out, std::string* err
         ablation.use_join_indexes = kv["indexes"] != "off";
         ablation.metrics = kv["metrics"] != "off";
         ablation.reliable_transport = kv["reliable"] != "off";
+        ablation.forensics = kv["forensics"] != "off";
       } else if (words.size() >= 2 && words[1] == "events") {
         in_events = true;
         cursor = s.profile.warmup;
@@ -429,7 +436,7 @@ bool ScenarioToSchedule(const std::string& text, Schedule* out, std::string* err
       // Setup and epilogue directives are regenerated from the profile; accept the
       // known shapes and ignore them.
       if (words[0] == "net" || words[0] == "node" || words[0] == "chord" ||
-          words[0] == "monitors" || words[0] == "dht" ||
+          words[0] == "monitors" || words[0] == "dht" || words[0] == "forensics" ||
           (in_epilogue && (words[0] == "heal" || words[0] == "linkfault" ||
                            words[0] == "recover"))) {
         continue;

@@ -28,6 +28,11 @@ struct Ablation {
   bool use_join_indexes = true;
   bool metrics = true;
   bool reliable_transport = true;
+  // Bounded forensics retention on every node (scenario `forensics budget=...`).
+  // On by default so fuzz runs exercise the dual-write path and the
+  // retention-consistency oracle has something to judge; like indexes/metrics it
+  // is a pure observer and must leave the deterministic table digests bit-identical.
+  bool forensics = true;
 };
 
 struct FuzzProfile {

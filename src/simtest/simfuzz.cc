@@ -164,6 +164,17 @@ RunResult RunScenarioText(const std::string& scenario, const Schedule* meta,
     oracles.push_back(BrokenCrashOracle());
   }
   RunOracles(oracles, obs, &result.violations);
+  if (opts.export_chains_on_failure && !result.violations.empty() &&
+      runner.fleet() != nullptr) {
+    // Leave forensic context behind a failure: the replayed causal chains for
+    // everything each retention-enabled node derived during the run.
+    for (Node* node : runner.network()->AllNodes()) {
+      if (node->forensics() != nullptr) {
+        result.chain_export += ExportChainsJsonl(
+            runner.fleet()->ReplayChains(node->addr(), "*", 0, obs.now));
+      }
+    }
+  }
   result.table_digest = DumpTables(runner.network(), /*include_trace=*/false);
   result.full_digest = DumpTables(runner.network(), /*include_trace=*/true);
   result.total_msgs = obs.total_msgs;
@@ -178,13 +189,16 @@ RunResult RunSchedule(const Schedule& schedule, const SimFuzzOptions& opts) {
 Schedule ShrinkSchedule(const Schedule& schedule, const SimFuzzOptions& opts,
                         int* runs_out) {
   int runs = 0;
-  RunResult base = RunSchedule(schedule, opts);
+  // Shrink candidates fail on purpose; skip the chain export inside the loop.
+  SimFuzzOptions inner = opts;
+  inner.export_chains_on_failure = false;
+  RunResult base = RunSchedule(schedule, inner);
   ++runs;
   Schedule current = schedule;
   if (base.failed()) {
     const std::set<std::string> target = base.FailedOracles();
     auto reproduces = [&](const Schedule& cand) {
-      RunResult r = RunSchedule(cand, opts);
+      RunResult r = RunSchedule(cand, inner);
       ++runs;
       for (const std::string& oracle : r.FailedOracles()) {
         if (target.count(oracle) > 0) {
@@ -221,14 +235,16 @@ std::vector<std::string> DifferentialRun(const Schedule& schedule) {
     diffs.push_back("base run failed: " + base.script_error);
     return diffs;
   }
-  // Join indexes and metrics are pure observers: turning either off must leave
-  // every deterministic table bit-identical on the same seed.
-  for (const char* which : {"indexes", "metrics"}) {
+  // Join indexes, metrics, and forensics retention are pure observers: turning any
+  // of them off must leave every deterministic table bit-identical on the same seed.
+  for (const char* which : {"indexes", "metrics", "forensics"}) {
     SimFuzzOptions opts;
     if (std::string(which) == "indexes") {
       opts.ablation.use_join_indexes = false;
-    } else {
+    } else if (std::string(which) == "metrics") {
       opts.ablation.metrics = false;
+    } else {
+      opts.ablation.forensics = false;
     }
     RunResult ablated = RunSchedule(schedule, opts);
     if (!ablated.script_ok) {

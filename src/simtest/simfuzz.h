@@ -25,6 +25,10 @@ struct SimFuzzOptions {
   // Adds the test-only BrokenCrashOracle (a planted always-wrong invariant) so the
   // failure -> shrink -> replay pipeline can be exercised on demand.
   bool broken_oracle = false;
+  // On oracle failure, replay the whole run's causal chains from the forensics
+  // stores into RunResult::chain_export (simfuzz --chains-out). Off by default —
+  // the export walks every chain, which would slow the shrinking loop.
+  bool export_chains_on_failure = false;
 };
 
 struct RunResult {
@@ -39,6 +43,11 @@ struct RunResult {
   // reproducibility compares; trace rows are deterministic but GC-cadence-sensitive,
   // so they stay out of the cross-ablation digest).
   std::string full_digest;
+  // JSONL causal-chain export replayed from the fleet's forensics stores (key "*",
+  // whole run window, every node). Populated only for runs that fail an oracle on a
+  // fleet with retention enabled — the time-travel context a violation leaves
+  // behind, uploaded next to the shrunk repro in CI.
+  std::string chain_export;
   uint64_t total_msgs = 0;
   double virtual_secs = 0;
 

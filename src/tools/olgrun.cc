@@ -1,17 +1,29 @@
 // olgrun: command-line runner for OverLog deployments on the simulated network.
 //
-//   olgrun [--metrics-out <path>] <scenario-file>   run a scenario script
-//   olgrun --chord-program                          print the built-in Chord program
+//   olgrun [--metrics-out <path>] [--forensics-query <addr|all> <key> <t1> <t2>]
+//          [--forensics-out <path>] <scenario-file>    run a scenario script
+//   olgrun --chord-program                             print the built-in Chord program
 //
 // --metrics-out streams one telemetry snapshot per node per soft-state sweep to
 // <path> (format by extension: ".csv" -> CSV, anything else -> JSON Lines); the
 // scenario-file directive `metrics <path>` does the same thing from inside a script.
+//
+// --forensics-query runs a time-travel causal replay after the script finishes:
+// chains for tuples matching <key> ("*", "name", or "name/firstarg") derived on
+// <addr|all> during [t1, t2], cross-node hops included (docs/OBSERVABILITY.md). The
+// JSONL chain export goes to --forensics-out, or stdout when the flag is absent.
+// The scenario directive `forensics query ...` is the in-script equivalent.
+//
 // Example scenarios live in examples/scenarios/; docs/OBSERVABILITY.md documents the
-// snapshot schema.
+// snapshot schema and the chain export format.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/chord/chord.h"
 #include "src/tools/scenario.h"
@@ -20,7 +32,9 @@ namespace {
 
 int Usage(const char* prog) {
   fprintf(stderr,
-          "usage: %s [--metrics-out <path>] <scenario-file>\n"
+          "usage: %s [--metrics-out <path>] "
+          "[--forensics-query <addr|all> <key> <t1> <t2>] [--forensics-out <path>] "
+          "<scenario-file>\n"
           "       %s --chord-program\n",
           prog, prog);
   return 2;
@@ -31,6 +45,12 @@ int Usage(const char* prog) {
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string scenario;
+  std::string query_addr;
+  std::string query_key;
+  double query_from = 0;
+  double query_to = 0;
+  bool have_query = false;
+  std::string forensics_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--chord-program") == 0) {
@@ -48,6 +68,35 @@ int main(int argc, char** argv) {
       metrics_out = arg + 14;
       continue;
     }
+    if (std::strcmp(arg, "--forensics-query") == 0) {
+      if (i + 4 >= argc) {
+        return Usage(argv[0]);
+      }
+      query_addr = argv[++i];
+      query_key = argv[++i];
+      char* end = nullptr;
+      query_from = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        return Usage(argv[0]);
+      }
+      query_to = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0') {
+        return Usage(argv[0]);
+      }
+      have_query = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--forensics-out") == 0) {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      forensics_out = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--forensics-out=", 16) == 0) {
+      forensics_out = arg + 16;
+      continue;
+    }
     if (!scenario.empty()) {
       return Usage(argv[0]);
     }
@@ -56,10 +105,62 @@ int main(int argc, char** argv) {
   if (scenario.empty()) {
     return Usage(argv[0]);
   }
+  std::ifstream f(scenario);
+  if (!f) {
+    fprintf(stderr, "error: cannot open %s\n", scenario.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  // The runner stays alive past the script so post-run forensics queries can read
+  // the fleet's stores.
+  p2::ScenarioRunner runner;
   std::string error;
-  if (!p2::RunScenarioFile(scenario, &error, metrics_out)) {
+  if (!metrics_out.empty() && !runner.SetMetricsOut(metrics_out, &error)) {
     fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
+  }
+  if (!runner.RunScript(ss.str(), &error)) {
+    fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (have_query) {
+    p2::Fleet* fleet = runner.fleet();
+    if (fleet == nullptr) {
+      fprintf(stderr, "error: --forensics-query needs a scenario that creates nodes\n");
+      return 1;
+    }
+    std::vector<std::string> addrs;
+    if (query_addr == "all") {
+      for (p2::NodeHandle& h : fleet->Handles()) {
+        addrs.push_back(h.addr());
+      }
+    } else {
+      if (!fleet->HasNode(query_addr)) {
+        fprintf(stderr, "error: unknown node: %s\n", query_addr.c_str());
+        return 1;
+      }
+      addrs.push_back(query_addr);
+    }
+    std::string jsonl;
+    size_t total = 0;
+    for (const std::string& addr : addrs) {
+      std::vector<p2::CausalChain> chains =
+          fleet->ReplayChains(addr, query_key, query_from, query_to);
+      total += chains.size();
+      jsonl += p2::ExportChainsJsonl(chains);
+    }
+    if (forensics_out.empty()) {
+      fputs(jsonl.c_str(), stdout);
+    } else {
+      std::ofstream out(forensics_out, std::ios::out | std::ios::trunc);
+      if (!out) {
+        fprintf(stderr, "error: cannot open %s\n", forensics_out.c_str());
+        return 1;
+      }
+      out << jsonl;
+      fprintf(stderr, "forensics: %zu chains -> %s\n", total, forensics_out.c_str());
+    }
   }
   return 0;
 }

@@ -250,6 +250,10 @@ struct ScenarioRunner::Impl {
   // pending and attached when the first node creates it.
   std::unique_ptr<MetricsSink> metrics_sink;
   std::string pending_metrics_path;
+  // Retention config from a `forensics` directive, applied to every node created
+  // after it (the store is built in the Node constructor, so it cannot be enabled
+  // retroactively).
+  ForensicsOptions pending_forensics;
 
   void Print(const std::string& s) {
     if (out) {
@@ -421,6 +425,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         *error = "unknown node option: " + words[i];
         return false;
       }
+    }
+    if (impl_->pending_forensics.enabled) {
+      opts.forensics = impl_->pending_forensics;
     }
     if (explicit_seed) {
       fleet_->AddNodeWithSeed(words[1], opts, node_seed);
@@ -844,6 +851,138 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       return false;
     }
     ++expectations_passed_;
+    return true;
+  }
+
+  if (cmd == "forensics") {
+    // Two forms (docs/OBSERVABILITY.md):
+    //   forensics budget=<bytes> [records=<n>] [span=<secs>] [age=<secs>]
+    //     — enables bounded trace retention (implies trace) on every node created
+    //       after this line.
+    //   forensics query <addr|all> <key> from=<t1> to=<t2> [out=<path>] [min=<n>]
+    //     — time-travel query: replays causal chains for tuples matching <key>
+    //       ("*", "name", or "name/firstarg") in [t1, t2]; `out` writes a JSONL
+    //       chain export, `min` fails the script unless at least <n> chains came
+    //       back (counts as a passed expectation otherwise).
+    if (words.size() >= 2 && words[1] == "query") {
+      std::vector<NodeHandle> nodes;
+      if (words.size() < 6 || !resolve(words[2], &nodes)) {
+        if (error->empty()) {
+          *error = "forensics query <addr|all> <key> from=<t1> to=<t2> [out=<path>] "
+                   "[min=<n>]";
+        }
+        return false;
+      }
+      const std::string& key = words[3];
+      double t1 = 0;
+      double t2 = 0;
+      bool have_from = false;
+      bool have_to = false;
+      std::string out_path;
+      bool have_min = false;
+      uint64_t min_chains = 0;
+      for (size_t i = 4; i < words.size(); ++i) {
+        std::string k;
+        std::string v;
+        if (!SplitKv(words[i], &k, &v)) {
+          *error = "expected k=v: " + words[i];
+          return false;
+        }
+        if (k == "from") {
+          if (!ParseDoubleArg(v, "from", &t1, error)) {
+            return false;
+          }
+          have_from = true;
+        } else if (k == "to") {
+          if (!ParseDoubleArg(v, "to", &t2, error)) {
+            return false;
+          }
+          have_to = true;
+        } else if (k == "out") {
+          out_path = v;
+        } else if (k == "min") {
+          if (!ParseU64Arg(v, "min", &min_chains, error)) {
+            return false;
+          }
+          have_min = true;
+        } else {
+          *error = "unknown forensics query option: " + k;
+          return false;
+        }
+      }
+      if (!have_from || !have_to || t2 < t1) {
+        *error = "forensics query needs from=<t1> to=<t2> with t1 <= t2";
+        return false;
+      }
+      std::string jsonl;
+      size_t total = 0;
+      for (NodeHandle& node : nodes) {
+        std::vector<CausalChain> chains = fleet_->ReplayChains(node.addr(), key, t1, t2);
+        total += chains.size();
+        impl_->Print(StrFormat("forensics: %s %zu chains for %s in [%g, %g]\n",
+                               node.addr().c_str(), chains.size(), key.c_str(), t1,
+                               t2));
+        if (!out_path.empty()) {
+          jsonl += ExportChainsJsonl(chains);
+        }
+      }
+      if (!out_path.empty()) {
+        std::ofstream f(out_path, std::ios::out | std::ios::trunc);
+        if (!f) {
+          *error = "cannot open forensics output file: " + out_path;
+          return false;
+        }
+        f << jsonl;
+      }
+      if (have_min) {
+        if (total < min_chains) {
+          *error = StrFormat("forensics query returned %zu chains, wanted >= %llu",
+                             total, static_cast<unsigned long long>(min_chains));
+          return false;
+        }
+        ++expectations_passed_;
+      }
+      return true;
+    }
+    ForensicsOptions fo;
+    fo.enabled = true;
+    for (size_t i = 1; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "expected k=v: " + words[i];
+        return false;
+      }
+      if (k == "budget") {
+        uint64_t bytes = 0;
+        if (!ParseU64Arg(v, "budget", &bytes, error)) {
+          return false;
+        }
+        fo.budget_bytes = static_cast<size_t>(bytes);
+      } else if (k == "records") {
+        uint64_t records = 0;
+        if (!ParseU64Arg(v, "records", &records, error)) {
+          return false;
+        }
+        if (records == 0) {
+          *error = "records must be >= 1";
+          return false;
+        }
+        fo.segment_records = static_cast<size_t>(records);
+      } else if (k == "span") {
+        if (!ParseDurationArg(v, "span", &fo.segment_span, error)) {
+          return false;
+        }
+      } else if (k == "age") {
+        if (!ParseDurationArg(v, "age", &fo.max_age, error)) {
+          return false;
+        }
+      } else {
+        *error = "unknown forensics option: " + k;
+        return false;
+      }
+    }
+    impl_->pending_forensics = fo;
     return true;
   }
 

@@ -12,6 +12,14 @@
 //   node <addr> [trace] [seed=N]                  # create a node (seed derives from
 //                                                 # the fleet seed unless given)
 //        [indexes=on|off] [metrics=on|off] [reliable=on|off]   # NodeOptions ablations
+//   forensics budget=<bytes> [records=<n>] [span=<secs>] [age=<secs>]
+//                                                 # bounded trace retention (implies
+//                                                 # trace) for nodes created after
+//                                                 # this line (docs/OBSERVABILITY.md)
+//   forensics query <addr|all> <key> from=<t1> to=<t2> [out=<path>] [min=<n>]
+//                                                 # time-travel causal replay; out=
+//                                                 # writes a JSONL chain export, min=
+//                                                 # is an expectation on chain count
 //   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
 //   monitors <addr|all> [initiator=<addr>]        # ring checks + C-L snapshots
 //            [snap_period=X] [abort=X] [check=X] [probe=X]     # (needs chord)
@@ -33,6 +41,8 @@
 //   dump <addr|all> <table>                       # print a table's rows
 //   stats <addr|all>                              # print node counters
 //   expect <addr> <table> <count>                 # fail unless the table has N rows
+//
+// `expect` and `forensics query ... min=` both count toward expectations_passed().
 //
 // Tuple literal values: numbers (Int/Double), "strings", id:<u64> (Id), true/false,
 // and bare identifiers (treated as strings, convenient for addresses).

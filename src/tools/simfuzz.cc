@@ -8,6 +8,9 @@
 //                                         must match K=1 bit-exactly)
 //           [--shrink]                    on failure, greedily minimize the schedule
 //           [--scenario-out PATH]         where to write the (shrunk) failing scenario
+//           [--chains-out PATH]           on failure, write the forensics causal
+//                                         chain export (JSONL) replayed from the
+//                                         retention stores
 //           [--print-scenario]            print each schedule's scenario text
 //           [--replay FILE]               re-run a scenario file under the oracles
 //           [--differential]              diff table digests across config ablations
@@ -50,7 +53,8 @@ int Usage() {
   fprintf(stderr,
           "usage: simfuzz [--seed N] [--iters K] [--profile faulty|quiet] "
           "[--nodes N] [--shards K]\n"
-          "               [--shrink] [--scenario-out PATH] [--print-scenario]\n"
+          "               [--shrink] [--scenario-out PATH] [--chains-out PATH]\n"
+          "               [--print-scenario]\n"
           "               [--replay FILE] [--differential] [--broken-oracle]\n"
           "               [--bench] [--list-oracles]\n");
   return 2;
@@ -66,9 +70,11 @@ bool WriteFile(const std::string& path, const std::string& text) {
   return true;
 }
 
-// Reports a failing run: verdicts, then the replayable scenario file.
+// Reports a failing run: verdicts, the replayable scenario file, and (when
+// retention was on) the forensics chain export for the failing run.
 void ReportFailure(const RunResult& result, const Schedule* shrunk,
-                   const SimFuzzOptions& opts, const std::string& scenario_out) {
+                   const SimFuzzOptions& opts, const std::string& scenario_out,
+                   const std::string& chains_out) {
   printf("%s\n", result.Summary().c_str());
   std::string scenario =
       shrunk != nullptr ? ScheduleToScenario(*shrunk, opts.ablation)
@@ -80,6 +86,13 @@ void ReportFailure(const RunResult& result, const Schedule* shrunk,
            opts.broken_oracle ? " --broken-oracle" : "");
   } else {
     printf("---- replayable scenario ----\n%s----\n", scenario.c_str());
+  }
+  if (!chains_out.empty()) {
+    if (result.chain_export.empty()) {
+      printf("no forensics chain export (retention off or no chains)\n");
+    } else if (WriteFile(chains_out, result.chain_export)) {
+      printf("forensics chain export written to %s\n", chains_out.c_str());
+    }
   }
 }
 
@@ -96,6 +109,7 @@ int main(int argc, char** argv) {
   bool bench = false;
   std::string profile_name = "faulty";
   std::string scenario_out;
+  std::string chains_out;
   std::string replay_path;
   SimFuzzOptions opts;
 
@@ -126,6 +140,9 @@ int main(int argc, char** argv) {
       shrink = true;
     } else if (arg == "--scenario-out") {
       scenario_out = next("--scenario-out");
+    } else if (arg == "--chains-out") {
+      chains_out = next("--chains-out");
+      opts.export_chains_on_failure = true;
     } else if (arg == "--print-scenario") {
       print_scenario = true;
     } else if (arg == "--replay") {
@@ -184,6 +201,10 @@ int main(int argc, char** argv) {
       result = RunScenarioText(text, nullptr, opts);
     }
     printf("%s\n", result.Summary().c_str());
+    if (result.failed() && !chains_out.empty() && !result.chain_export.empty() &&
+        WriteFile(chains_out, result.chain_export)) {
+      printf("forensics chain export written to %s\n", chains_out.c_str());
+    }
     return result.failed() ? 1 : 0;
   }
 
@@ -211,9 +232,9 @@ int main(int argc, char** argv) {
         Schedule minimal = ShrinkSchedule(schedule, opts, &shrink_runs);
         printf("FAIL (shrunk %zu -> %zu events in %d runs)\n",
                schedule.events.size(), minimal.events.size(), shrink_runs);
-        ReportFailure(result, &minimal, opts, scenario_out);
+        ReportFailure(result, &minimal, opts, scenario_out, chains_out);
       } else {
-        ReportFailure(result, nullptr, opts, scenario_out);
+        ReportFailure(result, nullptr, opts, scenario_out, chains_out);
       }
       break;  // first failure stops the sweep; its seed is the repro
     }

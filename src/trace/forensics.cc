@@ -1,0 +1,362 @@
+#include "src/trace/forensics.h"
+
+#include <algorithm>
+
+#include "src/net/wire.h"
+
+namespace p2 {
+
+namespace {
+
+// FNV-1a, for the per-segment (name, key-prefix) posting sets. Only compared
+// within one process, so the exact function just needs to be deterministic.
+uint64_t Fnv64(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// "name/firstarg" — the key-prefix posting (field 0 is the location specifier).
+std::string KeyPrefix(const Tuple& t) {
+  if (t.arity() < 2) {
+    return t.name();
+  }
+  return t.name() + "/" + t.field(1).ToString();
+}
+
+constexpr size_t kExecRecordCost = 48;    // struct + vector slack, approximate
+constexpr size_t kPayloadFixedCost = 64;  // map node + Payload struct, approximate
+
+}  // namespace
+
+ForensicsStore::ForensicsStore(std::string node_addr, ForensicsOptions options)
+    : node_addr_(std::move(node_addr)), options_(options) {
+  if (options_.segment_records == 0) {
+    options_.segment_records = 1;
+  }
+  if (options_.segment_span <= 0) {
+    options_.segment_span = 30.0;
+  }
+}
+
+ForensicsStore::Segment& ForensicsStore::Active(double now) {
+  if (segments_.empty()) {
+    segments_.emplace_back();
+  }
+  Segment* seg = &segments_.back();
+  bool span_full = seg->has_records && now - seg->min_time >= options_.segment_span;
+  if (seg->execs.size() >= options_.segment_records || span_full) {
+    seg->sealed = true;
+    segments_.emplace_back();
+    seg = &segments_.back();
+    Compact(now);  // sealing is the natural budget-enforcement point
+    seg = &segments_.back();
+  }
+  return *seg;
+}
+
+void ForensicsStore::Touch(Segment& seg, double t) {
+  if (!seg.has_records) {
+    seg.min_time = t;
+    seg.max_time = t;
+    seg.has_records = true;
+  } else {
+    seg.min_time = std::min(seg.min_time, t);
+    seg.max_time = std::max(seg.max_time, t);
+  }
+}
+
+uint32_t ForensicsStore::InternRule(const std::string& rule_id) {
+  auto it = rule_ids_.find(rule_id);
+  if (it != rule_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(rule_names_.size());
+  rule_names_.push_back(rule_id);
+  rule_ids_.emplace(rule_id, id);
+  return id;
+}
+
+void ForensicsStore::AddPayload(Segment& seg, uint64_t id, const TupleRef& tuple,
+                                const std::string& src_addr, uint64_t src_tuple_id,
+                                double t) {
+  if (tuple == nullptr) {
+    return;
+  }
+  auto it = seg.payloads.find(id);
+  if (it != seg.payloads.end()) {
+    // Already retained in this segment; upgrade provenance if this call knows more.
+    if (it->second.src_addr.empty() && !src_addr.empty()) {
+      seg.bytes += src_addr.size();
+      it->second.src_addr = src_addr;
+      it->second.src_tuple_id = src_tuple_id;
+    }
+    return;
+  }
+  Payload p;
+  EncodeTuple(*tuple, &p.bytes);
+  p.src_addr = src_addr;
+  p.src_tuple_id = src_tuple_id;
+  p.time = t;
+  seg.bytes += p.bytes.size() + p.src_addr.size() + kPayloadFixedCost;
+  seg.postings.insert(Fnv64(tuple->name()));
+  seg.postings.insert(Fnv64(KeyPrefix(*tuple)));
+  seg.payloads.emplace(id, std::move(p));
+  Touch(seg, t);
+}
+
+void ForensicsStore::RecordExec(const std::string& rule_id, uint64_t cause_id,
+                                const TupleRef& cause, uint64_t effect_id,
+                                const TupleRef& effect, double cause_time,
+                                double out_time, bool is_event, double now) {
+  if (!options_.enabled) {
+    return;
+  }
+  Segment& seg = Active(now);
+  ExecRecord rec;
+  rec.rule = InternRule(rule_id);
+  rec.cause_id = cause_id;
+  rec.effect_id = effect_id;
+  rec.cause_time = cause_time;
+  rec.out_time = out_time;
+  rec.is_event = is_event;
+  seg.execs.push_back(rec);
+  seg.bytes += kExecRecordCost;
+  Touch(seg, out_time);
+  // Keep the segment self-contained: the walk needs both endpoint payloads. The
+  // cause may have arrived from another node long ago — re-attach its last known
+  // provenance so the cross-node hop survives dropping the arrival's segment.
+  auto cause_prov = remote_prov_.find(cause_id);
+  if (cause_prov != remote_prov_.end()) {
+    AddPayload(seg, cause_id, cause, cause_prov->second.first,
+               cause_prov->second.second, now);
+  } else {
+    AddPayload(seg, cause_id, cause, node_addr_, cause_id, now);
+  }
+  AddPayload(seg, effect_id, effect, node_addr_, effect_id, now);
+}
+
+void ForensicsStore::RecordTuple(uint64_t id, const TupleRef& tuple,
+                                 const std::string& src_addr, uint64_t src_tuple_id,
+                                 double now) {
+  if (!options_.enabled) {
+    return;
+  }
+  if (!src_addr.empty() && src_addr != node_addr_) {
+    remote_prov_[id] = {src_addr, src_tuple_id};
+  }
+  AddPayload(Active(now), id, tuple, src_addr, src_tuple_id, now);
+}
+
+void ForensicsStore::Compact(double now) {
+  size_t total = 0;
+  for (const Segment& seg : segments_) {
+    total += seg.bytes;
+  }
+  while (segments_.size() > 1 && segments_.front().sealed) {
+    const Segment& oldest = segments_.front();
+    bool over_budget = total > options_.budget_bytes;
+    bool too_old = options_.max_age > 0 && oldest.has_records &&
+                   oldest.max_time < now - options_.max_age;
+    if (!over_budget && !too_old) {
+      break;
+    }
+    total -= oldest.bytes;
+    segments_.pop_front();
+    ++dropped_segments_;
+  }
+}
+
+ForensicsStats ForensicsStore::Stats() const {
+  ForensicsStats s;
+  s.dropped_segments = dropped_segments_;
+  bool have_oldest = false;
+  for (const Segment& seg : segments_) {
+    if (!seg.has_records && seg.execs.empty() && seg.payloads.empty()) {
+      continue;  // the empty active segment does not count
+    }
+    ++s.segments;
+    s.records += seg.execs.size();
+    s.bytes += seg.bytes;
+    // Segments are ordered oldest-first, so the first record-bearing one holds the
+    // start of the retained window (a time of 0.0 is a valid minimum, not "unset").
+    if (seg.has_records && !have_oldest) {
+      s.oldest_time = seg.min_time;
+      have_oldest = true;
+    }
+  }
+  return s;
+}
+
+ExecEdge ForensicsStore::TriggerEdge(uint64_t effect_id, double max_out_time) const {
+  ExecEdge edge;
+  // Newest first; within a segment records are appended in time order, so the
+  // first reverse-order match is the latest retained qualifying edge.
+  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+    for (auto rec = seg->execs.rbegin(); rec != seg->execs.rend(); ++rec) {
+      if (rec->effect_id == effect_id && rec->is_event &&
+          rec->out_time <= max_out_time) {
+        edge.rule = rule_names_[rec->rule];
+        edge.cause_id = rec->cause_id;
+        edge.effect_id = rec->effect_id;
+        edge.cause_time = rec->cause_time;
+        edge.out_time = rec->out_time;
+        edge.is_event = true;
+        edge.found = true;
+        return edge;
+      }
+    }
+  }
+  return edge;
+}
+
+std::vector<ExecEdge> ForensicsStore::Preconditions(uint64_t effect_id,
+                                                    double out_time) const {
+  std::vector<ExecEdge> out;
+  for (const Segment& seg : segments_) {
+    for (const ExecRecord& rec : seg.execs) {
+      if (rec.effect_id != effect_id || rec.is_event || rec.out_time != out_time) {
+        continue;
+      }
+      bool dup = false;
+      for (const ExecEdge& seen : out) {
+        if (seen.cause_id == rec.cause_id) {
+          dup = true;
+          break;
+        }
+      }
+      if (dup) {
+        continue;
+      }
+      ExecEdge e;
+      e.rule = rule_names_[rec.rule];
+      e.cause_id = rec.cause_id;
+      e.effect_id = rec.effect_id;
+      e.cause_time = rec.cause_time;
+      e.out_time = rec.out_time;
+      e.is_event = false;
+      e.found = true;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const ExecEdge& a, const ExecEdge& b) {
+    if (a.cause_time != b.cause_time) {
+      return a.cause_time < b.cause_time;
+    }
+    return a.cause_id < b.cause_id;
+  });
+  return out;
+}
+
+const ForensicsStore::Payload* ForensicsStore::FindPayload(uint64_t id) const {
+  for (auto seg = segments_.rbegin(); seg != segments_.rend(); ++seg) {
+    auto it = seg->payloads.find(id);
+    if (it != seg->payloads.end()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+TupleRef ForensicsStore::TupleById(uint64_t id) const {
+  const Payload* p = FindPayload(id);
+  if (p == nullptr) {
+    return nullptr;
+  }
+  size_t pos = 0;
+  TupleRef out;
+  if (!DecodeTuple(p->bytes, &pos, &out)) {
+    return nullptr;
+  }
+  return out;
+}
+
+bool ForensicsStore::Provenance(uint64_t id, std::string* src_addr,
+                                uint64_t* src_tuple_id) const {
+  const Payload* p = FindPayload(id);
+  if (p == nullptr || p->src_addr.empty() || p->src_addr == node_addr_) {
+    return false;
+  }
+  *src_addr = p->src_addr;
+  *src_tuple_id = p->src_tuple_id;
+  return true;
+}
+
+bool ForensicsStore::MatchKey(const std::string& key, const Tuple& tuple) {
+  if (key == "*") {
+    return true;
+  }
+  if (key == tuple.name()) {
+    return true;
+  }
+  return key == KeyPrefix(tuple);
+}
+
+std::vector<std::pair<uint64_t, double>> ForensicsStore::FindHeads(
+    const std::string& key, double t1, double t2) const {
+  std::vector<std::pair<uint64_t, double>> heads;
+  uint64_t posting = key == "*" ? 0 : Fnv64(key);
+  for (const Segment& seg : segments_) {
+    if (!seg.has_records || seg.max_time < t1 || seg.min_time > t2) {
+      continue;
+    }
+    if (key != "*" && seg.postings.find(posting) == seg.postings.end()) {
+      continue;
+    }
+    for (const ExecRecord& rec : seg.execs) {
+      if (!rec.is_event || rec.out_time < t1 || rec.out_time > t2) {
+        continue;
+      }
+      TupleRef effect;
+      auto it = seg.payloads.find(rec.effect_id);
+      if (it != seg.payloads.end()) {
+        size_t pos = 0;
+        DecodeTuple(it->second.bytes, &pos, &effect);
+      } else {
+        effect = TupleById(rec.effect_id);
+      }
+      if (effect == nullptr || !MatchKey(key, *effect)) {
+        continue;
+      }
+      heads.emplace_back(rec.effect_id, rec.out_time);
+    }
+  }
+  // Re-derivations repeat an effect id; keep the latest and return a canonical
+  // (time, id) order so queries are independent of segment layout.
+  std::sort(heads.begin(), heads.end(),
+            [](const std::pair<uint64_t, double>& a,
+               const std::pair<uint64_t, double>& b) {
+              if (a.first != b.first) {
+                return a.first < b.first;
+              }
+              return a.second > b.second;
+            });
+  heads.erase(std::unique(heads.begin(), heads.end(),
+                          [](const std::pair<uint64_t, double>& a,
+                             const std::pair<uint64_t, double>& b) {
+                            return a.first == b.first;
+                          }),
+              heads.end());
+  std::sort(heads.begin(), heads.end(),
+            [](const std::pair<uint64_t, double>& a,
+               const std::pair<uint64_t, double>& b) {
+              if (a.second != b.second) {
+                return a.second < b.second;
+              }
+              return a.first < b.first;
+            });
+  return heads;
+}
+
+bool ForensicsStore::Covers(double t1) const {
+  if (dropped_segments_ == 0) {
+    return true;
+  }
+  ForensicsStats s = Stats();
+  return s.records > 0 && s.oldest_time <= t1;
+}
+
+}  // namespace p2

@@ -48,6 +48,11 @@ void InstallIntrospectionTables(Node* node) {
   channel_stats.name = "sysChannelStat";
   channel_stats.key_fields = {0, 1};  // NAddr, Dst
   catalog.CreateTable(channel_stats);
+
+  TableSpec forensics_stats;
+  forensics_stats.name = "sysForensicsStat";
+  forensics_stats.key_fields = {0};  // NAddr (one row per node)
+  catalog.CreateTable(forensics_stats);
 }
 
 void PublishStaticIntrospection(Node* node) {
@@ -183,6 +188,21 @@ void RefreshStatIntrospection(Node* node) {
                        Value::Int(static_cast<int64_t>(cs.failed))}),
           now);
     }
+  }
+  Table* forensics_stats = catalog.Get("sysForensicsStat");
+  if (forensics_stats != nullptr && node->forensics() != nullptr) {
+    ForensicsStats fs = node->forensics()->Stats();
+    int64_t oldest_ms =
+        fs.records == 0 ? 0
+                        : static_cast<int64_t>((now - fs.oldest_time) * 1000.0);
+    forensics_stats->Insert(
+        Tuple::Make("sysForensicsStat",
+                    {Value::Str(addr), Value::Int(static_cast<int64_t>(fs.segments)),
+                     Value::Int(static_cast<int64_t>(fs.records)),
+                     Value::Int(static_cast<int64_t>(fs.bytes)),
+                     Value::Int(static_cast<int64_t>(fs.dropped_segments)),
+                     Value::Int(oldest_ms)}),
+        now);
   }
   Table* index_stats = catalog.Get("sysIndexStat");
   if (index_stats != nullptr) {

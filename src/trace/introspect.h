@@ -12,10 +12,15 @@
 //   sysIndexStat(NAddr, Table, Positions, Probes, AvgRows) — per-secondary-index use
 //   sysChannelStat(NAddr, Dst, Sent, Acked, Retx, Dups, Failed) — per-peer reliable
 //                                                       transport (docs/ROBUSTNESS.md)
+//   sysForensicsStat(NAddr, Segments, Records, Bytes, Dropped, OldestMs) — the
+//                                                       bounded trace retention store
+//                                                       (docs/OBSERVABILITY.md); rows
+//                                                       appear only when forensics is
+//                                                       enabled on the node
 //
 // sysRule and sysElement rows are written when programs are installed; sysTable,
-// sysStat, sysRuleStat, sysTableStat, sysIndexStat, and sysChannelStat rows are
-// refreshed on each soft-state sweep
+// sysStat, sysRuleStat, sysTableStat, sysIndexStat, sysChannelStat, and
+// sysForensicsStat rows are refreshed on each soft-state sweep
 // (sweep granularity — between sweeps the rows hold the previous sweep's values; the
 // regression test SysStatTest.RowsAreSweepGranular pins this contract).
 

@@ -110,6 +110,9 @@ MetricsSnapshot SnapshotNodeMetrics(Node* node) {
       {"queue_depth", static_cast<int64_t>(node->QueueDepth())},
       {"queue_hwm", static_cast<int64_t>(s.queue_hwm)},
       {"strand_triggers", static_cast<int64_t>(s.strand_triggers)},
+      // Provenance memory pressure: tuples memoized by the tracer's TupleStore
+      // (refcount-GCed with the ruleExec rows that mention them).
+      {"tuple_store_size", static_cast<int64_t>(node->store().size())},
       {"tuples_emitted", static_cast<int64_t>(s.tuples_emitted)},
       {"tuples_expired", static_cast<int64_t>(s.tuples_expired)},
   };

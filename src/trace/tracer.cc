@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/forensics.h"
+
 namespace p2 {
 
 Tracer::Tracer(std::string node_addr, TupleStore* store, size_t max_records_per_rule)
@@ -198,8 +200,6 @@ void Tracer::EmitRuleExec(const TraceTarget& t, Record& rec, const TupleRef& out
 void Tracer::WriteRow(const std::string& rule_id, uint64_t cause_id, const TupleRef& cause,
                       uint64_t effect_id, const TupleRef& effect, double cause_time,
                       double out_time, bool is_event, double now) {
-  (void)cause;
-  (void)effect;
   ValueList fields;
   fields.reserve(7);
   fields.push_back(Value::Str(node_addr_));
@@ -214,6 +214,12 @@ void Tracer::WriteRow(const std::string& rule_id, uint64_t cause_id, const Tuple
     ++rows_written_;
     AddRef(cause_id);
     AddRef(effect_id);
+    // Retention dual-write mirrors the live table's refresh suppression, so the
+    // store holds the same logical records the table would absent expiry.
+    if (forensics_ != nullptr) {
+      forensics_->RecordExec(rule_id, cause_id, cause, effect_id, effect, cause_time,
+                             out_time, is_event, now);
+    }
   }
 }
 
@@ -229,6 +235,10 @@ uint64_t Tracer::MemoizeArrival(const TupleRef& tuple, const std::string& src_ad
     fields.push_back(Value::Id(src_tuple_id == 0 ? id : src_tuple_id));
     fields.push_back(Value::Str(tuple->LocationSpecifier()));
     tuple_table_->Insert(Tuple::Make("tupleTable", std::move(fields)), now);
+  }
+  if (forensics_ != nullptr) {
+    forensics_->RecordTuple(id, tuple, src_addr, src_tuple_id == 0 ? id : src_tuple_id,
+                            now);
   }
   return id;
 }

@@ -40,6 +40,7 @@
 
 namespace p2 {
 
+class ForensicsStore;
 class Strand;
 
 // Names a strand to the tracer without coupling the tracer to strand internals.
@@ -64,6 +65,11 @@ class Tracer {
 
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
+
+  // Dual-write destination (docs/OBSERVABILITY.md): when set, every ruleExec row
+  // and every memoized tuple payload is also appended to the bounded retention
+  // store, so causal chains stay answerable after the live rows expire.
+  void set_forensics(ForensicsStore* forensics) { forensics_ = forensics; }
 
   // --- taps (called by strand execution) ---
   void OnInput(const TraceTarget& t, const TupleRef& tuple, double now);
@@ -111,6 +117,7 @@ class Tracer {
   TupleStore* store_;
   Table* rule_exec_ = nullptr;
   Table* tuple_table_ = nullptr;
+  ForensicsStore* forensics_ = nullptr;
   size_t max_records_per_rule_;
   bool enabled_ = false;
   uint64_t next_record_seq_ = 1;

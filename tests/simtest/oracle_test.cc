@@ -259,6 +259,35 @@ TEST(OracleTest, ConservationFiresWhenRuleEmitsExceedNodeTotal) {
   EXPECT_FALSE(RunOne("conservation", obs).empty());
 }
 
+TEST(OracleTest, RetentionConsistencyFiresOnDigestMismatch) {
+  FleetObservation obs = CleanObs();
+  obs.forensics_comparable = true;
+  obs.nodes[0].forensics_enabled = true;
+  obs.nodes[0].live_chain_digest = "aaaaaaaaaaaaaaaa";
+  obs.nodes[0].replay_chain_digest = "bbbbbbbbbbbbbbbb";
+  EXPECT_FALSE(RunOne("retention-consistency", obs).empty());
+}
+
+TEST(OracleTest, RetentionConsistencySilentOnMatchingDigests) {
+  FleetObservation obs = CleanObs();
+  obs.forensics_comparable = true;
+  obs.nodes[0].forensics_enabled = true;
+  obs.nodes[0].live_chain_digest = "aaaaaaaaaaaaaaaa";
+  obs.nodes[0].replay_chain_digest = "aaaaaaaaaaaaaaaa";
+  EXPECT_TRUE(RunOne("retention-consistency", obs).empty());
+}
+
+TEST(OracleTest, RetentionConsistencySkipsIncomparableRuns) {
+  // When retention dropped segments or live trace tables lost rows anywhere in
+  // the fleet, the two walks legitimately diverge — the oracle must not fire.
+  FleetObservation obs = CleanObs();
+  obs.forensics_comparable = false;
+  obs.nodes[0].forensics_enabled = true;
+  obs.nodes[0].live_chain_digest = "aaaaaaaaaaaaaaaa";
+  obs.nodes[0].replay_chain_digest = "bbbbbbbbbbbbbbbb";
+  EXPECT_TRUE(RunOne("retention-consistency", obs).empty());
+}
+
 TEST(OracleTest, BrokenCrashOracleFiresOnlyOnCrashes) {
   FleetObservation obs = CleanObs();
   std::vector<Violation> out;

@@ -241,6 +241,35 @@ TEST_F(NodeMetricsTest, SnapshotFlattensStatsRulesTablesHists) {
   EXPECT_GE(snap.hists[0].p99, snap.hists[0].p50);
 }
 
+// The tuple_store_size stat gauges the trace TupleStore's interned-tuple count: 0
+// with tracing off (nothing memoized), positive and tracking store().size() once
+// the tracer memoizes executions.
+TEST_F(NodeMetricsTest, TupleStoreSizeGaugeTracksInternedTuples) {
+  NodeOptions opts;
+  opts.metrics = true;
+  opts.tracing = true;
+  Node* traced = net_.AddNode("n1", opts);
+  Node* untraced = AddNode("n2", true);
+  std::string error;
+  ASSERT_TRUE(traced->LoadProgram("r1 out@N(X) :- in@N(X).", &error)) << error;
+  traced->InjectEvent(Tuple::Make("in", {Value::Str("n1"), Value::Int(1)}));
+  net_.RunFor(0.5);
+
+  auto stat = [](const MetricsSnapshot& snap, const std::string& name) -> int64_t {
+    for (const auto& [k, v] : snap.stats) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return -1;
+  };
+  MetricsSnapshot traced_snap = SnapshotNodeMetrics(traced);
+  EXPECT_GT(stat(traced_snap, "tuple_store_size"), 0);
+  EXPECT_EQ(stat(traced_snap, "tuple_store_size"),
+            static_cast<int64_t>(traced->store().size()));
+  EXPECT_EQ(stat(SnapshotNodeMetrics(untraced), "tuple_store_size"), 0);
+}
+
 MetricsSnapshot SampleSnapshot() {
   MetricsSnapshot snap;
   snap.time = 2.5;
