@@ -1,0 +1,194 @@
+// Overload resilience sweep (docs/ROBUSTNESS.md "Overload & graceful
+// degradation"): offered load vs shed rate and trigger latency, with and without
+// admission limits.
+//
+// The workload is a single monitored node running a periodic fan-out — every
+// 100 ms one trigger joins a B-row table and emits B best-effort deliveries in
+// one cascade, so B directly sets the offered load. The sweep scales B as a
+// multiple of the capped node's queue budget: at 1x the cap is never touched, at
+// 10x-20x the uncapped node's queue high-water grows with the load while the
+// capped node holds it at the cap, sheds the overflow, enters degraded mode, and
+// keeps its control plane intact (the bench fails loudly if a capped run ever
+// sheds a reliable-class tuple or overruns its budget).
+//
+// Per (series, multiplier) row:
+//   * offered/admitted/shed best-effort deliveries over the window and the shed
+//     rate as a percentage of offered;
+//   * p99 strand trigger latency from the strand_trigger_ns histogram (wall
+//     nanoseconds from admission to execution on THIS machine — the paper's
+//     "monitor responsiveness under load" proxy);
+//   * the best-effort queue high-water mark (the memory-bound column);
+//   * degrade enters/exits — capped runs past the watchdog threshold must enter
+//     AND exit (load stops before observation, so a sticky degraded bit is a bug).
+//
+// Usage:  bench_overload [--measure SECS] [--cap N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/network.h"
+
+namespace p2 {
+namespace {
+
+struct OverloadRow {
+  int mult = 0;
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  double shed_pct = 0;
+  double p99_trigger_us = 0;
+  uint64_t be_queue_hwm = 0;
+  uint64_t shed_reliable = 0;
+  uint64_t degrade_enters = 0;
+  uint64_t degrade_exits = 0;
+  bool degraded_at_end = false;
+};
+
+OverloadRow RunLoad(int mult, uint64_t cap, bool capped, double measure_secs) {
+  NetworkConfig ncfg;
+  ncfg.latency = 0.01;
+  ncfg.jitter = 0.0;
+  ncfg.seed = 7;
+  Network net(ncfg);
+
+  NodeOptions opts;
+  opts.metrics = true;
+  if (capped) {
+    opts.queue_cap = cap;
+    opts.low_queue_cap = cap;
+    // Watchdog trips when the per-sweep peak depth sustains at 3/4 of the cap.
+    opts.degrade_hi = (cap * 3) / 4;
+  }
+  Node* node = net.AddNode("n1", opts);
+
+  std::string error;
+  if (!node->LoadProgram("materialize(item, infinity, 100000, keys(1,2)).\n"
+                         "p1 out@N(X) :- periodic@N(E, 0.1), item@N(X).",
+                         &error)) {
+    fprintf(stderr, "load failed: %s\n", error.c_str());
+    exit(1);
+  }
+  // B = mult * cap rows: each periodic tick offers exactly mult times the
+  // capped node's admission budget.
+  const uint64_t rows = cap * static_cast<uint64_t>(mult);
+  for (uint64_t i = 0; i < rows; ++i) {
+    node->InjectEvent(
+        Tuple::Make("item", {Value::Str("n1"), Value::Int(static_cast<int64_t>(i))}));
+  }
+
+  net.RunFor(2.0);  // warm-up: table populated, periodic chain in steady state
+  uint64_t adm0 = node->stats().admitted_besteffort;
+  uint64_t shed0 = node->stats().shed_besteffort;
+  net.RunFor(measure_secs);
+
+  OverloadRow r;
+  r.mult = mult;
+  r.admitted = node->stats().admitted_besteffort - adm0;
+  r.shed = node->stats().shed_besteffort - shed0;
+  r.offered = r.admitted + r.shed;
+  r.shed_pct = r.offered > 0 ? 100.0 * static_cast<double>(r.shed) /
+                                   static_cast<double>(r.offered)
+                             : 0.0;
+  if (Histogram* h = node->metrics().GetHistogram("strand_trigger_ns")) {
+    r.p99_trigger_us = static_cast<double>(h->ValueAtQuantile(0.99)) / 1e3;
+  }
+  r.be_queue_hwm = node->stats().be_queue_hwm;
+  r.shed_reliable = node->stats().shed_reliable;
+  r.degrade_enters = node->stats().degrade_enters;
+
+  // Drop the load entirely, then give the watchdog time to restore: graceful
+  // degradation must be an episode, not a ratchet.
+  node->UnloadProgram(node->last_program_id());
+  net.RunFor(5.0);
+  r.degrade_exits = node->stats().degrade_exits;
+  r.degraded_at_end = node->degraded();
+  return r;
+}
+
+void Main(double measure_secs, uint64_t cap) {
+  printf("=== overload sweep: periodic fan-out, 100 ms period, cap=%llu ===\n",
+         static_cast<unsigned long long>(cap));
+  printf("%-10s %-6s %10s %10s %9s %8s %12s %9s %8s %9s\n", "series", "load",
+         "offered", "admitted", "shed", "shed(%)", "p99-trig(us)", "be-hwm",
+         "degrade", "restored");
+  BenchArtifact artifact("overload");
+  bool ok = true;
+  for (bool capped : {false, true}) {
+    const char* series = capped ? "capped" : "uncapped";
+    for (int mult : {1, 2, 5, 10, 20}) {
+      OverloadRow r = RunLoad(mult, cap, capped, measure_secs);
+      bool restored = r.degrade_enters == 0 || (!r.degraded_at_end && r.degrade_exits > 0);
+      printf("%-10s %-6s %10llu %10llu %9llu %8.2f %12.1f %9llu %3llu/%-3llu %9s\n",
+             series, (std::to_string(mult) + "x").c_str(),
+             static_cast<unsigned long long>(r.offered),
+             static_cast<unsigned long long>(r.admitted),
+             static_cast<unsigned long long>(r.shed), r.shed_pct, r.p99_trigger_us,
+             static_cast<unsigned long long>(r.be_queue_hwm),
+             static_cast<unsigned long long>(r.degrade_enters),
+             static_cast<unsigned long long>(r.degrade_exits),
+             restored ? "yes" : "NO");
+      // Artifact mapping (p2mon-bench-v1 fixed schema): cpu_ms_per_s carries the
+      // p99 trigger latency in ms, cpu_pct the shed rate in percent, memory_mb the
+      // best-effort queue high-water mark, alloc_mb_per_s the degrade-enter count;
+      // live_tuples/tx_msgs carry admitted/shed delivery counts.
+      WindowMetrics m;
+      m.cpu_ms_per_s = r.p99_trigger_us / 1e3;
+      m.cpu_pct = r.shed_pct;
+      m.memory_mb = static_cast<double>(r.be_queue_hwm);
+      m.alloc_mb_per_s = static_cast<double>(r.degrade_enters);
+      m.live_tuples = static_cast<double>(r.admitted);
+      m.tx_msgs = static_cast<double>(r.shed);
+      artifact.Add(series, std::to_string(mult) + "x", mult, m);
+
+      if (capped) {
+        if (r.be_queue_hwm > cap) {
+          printf("BOUND FAILURE at %dx: be_queue_hwm %llu > cap %llu\n", mult,
+                 static_cast<unsigned long long>(r.be_queue_hwm),
+                 static_cast<unsigned long long>(cap));
+          ok = false;
+        }
+        if (r.shed_reliable > 0) {
+          printf("CONTROL-PLANE FAILURE at %dx: %llu reliable tuples shed\n", mult,
+                 static_cast<unsigned long long>(r.shed_reliable));
+          ok = false;
+        }
+        if (!restored) {
+          printf("RECOVERY FAILURE at %dx: still degraded after load removal\n",
+                 mult);
+          ok = false;
+        }
+      }
+    }
+  }
+  artifact.Write();
+  printf("capped runs bounded, control plane intact, degradation restored: %s\n",
+         ok ? "OK" : "FAILED");
+  if (!ok) {
+    exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace p2
+
+int main(int argc, char** argv) {
+  double measure = 30.0;
+  uint64_t cap = 32;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--measure") == 0 && i + 1 < argc) {
+      measure = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cap") == 0 && i + 1 < argc) {
+      cap = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else {
+      fprintf(stderr, "usage: bench_overload [--measure SECS] [--cap N]\n");
+      return 2;
+    }
+  }
+  p2::Main(measure, cap);
+  return 0;
+}

@@ -265,7 +265,11 @@ void Node::RegisterPeriodic(Strand* strand, double period) {
 }
 
 void Node::SchedulePeriodic(Strand* strand, double period) {
-  sched_->After(period, [this, strand, period] {
+  // Graceful degradation: a degraded node stretches its periodic chains (gossip,
+  // stabilization, monitor ticks) by the configured factor; the chain snaps back
+  // to its native period on the first reschedule after the watchdog restores.
+  double delay = degraded_ ? period * options_.degrade_stretch : period;
+  sched_->After(delay, [this, strand, period] {
     if (inactive_strands_.count(strand) > 0) {
       periodic_entries_.erase(strand);
       return;  // program unloaded: the timer chain ends here
@@ -283,12 +287,14 @@ void Node::SchedulePeriodic(Strand* strand, double period) {
       fields.push_back(Value::Double(period));
       TupleRef tick = Tuple::Make("periodic", std::move(fields));
       if (low_priority_strands_.count(strand) > 0) {
-        Pending p;
-        p.kind = Pending::Kind::kLowTrigger;
-        p.strand = strand;
-        p.tuple = tick;
-        low_queue_.push_back(std::move(p));
-        NoteQueueDepth();
+        if (AdmitLow()) {
+          Pending p;
+          p.kind = Pending::Kind::kLowTrigger;
+          p.strand = strand;
+          p.tuple = tick;
+          low_queue_.push_back(std::move(p));
+          NoteQueueDepth();
+        }
       } else {
         TriggerStrand(strand, tick);
       }
@@ -317,6 +323,8 @@ void Node::Crash() {
   // not disk loss.
   queue_.clear();
   low_queue_.clear();
+  be_in_queue_ = 0;
+  sweep_peak_depth_ = 0;
 }
 
 void Node::Revive() {
@@ -352,6 +360,8 @@ void Node::Recover() {
   // straight into the old sequence.
   for (auto& [dst, ch] : rel_out_) {
     ch.pending.clear();
+    ch.backlog.clear();
+    ch.busy_signaled = false;
     ++ch.epoch;
     ch.next_seq = 0;
   }
@@ -372,6 +382,7 @@ void Node::Sweep() {
   if (forensics_ != nullptr) {
     forensics_->Compact(now);
   }
+  UpdateOverload();
   if (options_.metrics) {
     network_->PublishShardGauges(this);
   }
@@ -435,11 +446,17 @@ void Node::RouteTuple(const TupleRef& tuple, bool is_delete, uint64_t bound_mask
                                       return;
                                     }
                                     BusyTimer busy(&stats_);
+                                    if (!AdmitDelivery(&p)) {
+                                      return;  // shed at the (deferred) admission
+                                    }
                                     queue_.push_back(std::move(p));
                                     NoteQueueDepth();
                                     Drain();
                                   });
     } else {
+      if (!AdmitDelivery(&p)) {
+        return;  // best-effort local delivery shed at a full queue
+      }
       queue_.push_back(std::move(p));
       NoteQueueDepth();
     }
@@ -466,6 +483,120 @@ void Node::MarkReliable(const std::string& name) {
   }
 }
 
+bool Node::IsControlPlane(const TupleRef& tuple, bool is_delete) const {
+  if (is_delete) {
+    return true;  // shedding deletes would leave stale rows behind
+  }
+  const std::string& name = tuple->name();
+  return reliable_names_.count(name) > 0 || name == "chanFailed" ||
+         name == "chanBusy" || name == "overload";
+}
+
+bool Node::AdmitDelivery(Pending* p) {
+  if (IsControlPlane(p->tuple, p->is_delete)) {
+    ++stats_.admitted_reliable;
+    return true;
+  }
+  if (options_.queue_cap > 0 && be_in_queue_ >= options_.queue_cap) {
+    ++stats_.shed_besteffort;
+    return false;
+  }
+  p->best_effort = true;
+  ++be_in_queue_;
+  ++stats_.admitted_besteffort;
+  return true;
+}
+
+bool Node::AdmitLow() {
+  if (options_.low_queue_cap > 0 && low_queue_.size() >= options_.low_queue_cap) {
+    ++stats_.shed_low;
+    return false;
+  }
+  if (degraded_ && (++low_sample_tick_ % 2) == 0) {
+    // Degraded mode samples low-priority work: every second trigger is dropped.
+    ++stats_.shed_low;
+    return false;
+  }
+  ++stats_.admitted_low;
+  return true;
+}
+
+Node::OverloadSnapshot Node::OverloadState() const {
+  OverloadSnapshot snap;
+  snap.be_in_queue = be_in_queue_;
+  snap.low_depth = low_queue_.size();
+  for (const auto& [dst, ch] : rel_out_) {
+    snap.rel_pending += ch.pending.size();
+    snap.rel_backlog += ch.backlog.size();
+  }
+  for (const auto& [src, in] : rel_in_) {
+    snap.reorder_buffered += in.buffer.size();
+  }
+  snap.degraded = degraded_;
+  return snap;
+}
+
+void Node::UpdateOverload() {
+  // Surface shedding to OverLog at sweep granularity: one overload(NAddr, T,
+  // Class, Shed) tuple per class that shed since the last sweep, carrying the
+  // cumulative count. Emitting per shed event would amplify the very load being
+  // shed; the tuple itself is control-plane and bypasses admission.
+  double now = Now();
+  if (stats_.shed_besteffort != last_shed_besteffort_) {
+    last_shed_besteffort_ = stats_.shed_besteffort;
+    RouteTuple(Tuple::Make("overload",
+                           {Value::Str(addr_), Value::Double(now),
+                            Value::Str("besteffort"),
+                            Value::Int(static_cast<int64_t>(stats_.shed_besteffort))}),
+               /*is_delete=*/false, ~0ULL);
+  }
+  if (stats_.shed_low != last_shed_low_) {
+    last_shed_low_ = stats_.shed_low;
+    RouteTuple(Tuple::Make("overload",
+                           {Value::Str(addr_), Value::Double(now), Value::Str("low"),
+                            Value::Int(static_cast<int64_t>(stats_.shed_low))}),
+               /*is_delete=*/false, ~0ULL);
+  }
+  if (options_.degrade_hi == 0) {
+    sweep_peak_depth_ = 0;
+    return;
+  }
+  // Pressure: the worst queue depth seen since the last sweep (queues drain to
+  // empty between events, so an instantaneous reading would always be zero) plus
+  // the standing occupancy of every channel buffer. Deterministic inputs only —
+  // never wall-clock — so degrade decisions replay identically at any shard count.
+  size_t pressure = sweep_peak_depth_;
+  for (const auto& [dst, ch] : rel_out_) {
+    pressure += ch.pending.size() + ch.backlog.size();
+  }
+  for (const auto& [src, in] : rel_in_) {
+    pressure += in.buffer.size();
+  }
+  sweep_peak_depth_ = 0;
+  size_t lo = options_.degrade_lo > 0 ? options_.degrade_lo : options_.degrade_hi / 2;
+  if (!degraded_) {
+    if (pressure >= options_.degrade_hi) {
+      if (++degrade_streak_ >= 2) {
+        degraded_ = true;
+        degrade_streak_ = 0;
+        ++stats_.degrade_enters;
+      }
+    } else {
+      degrade_streak_ = 0;
+    }
+  } else {
+    if (pressure <= lo) {
+      if (++degrade_streak_ >= 2) {
+        degraded_ = false;
+        degrade_streak_ = 0;
+        ++stats_.degrade_exits;
+      }
+    } else {
+      degrade_streak_ = 0;
+    }
+  }
+}
+
 bool Node::IsReliable(const std::string& name) const {
   return reliable_names_.count(name) > 0;
 }
@@ -486,8 +617,34 @@ void Node::SendReliable(const std::string& dst, WireEnvelope env) {
   EnsureRelCounters();
   RelOut& ch = rel_out_[dst];
   env.reliable = true;
-  env.epoch = ch.epoch;
-  env.seq = ++ch.next_seq;
+  if (options_.rel_window > 0 && ch.pending.size() >= options_.rel_window) {
+    // In-flight window full: hold the send in the bounded per-channel backlog.
+    // A long partition then costs O(window + backlog) per channel, not O(traffic).
+    if (options_.rel_backlog > 0 && ch.backlog.size() >= options_.rel_backlog) {
+      ++stats_.rel_busy_dropped;
+      if (!ch.busy_signaled) {
+        // One chanBusy per full-backlog episode; re-armed when the backlog
+        // drains. The tuple is control-plane and local, so it cannot recurse
+        // back into this path.
+        ch.busy_signaled = true;
+        RouteTuple(Tuple::Make("chanBusy", {Value::Str(addr_), Value::Str(dst),
+                                            Value::Double(Now())}),
+                   /*is_delete=*/false, ~0ULL);
+      }
+      return;
+    }
+    ch.backlog.push_back(std::move(env));
+    if (ch.backlog.size() > stats_.rel_backlog_hwm) {
+      stats_.rel_backlog_hwm = ch.backlog.size();
+    }
+    return;
+  }
+  TransmitReliable(dst, &ch, std::move(env));
+}
+
+void Node::TransmitReliable(const std::string& dst, RelOut* ch, WireEnvelope env) {
+  env.epoch = ch->epoch;
+  env.seq = ++ch->next_seq;
   ++stats_.msgs_sent;
   stats_.bytes_sent += network_->SendReturningSize(addr_, dst, env);
   ++ChannelStatFor(dst).sent;
@@ -496,8 +653,23 @@ void Node::SendReliable(const std::string& dst, WireEnvelope env) {
   }
   uint64_t seq = env.seq;
   uint64_t epoch = env.epoch;
-  ch.pending.emplace(seq, RelPending{std::move(env), 0});
+  ch->pending.emplace(seq, RelPending{std::move(env), 0});
+  if (ch->pending.size() > stats_.rel_pending_hwm) {
+    stats_.rel_pending_hwm = ch->pending.size();
+  }
   ScheduleRetransmit(dst, epoch, seq, 0);
+}
+
+void Node::PumpBacklog(const std::string& dst, RelOut* ch) {
+  while (!ch->backlog.empty() &&
+         (options_.rel_window == 0 || ch->pending.size() < options_.rel_window)) {
+    WireEnvelope env = std::move(ch->backlog.front());
+    ch->backlog.pop_front();
+    TransmitReliable(dst, ch, std::move(env));
+  }
+  if (options_.rel_backlog == 0 || ch->backlog.size() < options_.rel_backlog) {
+    ch->busy_signaled = false;
+  }
 }
 
 void Node::ScheduleRetransmit(const std::string& dst, uint64_t epoch, uint64_t seq,
@@ -542,11 +714,14 @@ void Node::FailChannel(const std::string& dst, RelOut* ch) {
   // fresh epoch (the peer's receiver resynchronizes on the next epoch's first
   // message), and surface the failure as a locally queryable tuple.
   ChannelStat& cs = ChannelStatFor(dst);
-  cs.failed += ch->pending.size();
+  uint64_t lost = ch->pending.size() + ch->backlog.size();
+  cs.failed += lost;
   if (rel_failed_ != nullptr) {
-    rel_failed_->Inc(ch->pending.size());
+    rel_failed_->Inc(lost);
   }
   ch->pending.clear();
+  ch->backlog.clear();
+  ch->busy_signaled = false;
   ++ch->epoch;
   ch->next_seq = 0;
   BusyTimer busy(&stats_);
@@ -574,6 +749,8 @@ void Node::HandleAck(const WireEnvelope& env) {
     if (rel_acked_ != nullptr) {
       rel_acked_->Inc(acked);
     }
+    // Retired in-flight slots free window space: drain the sender backlog.
+    PumpBacklog(env.src_addr, &ch);
   }
 }
 
@@ -601,6 +778,9 @@ void Node::EnqueueDelivery(const WireEnvelope& env) {
   p.src_tuple_id = env.src_tuple_id;
   p.is_delete = env.is_delete;
   p.bound_mask = env.bound_mask;
+  // Arrived on a reliable channel: control-plane class, never shed (the sender
+  // already paid for the slot via the in-flight window).
+  ++stats_.admitted_reliable;
   queue_.push_back(std::move(p));
   NoteQueueDepth();
 }
@@ -649,7 +829,25 @@ bool Node::HandleReliableData(const WireEnvelope& env) {
       it = in.buffer.erase(it);
     }
   } else {
-    in.buffer[env.seq] = env;  // hold back until the gap fills
+    // Hold back until the gap fills — within the reorder budget. On overflow,
+    // evict whichever buffered entry sits farthest past the gap (the gap-adjacent
+    // ones complete an in-order run soonest); the cumulative ack never covered the
+    // evicted sequence, so its sender retransmits it and nothing is lost. This
+    // keeps a gappy channel's receiver state at O(rel_reorder_cap), not O(traffic).
+    if (options_.rel_reorder_cap > 0 &&
+        in.buffer.size() >= options_.rel_reorder_cap) {
+      auto last = std::prev(in.buffer.end());
+      if (env.seq < last->first) {
+        in.buffer.erase(last);
+        in.buffer[env.seq] = env;
+      }
+      ++stats_.rel_reorder_dropped;
+    } else {
+      in.buffer[env.seq] = env;
+    }
+    if (in.buffer.size() > stats_.rel_reorder_hwm) {
+      stats_.rel_reorder_hwm = in.buffer.size();
+    }
   }
   SendAck(env.src_addr, in.epoch, in.next_expected - 1);
   return delivered;
@@ -684,6 +882,9 @@ void Node::ReceiveBytes(const std::string& bytes) {
   p.src_tuple_id = env.src_tuple_id;
   p.is_delete = env.is_delete;
   p.bound_mask = env.bound_mask;
+  if (!AdmitDelivery(&p)) {
+    return;  // best-effort gossip shed at a full queue
+  }
   queue_.push_back(std::move(p));
   NoteQueueDepth();
   Drain();
@@ -701,6 +902,9 @@ void Node::Drain() {
     std::deque<Pending>& source = from_low ? low_queue_ : queue_;
     Pending p = std::move(source.front());
     source.pop_front();
+    if (p.best_effort && be_in_queue_ > 0) {
+      --be_in_queue_;  // release the admission slot
+    }
     if (p.kind == Pending::Kind::kAggReeval) {
       auto it = agg_by_id_.find(p.agg_id);
       if (it != agg_by_id_.end()) {
@@ -788,12 +992,14 @@ void Node::DispatchEvent(const TupleRef& tuple) {
   if (it != triggers_.end()) {
     for (Strand* strand : it->second) {
       if (low_priority_strands_.count(strand) > 0) {
-        Pending p;
-        p.kind = Pending::Kind::kLowTrigger;
-        p.strand = strand;
-        p.tuple = tuple;
-        low_queue_.push_back(std::move(p));
-        NoteQueueDepth();
+        if (AdmitLow()) {
+          Pending p;
+          p.kind = Pending::Kind::kLowTrigger;
+          p.strand = strand;
+          p.tuple = tuple;
+          low_queue_.push_back(std::move(p));
+          NoteQueueDepth();
+        }
         continue;
       }
       TriggerStrand(strand, tuple);

@@ -80,6 +80,41 @@ struct NodeOptions {
   // pending messages are dropped, a local chanFailed(NAddr, Dst, T) tuple is
   // emitted, and the channel restarts under a fresh epoch.
   int rel_max_retx = 8;
+
+  // ---- overload resilience (docs/ROBUSTNESS.md "Overload & graceful degradation").
+  // Every limit defaults to off (0 = unbounded) except the reorder-buffer cap, so
+  // existing runs keep bit-identical digests; shed/degrade decisions depend only on
+  // queue depths and virtual time (never wall-clock), keeping digests identical
+  // across shard counts when limits are on.
+
+  // Cap on best-effort deliveries held in the primary queue. Reliable tuples
+  // (MarkReliable names), control tuples (chanFailed / chanBusy / overload), deletes,
+  // and aggregate re-evaluations are never shed.
+  size_t queue_cap = 0;
+  // Cap on the low-priority queue (deferred monitor triggers).
+  size_t low_queue_cap = 0;
+  // Per-channel in-flight window: at most this many unacked reliable messages per
+  // destination; excess waits in a sender-side backlog.
+  size_t rel_window = 0;
+  // Per-channel sender backlog cap (only meaningful with rel_window on): when full,
+  // further reliable sends are dropped, counted, and signaled via a local
+  // chanBusy(NAddr, Dst, T) tuple.
+  size_t rel_backlog = 0;
+  // Receiver reorder-holdback cap per incoming channel. On overflow the entry
+  // farthest from the gap is evicted (the sender retransmits it) and counted as
+  // rel_reorder_dropped. On by default: a gappy channel must cost O(window), not
+  // O(traffic), and eviction never changes what is delivered or when acks flow.
+  size_t rel_reorder_cap = 1024;
+  // Degradation watchdog: pressure (peak queue depth since the last sweep plus
+  // channel buffer occupancy) at or above degrade_hi for two consecutive sweeps
+  // enters degraded mode; at or below degrade_lo (default hi/2) for two consecutive
+  // sweeps exits it. 0 = watchdog off.
+  size_t degrade_hi = 0;
+  size_t degrade_lo = 0;
+  // While degraded: periodic timer chains stretch by this factor and every second
+  // low-priority trigger is sampled out (counted as shed).
+  double degrade_stretch = 2.0;
+
   uint64_t seed = 1;
 };
 
@@ -98,6 +133,24 @@ struct NodeStats {
                                 // per table in TableCounters, not here)
   uint64_t queue_hwm = 0;       // high-water mark of the pending-work queues
   uint64_t busy_ns = 0;  // wall-clock nanoseconds spent executing this node's dataflow
+
+  // ---- overload resilience (docs/ROBUSTNESS.md). Admission is classified into
+  // best-effort / low-priority / reliable+control; only the first two can shed.
+  uint64_t admitted_besteffort = 0;  // best-effort deliveries admitted to the queue
+  uint64_t admitted_reliable = 0;    // reliable/control deliveries admitted (never shed)
+  uint64_t admitted_low = 0;         // low-priority work admitted
+  uint64_t shed_besteffort = 0;      // best-effort deliveries dropped at admission
+  uint64_t shed_low = 0;             // low-priority work dropped (cap or degraded sampling)
+  uint64_t shed_reliable = 0;        // must stay 0: the control plane is never shed
+  uint64_t rel_busy_dropped = 0;     // reliable sends dropped at a full sender backlog
+  uint64_t rel_reorder_dropped = 0;  // reorder-holdback evictions on gappy channels
+  uint64_t be_queue_hwm = 0;         // hwm of best-effort entries in the primary queue
+  uint64_t low_queue_hwm = 0;        // hwm of the low-priority queue
+  uint64_t rel_pending_hwm = 0;      // hwm of any one channel's in-flight window
+  uint64_t rel_backlog_hwm = 0;      // hwm of any one channel's sender backlog
+  uint64_t rel_reorder_hwm = 0;      // hwm of any one reorder holdback buffer
+  uint64_t degrade_enters = 0;       // watchdog transitions into degraded mode
+  uint64_t degrade_exits = 0;        // watchdog restorations to normal mode
 };
 
 class Scheduler;
@@ -199,6 +252,23 @@ class Node {
     return channel_stats_;
   }
 
+  // ---- overload resilience (docs/ROBUSTNESS.md) ----
+
+  // Whether the resource watchdog currently holds the node in degraded mode.
+  bool degraded() const { return degraded_; }
+
+  // Instantaneous occupancy of every bounded per-node resource — the backing data
+  // for sysOverloadStat and the simfuzz bounded-memory oracle.
+  struct OverloadSnapshot {
+    uint64_t be_in_queue = 0;       // best-effort entries in the primary queue
+    uint64_t low_depth = 0;         // low-priority queue depth
+    uint64_t rel_pending = 0;       // Σ in-flight across outgoing channels
+    uint64_t rel_backlog = 0;       // Σ sender backlog across outgoing channels
+    uint64_t reorder_buffered = 0;  // Σ reorder holdback across incoming channels
+    bool degraded = false;
+  };
+  OverloadSnapshot OverloadState() const;
+
   // Observation hook for the reliable transport: called once for every reliable
   // data envelope the channel layer accepts for delivery (post duplicate
   // suppression and reordering, in delivery order). Lets harnesses check the
@@ -266,6 +336,8 @@ class Node {
     uint64_t bound_mask = ~0ULL;
     uint64_t agg_id = 0;
     Strand* strand = nullptr;  // kLowTrigger
+    // Counted against NodeOptions::queue_cap while queued (sheddable class).
+    bool best_effort = false;
   };
 
   void ProcessDelivery(const Pending& p);
@@ -286,16 +358,29 @@ class Node {
     uint64_t epoch = 1;
     uint64_t next_seq = 0;  // last sequence assigned; 0 = none yet
     std::map<uint64_t, RelPending> pending;
+    // Sends held while the in-flight window is full (NodeOptions::rel_window);
+    // bounded by rel_backlog, drained in order as acks retire pending entries.
+    std::deque<WireEnvelope> backlog;
+    // One chanBusy signal per full-backlog episode, re-armed when the backlog
+    // drains below its cap.
+    bool busy_signaled = false;
   };
   // One incoming reliable channel (src -> this node).
   struct RelIn {
     bool inited = false;
     uint64_t epoch = 0;
     uint64_t next_expected = 0;
-    std::map<uint64_t, WireEnvelope> buffer;  // out-of-order holdback
+    std::map<uint64_t, WireEnvelope> buffer;  // out-of-order holdback (bounded by
+                                              // NodeOptions::rel_reorder_cap)
   };
 
   void SendReliable(const std::string& dst, WireEnvelope env);
+  // Assigns the next sequence number and puts `env` on the wire (pending +
+  // retransmit timer). The window check happened in SendReliable / PumpBacklog.
+  void TransmitReliable(const std::string& dst, RelOut* ch, WireEnvelope env);
+  // Moves backlogged sends into freed window slots (called after acks retire
+  // pending entries) and re-arms the chanBusy signal once the backlog has room.
+  void PumpBacklog(const std::string& dst, RelOut* ch);
   void ScheduleRetransmit(const std::string& dst, uint64_t epoch, uint64_t seq,
                           int retries);
   // Retransmit exhaustion: fails the whole channel (pending dropped, epoch bumped)
@@ -313,11 +398,36 @@ class Node {
   // Lazily registers the rel_* counters (first reliable traffic).
   void EnsureRelCounters();
 
+  // ---- overload resilience internals (docs/ROBUSTNESS.md) ----
+
+  // True for tuples the admission layer must never shed: reliable names, deletes,
+  // and the transport/overload control signals.
+  bool IsControlPlane(const TupleRef& tuple, bool is_delete) const;
+  // Classifies and admits a kDeliver headed for the primary queue. Returns false
+  // when the tuple was shed (best-effort class at a full queue); the caller then
+  // drops it. Marks admitted best-effort entries so Drain can release their slot.
+  bool AdmitDelivery(Pending* p);
+  // Admission for low-priority work (cap + degraded-mode sampling).
+  bool AdmitLow();
+  // Sweep-time watchdog: emits the overload tuple for classes that shed since the
+  // last sweep, then runs the degrade/restore hysteresis over the sweep-window
+  // pressure peak. Deterministic: consumes only queue depths and virtual time.
+  void UpdateOverload();
+
   // Tracks the pending-queue high-water mark; called after every queue push.
   void NoteQueueDepth() {
     size_t depth = queue_.size() + low_queue_.size();
     if (depth > stats_.queue_hwm) {
       stats_.queue_hwm = depth;
+    }
+    if (depth > sweep_peak_depth_) {
+      sweep_peak_depth_ = depth;
+    }
+    if (be_in_queue_ > stats_.be_queue_hwm) {
+      stats_.be_queue_hwm = be_in_queue_;
+    }
+    if (low_queue_.size() > stats_.low_queue_hwm) {
+      stats_.low_queue_hwm = low_queue_.size();
     }
   }
 
@@ -370,6 +480,15 @@ class Node {
   bool draining_ = false;
   bool sweep_scheduled_ = false;
   bool up_ = true;
+  // ---- overload resilience state (docs/ROBUSTNESS.md) ----
+  size_t be_in_queue_ = 0;       // best-effort entries currently in queue_
+  size_t sweep_peak_depth_ = 0;  // peak queue depth since the last sweep
+  bool degraded_ = false;        // watchdog state (enter/exit counted in stats_)
+  int degrade_streak_ = 0;       // consecutive sweeps toward a transition
+  uint64_t low_sample_tick_ = 0;  // degraded-mode sampling of low-priority work
+  // Shed totals as of the last sweep, for overload-tuple emission deltas.
+  uint64_t last_shed_besteffort_ = 0;
+  uint64_t last_shed_low_ = 0;
   // Periodic timer chains, tracked so Revive can re-arm chains that died while the
   // node was down (a chain dies when its tick fires on a crashed node).
   struct PeriodicEntry {

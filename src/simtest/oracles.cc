@@ -333,6 +333,54 @@ void CheckRetentionConsistency(const FleetObservation& obs,
   }
 }
 
+// Overload resilience under admission limits (docs/ROBUSTNESS.md). Three claims,
+// each gated on the corresponding cap actually being configured (so limits-off
+// observations are vacuously clean):
+//   bounded memory     — every capped buffer's high-water mark stayed within its
+//                        cap (best-effort queue share, low-priority queue, in-flight
+//                        window, sender backlog, reorder holdback)
+//   control survival   — shedding never touched the reliable/control class: no
+//                        reliable tuple shed, no windowed send abandoned
+//   liveness           — once the epilogue settles, up nodes have drained their
+//                        delivery queues and the degrade watchdog has restored
+void CheckOverload(const FleetObservation& obs, std::vector<Violation>* out) {
+  for (const NodeObs& n : obs.nodes) {
+    auto bound = [&](const char* what, uint64_t hwm, uint64_t cap) {
+      if (cap > 0 && hwm > cap) {
+        Report(out, "overload",
+               StrFormat("%s: %s high-water %llu exceeds cap %llu", n.addr.c_str(),
+                         what, static_cast<unsigned long long>(hwm),
+                         static_cast<unsigned long long>(cap)));
+      }
+    };
+    bound("best-effort queue", n.stats.be_queue_hwm, n.queue_cap);
+    bound("low-priority queue", n.stats.low_queue_hwm, n.low_queue_cap);
+    bound("in-flight window", n.stats.rel_pending_hwm, n.rel_window);
+    bound("sender backlog", n.stats.rel_backlog_hwm, n.rel_backlog_cap);
+    bound("reorder holdback", n.stats.rel_reorder_hwm, n.rel_reorder_cap);
+    if (n.stats.shed_reliable > 0) {
+      Report(out, "overload",
+             StrFormat("%s: shed %llu reliable/control tuple(s)", n.addr.c_str(),
+                       static_cast<unsigned long long>(n.stats.shed_reliable)));
+    }
+    if (!n.up) {
+      continue;  // a crashed node's queue and watchdog die with it
+    }
+    if (n.queue_depth > 0) {
+      Report(out, "overload",
+             StrFormat("%s: %llu deliveries still queued after settle", n.addr.c_str(),
+                       static_cast<unsigned long long>(n.queue_depth)));
+    }
+    if (n.degraded) {
+      Report(out, "overload",
+             StrFormat("%s: still degraded after settle (%llu enters, %llu exits)",
+                       n.addr.c_str(),
+                       static_cast<unsigned long long>(n.stats.degrade_enters),
+                       static_cast<unsigned long long>(n.stats.degrade_exits)));
+    }
+  }
+}
+
 // FNV-1a over the JSONL chain export (stable across platforms; the oracle only
 // needs equality, the hex form just keeps violations printable).
 std::string ChainDigest(const std::string& jsonl) {
@@ -365,6 +413,9 @@ std::vector<Oracle> BuiltinOracles() {
       {"retention-consistency",
        "forensics replay reproduces the live causal walk when nothing was lost",
        CheckRetentionConsistency},
+      {"overload",
+       "caps hold at high-water, control plane never shed, degrade restores",
+       CheckOverload},
   };
 }
 
@@ -404,6 +455,13 @@ FleetObservation ObserveFleet(Network* net, std::vector<ChannelDelivery> deliver
     n.stats = node->stats();
     n.metrics_enabled = node->options().metrics;
     n.forensics_enabled = node->forensics() != nullptr;
+    n.queue_cap = node->options().queue_cap;
+    n.low_queue_cap = node->options().low_queue_cap;
+    n.rel_window = node->options().rel_window;
+    n.rel_backlog_cap = node->options().rel_backlog;
+    n.rel_reorder_cap = node->options().rel_reorder_cap;
+    n.queue_depth = node->QueueDepth();
+    n.degraded = node->degraded();
     for (const auto& [rule_id, rm] : node->metrics().rules()) {
       n.rule_emits_total += rm->emits;
     }

@@ -97,6 +97,16 @@ struct NodeObs {
   bool forensics_enabled = false;
   std::string live_chain_digest;
   std::string replay_chain_digest;
+  // Overload-resilience configuration and state (docs/ROBUSTNESS.md). Caps mirror
+  // NodeOptions (0 = unlimited); the overload oracle only judges a bound when its
+  // cap is configured, so limits-off observations are vacuously clean.
+  uint64_t queue_cap = 0;
+  uint64_t low_queue_cap = 0;
+  uint64_t rel_window = 0;
+  uint64_t rel_backlog_cap = 0;
+  uint64_t rel_reorder_cap = 0;
+  uint64_t queue_depth = 0;  // deliveries still queued at observation time
+  bool degraded = false;     // watchdog state at observation time
   std::vector<RuleExecObs> rule_exec;
   std::vector<CrossRef> cross_refs;
   std::map<std::string, Node::ChannelStat> channels;  // per-peer reliable stats
@@ -161,6 +171,11 @@ struct Oracle {
 //   retention-consistency — when no history has been lost on either side, chains
 //                      replayed from the forensics stores are bit-identical to the
 //                      chains walked from the live trace tables
+//   overload         — bounded memory under admission limits (each configured cap's
+//                      high-water mark stayed within it), control-plane survival
+//                      (no reliable/control tuple was ever shed), and liveness
+//                      (after the epilogue settles, up nodes drained their queues
+//                      and exited degraded mode)
 std::vector<Oracle> BuiltinOracles();
 
 // Test-only oracle that rejects any schedule containing a crash event: a known-false

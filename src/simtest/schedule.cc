@@ -244,7 +244,12 @@ std::string ScheduleToScenario(const Schedule& s, const Ablation& ablation) {
   out << "# ablation indexes=" << (ablation.use_join_indexes ? "on" : "off")
       << " metrics=" << (ablation.metrics ? "on" : "off")
       << " reliable=" << (ablation.reliable_transport ? "on" : "off")
-      << " forensics=" << (ablation.forensics ? "on" : "off") << "\n";
+      << " forensics=" << (ablation.forensics ? "on" : "off");
+  if (ablation.overload_limits) {
+    // Appended only when on so pre-existing scenario files round-trip unchanged.
+    out << " limits=on";
+  }
+  out << "\n";
   out << "net latency=" << FmtNum(p.latency) << " jitter=" << FmtNum(p.jitter)
       << " loss=" << FmtNum(p.loss) << " seed=" << FmtU64(s.seed)
       << " shards=" << p.shards << "\n";
@@ -252,6 +257,9 @@ std::string ScheduleToScenario(const Schedule& s, const Ablation& ablation) {
     // Generous budget: fuzz runs must not drop segments, so the
     // retention-consistency oracle compares complete histories.
     out << "forensics budget=8388608 span=5\n";
+  }
+  if (ablation.overload_limits) {
+    out << kFuzzLimitsLine;
   }
   for (int i = 0; i < p.num_nodes; ++i) {
     out << "node " << AddrOf(i) << " trace seed=" << FmtU64(NodeSeed(s.seed, i));
@@ -416,6 +424,7 @@ bool ScenarioToSchedule(const std::string& text, Schedule* out, std::string* err
         ablation.metrics = kv["metrics"] != "off";
         ablation.reliable_transport = kv["reliable"] != "off";
         ablation.forensics = kv["forensics"] != "off";
+        ablation.overload_limits = kv["limits"] == "on";  // absent in older files
       } else if (words.size() >= 2 && words[1] == "events") {
         in_events = true;
         cursor = s.profile.warmup;
@@ -437,6 +446,7 @@ bool ScenarioToSchedule(const std::string& text, Schedule* out, std::string* err
       // known shapes and ignore them.
       if (words[0] == "net" || words[0] == "node" || words[0] == "chord" ||
           words[0] == "monitors" || words[0] == "dht" || words[0] == "forensics" ||
+          words[0] == "limits" ||
           (in_epilogue && (words[0] == "heal" || words[0] == "linkfault" ||
                            words[0] == "recover"))) {
         continue;

@@ -33,7 +33,19 @@ struct Ablation {
   // retention-consistency oracle has something to judge; like indexes/metrics it
   // is a pure observer and must leave the deterministic table digests bit-identical.
   bool forensics = true;
+  // Overload-resilience limits on every node (scenario `limits ...` with the
+  // canonical budgets below). Off by default: unlike the observer switches above,
+  // shedding changes table contents, so limits-on digests are only required to be
+  // identical across shard counts, not to the limits-off run. The overload oracle
+  // (#9) arms when this is on.
+  bool overload_limits = false;
 };
+
+// The canonical `limits` line rendered when Ablation::overload_limits is on —
+// budgets generous enough that fuzz workloads bound memory without starving the
+// control plane (the overload oracle rejects any reliable-class shed).
+inline constexpr char kFuzzLimitsLine[] =
+    "limits queue=256 low=256 window=64 backlog=1024 reorder=64 degrade=64\n";
 
 struct FuzzProfile {
   int num_nodes = 5;

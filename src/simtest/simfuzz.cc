@@ -266,6 +266,17 @@ std::vector<std::string> DifferentialRun(const Schedule& schedule) {
       diffs.push_back("reliable-off run failed: " + ablated.Summary());
     }
   }
+  // Overload limits can shed best-effort tuples, so digests legitimately differ
+  // from the limits-off base; the run must still pass every oracle — now including
+  // the armed overload oracle (caps hold, control plane survives, degrade restores).
+  {
+    SimFuzzOptions opts;
+    opts.ablation.overload_limits = true;
+    RunResult ablated = RunSchedule(schedule, opts);
+    if (ablated.failed()) {
+      diffs.push_back("limits-on run failed: " + ablated.Summary());
+    }
+  }
   return diffs;
 }
 

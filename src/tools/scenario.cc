@@ -254,6 +254,21 @@ struct ScenarioRunner::Impl {
   // after it (the store is built in the Node constructor, so it cannot be enabled
   // retroactively).
   ForensicsOptions pending_forensics;
+  // Overload limits from a `limits` directive (docs/ROBUSTNESS.md), applied — like
+  // forensics — to every node created after the line.
+  struct PendingLimits {
+    bool set = false;
+    uint64_t queue = 0;
+    uint64_t low = 0;
+    uint64_t window = 0;
+    uint64_t backlog = 0;
+    uint64_t reorder = 0;
+    bool reorder_set = false;  // reorder=0 legitimately disables the default cap
+    uint64_t degrade = 0;
+    uint64_t degrade_lo = 0;
+    double stretch = 0;
+  };
+  PendingLimits pending_limits;
 
   void Print(const std::string& s) {
     if (out) {
@@ -428,6 +443,21 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     }
     if (impl_->pending_forensics.enabled) {
       opts.forensics = impl_->pending_forensics;
+    }
+    if (impl_->pending_limits.set) {
+      const Impl::PendingLimits& lim = impl_->pending_limits;
+      opts.queue_cap = lim.queue;
+      opts.low_queue_cap = lim.low;
+      opts.rel_window = lim.window;
+      opts.rel_backlog = lim.backlog;
+      if (lim.reorder_set) {
+        opts.rel_reorder_cap = lim.reorder;
+      }
+      opts.degrade_hi = lim.degrade;
+      opts.degrade_lo = lim.degrade_lo;
+      if (lim.stretch > 0) {
+        opts.degrade_stretch = lim.stretch;
+      }
     }
     if (explicit_seed) {
       fleet_->AddNodeWithSeed(words[1], opts, node_seed);
@@ -983,6 +1013,74 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
     }
     impl_->pending_forensics = fo;
+    return true;
+  }
+
+  if (cmd == "limits") {
+    // limits [queue=<n>] [low=<n>] [window=<n>] [backlog=<n>] [reorder=<n>]
+    //        [degrade=<n>] [lo=<n>] [stretch=<x>]
+    // — overload-resilience budgets (docs/ROBUSTNESS.md), applied to every node
+    // created after this line. queue/low cap the admission queues (best-effort
+    // class sheds first), window/backlog bound the reliable sender per channel,
+    // reorder bounds the receiver holdback, degrade arms the watchdog (lo and
+    // stretch tune its hysteresis exit threshold and degraded-mode slowdown).
+    if (words.size() < 2) {
+      *error = "limits [queue=<n>] [low=<n>] [window=<n>] [backlog=<n>] "
+               "[reorder=<n>] [degrade=<n>] [lo=<n>] [stretch=<x>]";
+      return false;
+    }
+    Impl::PendingLimits lim;
+    for (size_t i = 1; i < words.size(); ++i) {
+      std::string k;
+      std::string v;
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "expected k=v: " + words[i];
+        return false;
+      }
+      if (k == "queue") {
+        if (!ParseU64Arg(v, "queue", &lim.queue, error)) {
+          return false;
+        }
+      } else if (k == "low") {
+        if (!ParseU64Arg(v, "low", &lim.low, error)) {
+          return false;
+        }
+      } else if (k == "window") {
+        if (!ParseU64Arg(v, "window", &lim.window, error)) {
+          return false;
+        }
+      } else if (k == "backlog") {
+        if (!ParseU64Arg(v, "backlog", &lim.backlog, error)) {
+          return false;
+        }
+      } else if (k == "reorder") {
+        if (!ParseU64Arg(v, "reorder", &lim.reorder, error)) {
+          return false;
+        }
+        lim.reorder_set = true;
+      } else if (k == "degrade") {
+        if (!ParseU64Arg(v, "degrade", &lim.degrade, error)) {
+          return false;
+        }
+      } else if (k == "lo") {
+        if (!ParseU64Arg(v, "lo", &lim.degrade_lo, error)) {
+          return false;
+        }
+      } else if (k == "stretch") {
+        if (!ParseDoubleArg(v, "stretch", &lim.stretch, error)) {
+          return false;
+        }
+        if (lim.stretch < 1.0) {
+          *error = "stretch must be >= 1";
+          return false;
+        }
+      } else {
+        *error = "unknown limits option: " + k;
+        return false;
+      }
+    }
+    lim.set = true;
+    impl_->pending_limits = lim;
     return true;
   }
 

@@ -14,6 +14,8 @@
 //           [--print-scenario]            print each schedule's scenario text
 //           [--replay FILE]               re-run a scenario file under the oracles
 //           [--differential]              diff table digests across config ablations
+//           [--limits]                    run every node under the canonical overload
+//                                         limits (arms the overload oracle)
 //           [--broken-oracle]             plant the test-only always-wrong oracle
 //           [--bench]                     write BENCH_simfuzz.json (wall clock,
 //                                         iterations/sec) via bench_common
@@ -55,7 +57,7 @@ int Usage() {
           "[--nodes N] [--shards K]\n"
           "               [--shrink] [--scenario-out PATH] [--chains-out PATH]\n"
           "               [--print-scenario]\n"
-          "               [--replay FILE] [--differential] [--broken-oracle]\n"
+          "               [--replay FILE] [--differential] [--limits] [--broken-oracle]\n"
           "               [--bench] [--list-oracles]\n");
   return 2;
 }
@@ -149,6 +151,8 @@ int main(int argc, char** argv) {
       replay_path = next("--replay");
     } else if (arg == "--differential") {
       differential = true;
+    } else if (arg == "--limits") {
+      opts.ablation.overload_limits = true;
     } else if (arg == "--broken-oracle") {
       opts.broken_oracle = true;
     } else if (arg == "--bench") {
@@ -251,7 +255,7 @@ int main(int argc, char** argv) {
         ++failures;
         break;
       }
-      printf("seed %llu: differential clean (indexes/metrics/reliable)\n",
+      printf("seed %llu: differential clean (indexes/metrics/forensics/reliable/limits)\n",
              static_cast<unsigned long long>(s));
     }
   }

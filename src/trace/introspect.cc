@@ -53,6 +53,13 @@ void InstallIntrospectionTables(Node* node) {
   forensics_stats.name = "sysForensicsStat";
   forensics_stats.key_fields = {0};  // NAddr (one row per node)
   catalog.CreateTable(forensics_stats);
+
+  // Overload resilience (docs/ROBUSTNESS.md): per-admission-class shed accounting
+  // plus the watchdog state, one row per priority class.
+  TableSpec overload_stats;
+  overload_stats.name = "sysOverloadStat";
+  overload_stats.key_fields = {0, 1};  // NAddr, Class
+  catalog.CreateTable(overload_stats);
 }
 
 void PublishStaticIntrospection(Node* node) {
@@ -188,6 +195,31 @@ void RefreshStatIntrospection(Node* node) {
                        Value::Int(static_cast<int64_t>(cs.failed))}),
           now);
     }
+  }
+  Table* overload_stats = catalog.Get("sysOverloadStat");
+  if (overload_stats != nullptr) {
+    // sysOverloadStat(NAddr, Class, Admitted, Shed, QueueDepth, InFlight, Degraded):
+    // one row per admission class. QueueDepth/InFlight are instantaneous as of the
+    // sweep; Admitted/Shed are cumulative; Degraded mirrors the watchdog state.
+    const NodeStats& s = node->stats();
+    Node::OverloadSnapshot ov = node->OverloadState();
+    int64_t degraded = ov.degraded ? 1 : 0;
+    auto row = [&](const char* cls, uint64_t admitted, uint64_t shed,
+                   uint64_t queue_depth, uint64_t in_flight) {
+      overload_stats->Insert(
+          Tuple::Make("sysOverloadStat",
+                      {Value::Str(addr), Value::Str(cls),
+                       Value::Int(static_cast<int64_t>(admitted)),
+                       Value::Int(static_cast<int64_t>(shed)),
+                       Value::Int(static_cast<int64_t>(queue_depth)),
+                       Value::Int(static_cast<int64_t>(in_flight)),
+                       Value::Int(degraded)}),
+          now);
+    };
+    row("besteffort", s.admitted_besteffort, s.shed_besteffort, ov.be_in_queue, 0);
+    row("low", s.admitted_low, s.shed_low, ov.low_depth, 0);
+    row("reliable", s.admitted_reliable, s.shed_reliable + s.rel_busy_dropped,
+        ov.rel_backlog, ov.rel_pending);
   }
   Table* forensics_stats = catalog.Get("sysForensicsStat");
   if (forensics_stats != nullptr && node->forensics() != nullptr) {

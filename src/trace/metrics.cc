@@ -109,6 +109,24 @@ MetricsSnapshot SnapshotNodeMetrics(Node* node) {
       {"msgs_sent", static_cast<int64_t>(s.msgs_sent)},
       {"queue_depth", static_cast<int64_t>(node->QueueDepth())},
       {"queue_hwm", static_cast<int64_t>(s.queue_hwm)},
+      // Overload resilience (docs/ROBUSTNESS.md): admission/shed accounting per
+      // priority class, channel-buffer high-water marks, and the watchdog state.
+      {"admitted_besteffort", static_cast<int64_t>(s.admitted_besteffort)},
+      {"admitted_low", static_cast<int64_t>(s.admitted_low)},
+      {"admitted_reliable", static_cast<int64_t>(s.admitted_reliable)},
+      {"shed_besteffort", static_cast<int64_t>(s.shed_besteffort)},
+      {"shed_low", static_cast<int64_t>(s.shed_low)},
+      {"shed_reliable", static_cast<int64_t>(s.shed_reliable)},
+      {"rel_busy_dropped", static_cast<int64_t>(s.rel_busy_dropped)},
+      {"rel_reorder_dropped", static_cast<int64_t>(s.rel_reorder_dropped)},
+      {"be_queue_hwm", static_cast<int64_t>(s.be_queue_hwm)},
+      {"low_queue_hwm", static_cast<int64_t>(s.low_queue_hwm)},
+      {"rel_pending_hwm", static_cast<int64_t>(s.rel_pending_hwm)},
+      {"rel_backlog_hwm", static_cast<int64_t>(s.rel_backlog_hwm)},
+      {"rel_reorder_hwm", static_cast<int64_t>(s.rel_reorder_hwm)},
+      {"degrade_enters", static_cast<int64_t>(s.degrade_enters)},
+      {"degrade_exits", static_cast<int64_t>(s.degrade_exits)},
+      {"degraded", node->degraded() ? int64_t{1} : int64_t{0}},
       {"strand_triggers", static_cast<int64_t>(s.strand_triggers)},
       // Provenance memory pressure: tuples memoized by the tracer's TupleStore
       // (refcount-GCed with the ruleExec rows that mention them).

@@ -172,6 +172,28 @@ TEST(ShardEquivalenceTest, FuzzScheduleDigestsMatchAcrossShardCounts) {
   }
 }
 
+// Overload limits on (bounded queues, in-flight windows, degrade watchdog) must
+// not perturb determinism: shed and degrade decisions depend only on
+// deterministic local state, so limits-on digests agree across 1/2/4 shards too.
+TEST(ShardEquivalenceTest, LimitsOnDigestsMatchAcrossShardCounts) {
+  simtest::FuzzProfile profile = simtest::FuzzProfile::Faulty();
+  simtest::SimFuzzOptions opts;
+  opts.ablation.overload_limits = true;
+  simtest::RunResult base =
+      simtest::RunSchedule(simtest::GenerateSchedule(44, profile), opts);
+  ASSERT_FALSE(base.failed()) << base.Summary();
+  for (int shards : {2, 4}) {
+    profile.shards = shards;
+    simtest::RunResult run =
+        simtest::RunSchedule(simtest::GenerateSchedule(44, profile), opts);
+    ASSERT_FALSE(run.failed()) << "shards=" << shards << ": " << run.Summary();
+    EXPECT_EQ(run.table_digest, base.table_digest) << "shards=" << shards;
+    EXPECT_EQ(run.full_digest, base.full_digest)
+        << "shards=" << shards << " diverged at "
+        << FirstDiffLine(base.full_digest, run.full_digest);
+  }
+}
+
 // Smoke sweep with randomized shard counts: every faulty-profile seed runs under a
 // seed-derived shard count and must both pass the oracles and match its own
 // single-shard digest.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "src/net/network.h"
@@ -365,6 +366,107 @@ TEST(TransportTest, ChanFailedFiresExactlyOncePerExhaustion) {
   p.net.RunFor(10.0);
   EXPECT_EQ(chan_failed, 2);
   EXPECT_EQ(p.a->channel_stats().at("b").failed, 6u);
+}
+
+TEST(TransportTest, InFlightWindowCapsPendingAndStillDeliversEverything) {
+  NetworkConfig cfg;
+  cfg.latency = 0.02;
+  cfg.jitter = 0.005;
+  cfg.seed = 9;
+  NodeOptions opts = Quiet();
+  opts.rel_window = 4;  // no backlog cap: excess waits, nothing is dropped
+  Pair p(cfg, opts);
+  const int kSent = 20;
+  p.Send(kSent);
+  p.net.RunFor(20.0);
+  ASSERT_EQ(p.arrivals.size(), static_cast<size_t>(kSent));
+  for (int i = 0; i < kSent; ++i) {
+    EXPECT_EQ(p.arrivals[i], i);
+  }
+  EXPECT_LE(p.a->stats().rel_pending_hwm, 4u)
+      << "never more than the window in flight";
+  EXPECT_GT(p.a->stats().rel_backlog_hwm, 0u)
+      << "the overflow must have waited in the backlog";
+  EXPECT_EQ(p.a->stats().rel_busy_dropped, 0u);
+}
+
+// Satellite #3 (docs/ROBUSTNESS.md): a partition that never heals within the test
+// window. Sender-side state stays at O(window + backlog) — not O(traffic) — the
+// overflow is counted and signaled via chanBusy, and the eventual retransmit
+// exhaustion still surfaces as chanFailed, strictly after chanBusy.
+TEST(TransportTest, LongPartitionBoundsSenderStateAndSignalsBusyThenFailed) {
+  NetworkConfig cfg;
+  cfg.latency = 0.01;
+  NodeOptions opts = Quiet();
+  opts.rel_window = 4;
+  opts.rel_backlog = 8;
+  opts.rel_rto = 0.2;
+  opts.rel_rto_max = 0.4;
+  opts.rel_max_retx = 6;
+  Pair p(cfg, opts);
+  std::vector<std::string> signals;
+  p.a->SubscribeEvent("chanBusy", [&](const TupleRef& t) {
+    signals.push_back("busy:" + t->field(1).AsString());
+  });
+  p.a->SubscribeEvent("chanFailed", [&](const TupleRef& t) {
+    signals.push_back("failed:" + t->field(1).AsString());
+  });
+  p.net.Partition({"a"}, {"b"});
+  const int kSent = 30;
+  p.Send(kSent);
+
+  p.net.RunFor(0.1);  // before any retransmit resolves: buffers at their caps
+  Node::OverloadSnapshot ov = p.a->OverloadState();
+  EXPECT_EQ(ov.rel_pending, 4u) << "window slots all occupied";
+  EXPECT_EQ(ov.rel_backlog, 8u) << "backlog full, not growing with traffic";
+  EXPECT_EQ(p.a->stats().rel_busy_dropped, static_cast<uint64_t>(kSent - 4 - 8));
+  ASSERT_FALSE(signals.empty());
+  EXPECT_EQ(signals[0], "busy:b") << "one chanBusy per full-backlog episode";
+  EXPECT_EQ(p.a->stats().rel_backlog_hwm, 8u);
+  EXPECT_LE(p.a->stats().rel_pending_hwm, 4u);
+
+  p.net.RunFor(10.0);  // retransmit exhaustion fails the channel
+  ASSERT_GE(signals.size(), 2u);
+  EXPECT_EQ(signals[0], "busy:b") << "backpressure must signal before failure";
+  EXPECT_NE(std::find(signals.begin(), signals.end(), "failed:b"), signals.end());
+  EXPECT_EQ(p.a->channel_stats().at("b").failed, 12u)
+      << "window + backlog abandoned by the exhaustion";
+  ov = p.a->OverloadState();
+  EXPECT_EQ(ov.rel_pending + ov.rel_backlog, 0u) << "failure clears both buffers";
+
+  // The healed channel works again under a fresh epoch.
+  p.net.Heal();
+  p.a->InjectEvent(
+      Tuple::Make("go", {Value::Str("a"), Value::Str("b"), Value::Int(77)}));
+  p.net.RunFor(5.0);
+  ASSERT_EQ(p.arrivals.size(), 1u);
+  EXPECT_EQ(p.arrivals[0], 77);
+}
+
+TEST(TransportTest, ReorderCapEvictsHoldbackWithoutLosingDeliveries) {
+  NetworkConfig cfg;
+  cfg.latency = 0.02;
+  cfg.jitter = 0.01;
+  cfg.seed = 23;
+  NodeOptions opts = Quiet();
+  opts.rel_reorder_cap = 2;  // tiny holdback: loss-induced gaps force evictions
+  // Generous retransmit budget: evicted sequences are retried on RTO expiry with
+  // exponential backoff, and this test isolates eviction losslessness from the
+  // separate retransmit-exhaustion path (covered above).
+  opts.rel_max_retx = 200;
+  Pair p(cfg, opts);
+  p.net.SetLinkFault("a", "b", {/*loss=*/0.3, /*dup_rate=*/0, /*reorder_rate=*/0.4});
+  const int kSent = 40;
+  p.Send(kSent);
+  p.net.RunFor(600.0);  // virtual seconds: worst-case gap fills need max-RTO rounds
+  ASSERT_EQ(p.arrivals.size(), static_cast<size_t>(kSent))
+      << "eviction must be lossless: the unacked seq is simply retransmitted";
+  for (int i = 0; i < kSent; ++i) {
+    EXPECT_EQ(p.arrivals[i], i);
+  }
+  EXPECT_GT(p.b->stats().rel_reorder_dropped, 0u)
+      << "the tiny cap must actually have evicted under this fault schedule";
+  EXPECT_LE(p.b->stats().rel_reorder_hwm, 2u);
 }
 
 TEST(TransportTest, ReliableTransportOffIsAnAblation) {

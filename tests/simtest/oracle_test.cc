@@ -288,6 +288,78 @@ TEST(OracleTest, RetentionConsistencySkipsIncomparableRuns) {
   EXPECT_TRUE(RunOne("retention-consistency", obs).empty());
 }
 
+TEST(OracleTest, OverloadFiresOnCapOverflow) {
+  // Each configured cap is judged against its high-water mark; one field each.
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].queue_cap = 8;
+  obs.nodes[0].stats.be_queue_hwm = 9;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].low_queue_cap = 4;
+  obs.nodes[0].stats.low_queue_hwm = 5;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].rel_window = 16;
+  obs.nodes[0].stats.rel_pending_hwm = 17;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].rel_backlog_cap = 32;
+  obs.nodes[0].stats.rel_backlog_hwm = 33;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+  obs = CleanObs();
+  obs.nodes[0].rel_reorder_cap = 64;
+  obs.nodes[0].stats.rel_reorder_hwm = 65;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadIgnoresHwmWhenCapUnconfigured) {
+  // cap 0 = unlimited: a high-water mark alone is not a violation.
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].stats.be_queue_hwm = 1000;
+  obs.nodes[0].stats.rel_pending_hwm = 1000;
+  EXPECT_TRUE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadFiresOnReliableShed) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].stats.shed_reliable = 1;  // the control plane must never shed
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadFiresOnUndrainedQueueAfterSettle) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].queue_depth = 3;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadFiresWhenStillDegradedAfterSettle) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].degraded = true;
+  obs.nodes[0].stats.degrade_enters = 1;
+  EXPECT_FALSE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadSkipsLivenessChecksOnDownNodes) {
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].queue_depth = 3;
+  obs.nodes[0].degraded = true;
+  obs.nodes[0].up = false;  // crashed: its queue and watchdog died with it
+  EXPECT_TRUE(RunOne("overload", obs).empty());
+}
+
+TEST(OracleTest, OverloadAcceptsSheddingWithinBudgets) {
+  // Best-effort shedding under a respected cap is the mechanism working, not a
+  // violation — only bound overflow, reliable shed, or failed restore fire.
+  FleetObservation obs = CleanObs();
+  obs.nodes[0].queue_cap = 8;
+  obs.nodes[0].stats.be_queue_hwm = 8;
+  obs.nodes[0].stats.shed_besteffort = 500;
+  obs.nodes[0].stats.shed_low = 50;
+  obs.nodes[0].stats.degrade_enters = 2;
+  obs.nodes[0].stats.degrade_exits = 2;
+  EXPECT_TRUE(RunOne("overload", obs).empty());
+}
+
 TEST(OracleTest, BrokenCrashOracleFiresOnlyOnCrashes) {
   FleetObservation obs = CleanObs();
   std::vector<Violation> out;

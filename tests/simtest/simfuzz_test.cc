@@ -68,6 +68,27 @@ TEST(SimFuzzTest, ScenarioRoundTripIsLossless) {
   }
 }
 
+// The limits ablation renders the `limits=on` header flag plus the canonical
+// budget line, parses back, and stays byte-identical; with limits off the
+// rendered text carries no trace of the knob, so pre-existing scenario files
+// are untouched by this feature.
+TEST(SimFuzzTest, LimitsAblationRoundTripsInScenarioForm) {
+  Schedule schedule = GenerateSchedule(6, FuzzProfile::Faulty());
+  Ablation limits;
+  limits.overload_limits = true;
+  std::string text = ScheduleToScenario(schedule, limits);
+  EXPECT_NE(text.find(" limits=on"), std::string::npos);
+  EXPECT_NE(text.find(kFuzzLimitsLine), std::string::npos);
+
+  Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(ScenarioToSchedule(text, &parsed, &error)) << error;
+  EXPECT_EQ(ScheduleToScenario(parsed, limits), text);
+
+  std::string off = ScheduleToScenario(schedule);
+  EXPECT_EQ(off.find("limits"), std::string::npos);
+}
+
 TEST(SimFuzzTest, NonCanonicalScenarioIsRejectedByParser) {
   Schedule schedule = GenerateSchedule(1, FuzzProfile::Quiet());
   std::string text = ScheduleToScenario(schedule) + "stats\n";

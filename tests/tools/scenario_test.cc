@@ -291,6 +291,44 @@ TEST_F(ScenarioTest, NodeAblationOptionsParse) {
   EXPECT_NE(error.find("indexes must be on|off"), std::string::npos) << error;
 }
 
+TEST_F(ScenarioTest, LimitsDirectiveCapsNodesCreatedAfterIt) {
+  // `limits` configures admission caps for subsequently-created nodes; a kick
+  // joining a 6-row table emits 6 best-effort deliveries in one cascade, so a
+  // queue cap of 2 admits exactly 2.
+  const char* script = R"(
+limits queue=2
+node a
+inline a materialize(item, infinity, 100, keys(1,2)).
+inline a materialize(out, infinity, 100, keys(1,2)).
+inline a r1 out@N(X) :- kick@N(), item@N(X).
+inject a item(a, 1)
+inject a item(a, 2)
+inject a item(a, 3)
+inject a item(a, 4)
+inject a item(a, 5)
+inject a item(a, 6)
+run 0.1
+inject a kick(a)
+run 0.5
+expect a out 2
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 1);
+}
+
+TEST_F(ScenarioTest, LimitsDirectiveRejectsMalformedOptions) {
+  auto fails = [](const std::string& script, const std::string& fragment) {
+    ScenarioRunner runner([](const std::string&) {});
+    std::string error;
+    EXPECT_FALSE(runner.RunScript(script, &error)) << script;
+    EXPECT_NE(error.find(fragment), std::string::npos) << error;
+  };
+  fails("limits\nnode a\n", "queue=<n>");
+  fails("limits frob=1\nnode a\n", "unknown limits option: frob");
+  fails("limits stretch=0.5\nnode a\n", "stretch must be >= 1");
+  fails("limits queue=many\nnode a\n", "queue");
+}
+
 TEST_F(ScenarioTest, MonitorsDirectiveInstallsRingChecksAndSnapshots) {
   const char* script = R"(
 node n0

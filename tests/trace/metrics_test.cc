@@ -241,6 +241,46 @@ TEST_F(NodeMetricsTest, SnapshotFlattensStatsRulesTablesHists) {
   EXPECT_GE(snap.hists[0].p99, snap.hists[0].p50);
 }
 
+// Satellite (docs/ROBUSTNESS.md): queue_hwm and the overload admission/shed
+// counters ride the same stats list, so every JSONL/CSV sink and sysStat row
+// carries them without further plumbing. Pinned here so the export schema cannot
+// silently lose them.
+TEST_F(NodeMetricsTest, SnapshotCarriesQueueHwmAndOverloadCounters) {
+  NodeOptions opts;
+  opts.metrics = true;
+  opts.queue_cap = 2;
+  Node* node = net_.AddNode("n1", opts);
+  std::string error;
+  ASSERT_TRUE(node->LoadProgram("materialize(item, infinity, 100, keys(1,2)).\n"
+                                "r1 out@N(X) :- kick@N(), item@N(X).",
+                                &error))
+      << error;
+  for (int i = 0; i < 5; ++i) {
+    node->InjectEvent(Tuple::Make("item", {Value::Str("n1"), Value::Int(i)}));
+  }
+  node->InjectEvent(Tuple::Make("kick", {Value::Str("n1")}));
+  net_.RunFor(0.5);
+
+  MetricsSnapshot snap = SnapshotNodeMetrics(node);
+  auto stat = [&](const std::string& name) -> int64_t {
+    for (const auto& [k, v] : snap.stats) {
+      if (k == name) {
+        return v;
+      }
+    }
+    return -1;
+  };
+  EXPECT_GE(stat("queue_hwm"), 2);
+  EXPECT_EQ(stat("shed_besteffort"), 3);  // 5 offered against a 2-entry cap
+  EXPECT_EQ(stat("admitted_besteffort"),
+            static_cast<int64_t>(node->stats().admitted_besteffort));
+  EXPECT_EQ(stat("shed_reliable"), 0);
+  EXPECT_EQ(stat("be_queue_hwm"), 2);
+  EXPECT_EQ(stat("degraded"), 0);
+  EXPECT_NE(stat("rel_reorder_dropped"), -1);
+  EXPECT_NE(stat("degrade_exits"), -1);
+}
+
 // The tuple_store_size stat gauges the trace TupleStore's interned-tuple count: 0
 // with tracing off (nothing memoized), positive and tracking store().size() once
 // the tracer memoizes executions.

@@ -59,6 +59,55 @@ TEST_F(SysStatTest, SysStatPopulatesOnFirstSweep) {
   EXPECT_EQ(Stat("decode_errors"), 0);
 }
 
+// Satellite (docs/ROBUSTNESS.md): the queue high-water mark and the overload
+// admission/shed counters are part of the sysStat surface, queryable from OverLog
+// like any other telemetry row.
+TEST_F(SysStatTest, QueueHwmAndOverloadCountersAreSysStatRows) {
+  Load("materialize(item, infinity, 100, keys(1,2)).\n"
+       "r1 out@N(X) :- kick@N(), item@N(X).");
+  for (int i = 0; i < 5; ++i) {
+    node_->InjectEvent(Tuple::Make("item", {Value::Str("n1"), Value::Int(i)}));
+  }
+  node_->InjectEvent(Tuple::Make("kick", {Value::Str("n1")}));
+  net_.RunFor(1.2);
+  EXPECT_GE(Stat("queue_hwm"), 5) << "the fan-out cascade must register in the hwm";
+  // The overload surface: present with limits off, and all-zero shedding.
+  EXPECT_GE(Stat("admitted_besteffort"), 6);
+  EXPECT_EQ(Stat("shed_besteffort"), 0);
+  EXPECT_EQ(Stat("shed_low"), 0);
+  EXPECT_EQ(Stat("shed_reliable"), 0);
+  EXPECT_GE(Stat("be_queue_hwm"), 5);
+  EXPECT_EQ(Stat("degraded"), 0);
+  EXPECT_EQ(Stat("degrade_enters"), 0);
+}
+
+TEST_F(SysStatTest, SysOverloadStatReflectsShedding) {
+  NodeOptions opts;
+  opts.introspection = true;
+  opts.queue_cap = 2;
+  Node* capped = net_.AddNode("n2", opts);
+  std::string error;
+  ASSERT_TRUE(capped->LoadProgram("materialize(item, infinity, 100, keys(1,2)).\n"
+                                  "r1 out@N(X) :- kick@N(), item@N(X).",
+                                  &error))
+      << error;
+  for (int i = 0; i < 6; ++i) {
+    capped->InjectEvent(Tuple::Make("item", {Value::Str("n2"), Value::Int(i)}));
+  }
+  capped->InjectEvent(Tuple::Make("kick", {Value::Str("n2")}));
+  net_.RunFor(1.2);
+  // sysOverloadStat(NAddr, Class, Admitted, Shed, QueueDepth, InFlight, Degraded)
+  bool saw = false;
+  for (const TupleRef& t : capped->TableContents("sysOverloadStat")) {
+    if (t->field(1) == Value::Str("besteffort")) {
+      saw = true;
+      EXPECT_EQ(t->field(3).AsInt(), 4);  // 6 offered - 2 admitted
+      EXPECT_EQ(t->field(6).AsInt(), 0);
+    }
+  }
+  EXPECT_TRUE(saw) << "shedding must surface in sysOverloadStat";
+}
+
 TEST_F(SysStatTest, SysRuleStatReflectsExecsBusyEmits) {
   Load("r1 out@N(X) :- in@N(X).");
   for (int i = 0; i < 5; ++i) {
