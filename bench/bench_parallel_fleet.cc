@@ -25,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "src/mon/consistency.h"
 #include "src/mon/ring_checks.h"
+#include "src/runtime/arena.h"
 
 namespace p2 {
 namespace {
@@ -37,17 +38,36 @@ struct ShardRow {
   double modeled_speedup = 1;    // busy / critical path
   uint64_t windows = 0;
   uint64_t cross_shard_msgs = 0;
+  // Fresh heap megabytes obtained by the tuple arena per simulated second of the
+  // measurement window. TupleArena::FreshBytes is a process-global counter that
+  // every thread feeds (including the K=1 single-threaded run — the old window
+  // counter this column carried was 0 at K=1), so the column is live at every K.
+  // With arenas on this is the steady-state recycler miss rate; with arenas off
+  // it is the raw allocation churn of the engine.
+  double alloc_mb_per_s = 0;
   // Determinism columns — must match K=1 exactly.
   uint64_t tx_msgs = 0;
   uint64_t live_tuples = 0;
   int correct_succ = 0;
 };
 
+// Engine hot-path toggles (defaults mirror NodeOptions). --no-arenas /
+// --no-batch / --no-zerocopy reproduce the pre-optimization engine so the
+// before/after artifacts come from one binary on one machine.
+struct HotPathToggles {
+  bool tuple_arenas = true;
+  bool batch_deltas = true;
+  bool zero_copy_decode = true;
+};
+
 ShardRow RunFleet(int shards, int num_nodes, double measure_secs, double stagger,
-                  double settle_secs) {
+                  double settle_secs, const HotPathToggles& hot) {
   TestbedConfig cfg;
   cfg.num_nodes = num_nodes;
   cfg.fleet.shards = shards;
+  cfg.fleet.node_defaults.tuple_arenas = hot.tuple_arenas;
+  cfg.fleet.node_defaults.batch_deltas = hot.batch_deltas;
+  cfg.fleet.node_defaults.zero_copy_decode = hot.zero_copy_decode;
   // 50 ms one-way latency (a WAN-ish RTT of 100 ms): the conservative lookahead
   // equals the latency, so this is also the parallel window width. Narrower windows
   // shrink the per-window event population and with it the achievable overlap.
@@ -110,10 +130,12 @@ ShardRow RunFleet(int shards, int num_nodes, double measure_secs, double stagger
     xmsgs0 += s.sent_cross_shard;
   }
 
+  uint64_t fresh0 = TupleArena::FreshBytes();
   auto start = std::chrono::steady_clock::now();
   bed.Run(measure_secs);
   double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  uint64_t fresh1 = TupleArena::FreshBytes();
 
   ShardRow row;
   row.shards = bed.network().shard_count();
@@ -131,6 +153,8 @@ ShardRow RunFleet(int shards, int num_nodes, double measure_secs, double stagger
   row.cross_shard_msgs = xmsgs1 - xmsgs0;
   row.modeled_speedup =
       row.critical_path_secs > 0 ? row.busy_secs / row.critical_path_secs : 1;
+  row.alloc_mb_per_s =
+      static_cast<double>(fresh1 - fresh0) / 1e6 / measure_secs;
   row.tx_msgs = bed.network().total_msgs() - tx0;
   for (Node* node : bed.nodes()) {
     row.live_tuples += node->catalog().TotalRows(bed.network().Now());
@@ -139,30 +163,35 @@ ShardRow RunFleet(int shards, int num_nodes, double measure_secs, double stagger
   return row;
 }
 
-void Main(int num_nodes, double measure_secs, double stagger, double settle) {
-  printf("=== parallel fleet scaling: %d-node monitored Chord, %g s window ===\n",
-         num_nodes, measure_secs);
-  printf("%-7s %10s %13s %10s %9s %9s %10s %12s %12s %9s\n", "shards", "wall(s)",
-         "critpath(s)", "busy(s)", "modeled", "windows", "xmsgs", "tx-msgs",
-         "live-tuples", "succ-ok");
+void Main(int num_nodes, double measure_secs, double stagger, double settle,
+          const HotPathToggles& hot) {
+  printf("=== parallel fleet scaling: %d-node monitored Chord, %g s window "
+         "(arenas=%s batch=%s zerocopy=%s) ===\n",
+         num_nodes, measure_secs, hot.tuple_arenas ? "on" : "off",
+         hot.batch_deltas ? "on" : "off", hot.zero_copy_decode ? "on" : "off");
+  printf("%-7s %10s %13s %10s %9s %9s %10s %10s %12s %12s %9s\n", "shards",
+         "wall(s)", "critpath(s)", "busy(s)", "modeled", "windows", "xmsgs",
+         "alloc-MB/s", "tx-msgs", "live-tuples", "succ-ok");
   BenchArtifact artifact("parallel_fleet");
   std::vector<ShardRow> rows;
   for (int shards : {1, 2, 4, 8}) {
-    ShardRow r = RunFleet(shards, num_nodes, measure_secs, stagger, settle);
-    printf("%-7d %10.2f %13.3f %10.3f %8.2fx %9llu %10llu %12llu %12llu %6d/%d\n",
+    ShardRow r = RunFleet(shards, num_nodes, measure_secs, stagger, settle, hot);
+    printf("%-7d %10.2f %13.3f %10.3f %8.2fx %9llu %10llu %10.2f %12llu %12llu "
+           "%6d/%d\n",
            r.shards, r.wall_secs, r.critical_path_secs, r.busy_secs,
            r.modeled_speedup, static_cast<unsigned long long>(r.windows),
-           static_cast<unsigned long long>(r.cross_shard_msgs),
+           static_cast<unsigned long long>(r.cross_shard_msgs), r.alloc_mb_per_s,
            static_cast<unsigned long long>(r.tx_msgs),
            static_cast<unsigned long long>(r.live_tuples), r.correct_succ, num_nodes);
     // Artifact mapping (p2mon-bench-v1 fixed schema): cpu_ms_per_s carries the wall
     // clock in ms, cpu_pct the modeled speedup, memory_mb the critical path in
-    // seconds, alloc_mb_per_s the window count; live_tuples/tx_msgs are themselves.
+    // seconds, alloc_mb_per_s the arena fresh-allocation rate (MB per simulated
+    // second); live_tuples/tx_msgs are themselves.
     WindowMetrics m;
     m.cpu_ms_per_s = r.wall_secs * 1000.0;
     m.cpu_pct = r.modeled_speedup;
     m.memory_mb = r.critical_path_secs;
-    m.alloc_mb_per_s = static_cast<double>(r.windows);
+    m.alloc_mb_per_s = r.alloc_mb_per_s;
     m.live_tuples = static_cast<double>(r.live_tuples);
     m.tx_msgs = static_cast<double>(r.tx_msgs);
     artifact.Add("shards", std::to_string(shards), shards, m);
@@ -198,6 +227,7 @@ int main(int argc, char** argv) {
   double measure = 30.0;
   double stagger = 0.25;
   double settle = 120.0;
+  p2::HotPathToggles hot;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
       nodes = std::atoi(argv[++i]);
@@ -207,13 +237,20 @@ int main(int argc, char** argv) {
       stagger = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--settle") == 0 && i + 1 < argc) {
       settle = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-arenas") == 0) {
+      hot.tuple_arenas = false;
+    } else if (std::strcmp(argv[i], "--no-batch") == 0) {
+      hot.batch_deltas = false;
+    } else if (std::strcmp(argv[i], "--no-zerocopy") == 0) {
+      hot.zero_copy_decode = false;
     } else {
       fprintf(stderr,
               "usage: bench_parallel_fleet [--nodes N] [--measure SECS] "
-              "[--stagger SECS] [--settle SECS]\n");
+              "[--stagger SECS] [--settle SECS] "
+              "[--no-arenas] [--no-batch] [--no-zerocopy]\n");
       return 2;
     }
   }
-  p2::Main(nodes, measure, stagger, settle);
+  p2::Main(nodes, measure, stagger, settle, hot);
   return 0;
 }

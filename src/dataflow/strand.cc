@@ -107,6 +107,8 @@ Strand::Strand(Node* node, const Rule* rule, const Predicate* trigger,
 }
 
 void Strand::Trigger(const TupleRef& event) {
+  // One context for the whole synchronous execution: virtual time cannot advance
+  // mid-strand, so every branch of the join tree sees the same `now` it always did.
   EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
   Bindings binds;
   if (!MatchPredicate(*trigger_, *event, &binds, ctx)) {
@@ -115,31 +117,30 @@ void Strand::Trigger(const TupleRef& event) {
   node_->tracer().OnInput(trace_target_, event, ctx.now);
   Bindings trigger_binds = binds;  // for zero-count aggregate emission
   batch_.clear();
-  RunOps(0, binds);
+  RunOps(0, binds, ctx);
   if (has_agg_) {
-    EmitAggregates(trigger_binds);
+    EmitAggregates(trigger_binds, ctx);
     batch_.clear();
   }
 }
 
-void Strand::RunOps(size_t op_index, Bindings& binds) {
+void Strand::RunOps(size_t op_index, Bindings& binds, EvalContext& ctx) {
   if (op_index == ops_.size()) {
-    EmitLeaf(binds);
+    EmitLeaf(binds, ctx);
     return;
   }
   const StrandOp& op = ops_[op_index];
-  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
   switch (op.kind) {
     case StrandOp::Kind::kAssign: {
       size_t mark = binds.size();
       binds.Set(*op.var, EvalExpr(*op.expr, binds, ctx));
-      RunOps(op_index + 1, binds);
+      RunOps(op_index + 1, binds, ctx);
       binds.TruncateTo(mark);
       return;
     }
     case StrandOp::Kind::kFilter: {
       if (EvalExpr(*op.expr, binds, ctx).Truthy()) {
-        RunOps(op_index + 1, binds);
+        RunOps(op_index + 1, binds, ctx);
       }
       return;
     }
@@ -165,7 +166,7 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
         }
       }
       if (!exists) {
-        RunOps(op_index + 1, binds);
+        RunOps(op_index + 1, binds, ctx);
       }
       return;
     }
@@ -192,7 +193,7 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
           size_t mark = binds.size();
           if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
             tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
-            RunOps(op_index + 1, binds);
+            RunOps(op_index + 1, binds, ctx);
           }
           binds.TruncateTo(mark);
         }
@@ -203,7 +204,7 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
         size_t mark = binds.size();
         if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
           tracer.OnPrecondition(trace_target_, op.stage, row, ctx.now);
-          RunOps(op_index + 1, binds);
+          RunOps(op_index + 1, binds, ctx);
         }
         binds.TruncateTo(mark);
         return true;
@@ -226,16 +227,16 @@ void Strand::RunOps(size_t op_index, Bindings& binds) {
   }
 }
 
-void Strand::EmitLeaf(const Bindings& binds) {
+void Strand::EmitLeaf(const Bindings& binds, EvalContext& ctx) {
   if (has_agg_) {
     batch_.push_back(binds);
     return;
   }
-  EmitHeadTuple(binds, nullptr);
+  EmitHeadTuple(binds, nullptr, ctx);
 }
 
-void Strand::EmitHeadTuple(const Bindings& binds, const Value* agg_result) {
-  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+void Strand::EmitHeadTuple(const Bindings& binds, const Value* agg_result,
+                           EvalContext& ctx) {
   const Head& head = rule_->head;
   ValueList fields;
   fields.reserve(head.args.size());
@@ -268,8 +269,7 @@ void Strand::EmitHeadTuple(const Bindings& binds, const Value* agg_result) {
   node_->RouteTuple(out, rule_->is_delete, mask);
 }
 
-void Strand::EmitAggregates(const Bindings& trigger_binds) {
-  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+void Strand::EmitAggregates(const Bindings& trigger_binds, EvalContext& ctx) {
   const Head& head = rule_->head;
   GroupedAggregate groups(agg_kind_);
   for (const Bindings& binds : batch_) {
@@ -364,8 +364,8 @@ std::vector<std::string> ContinuousAggRule::BodyTableNames() const {
   return names;
 }
 
-ValueList ContinuousAggRule::GroupKey(const Bindings& binds, bool* ok) {
-  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+ValueList ContinuousAggRule::GroupKey(const Bindings& binds, bool* ok,
+                                      EvalContext& ctx) {
   ValueList key;
   *ok = true;
   for (size_t i = 0; i < rule_->head.args.size(); ++i) {
@@ -382,11 +382,11 @@ ValueList ContinuousAggRule::GroupKey(const Bindings& binds, bool* ok) {
   return key;
 }
 
-void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups) {
-  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
+void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups,
+                                EvalContext& ctx) {
   if (op_index == ops_.size()) {
     bool ok = false;
-    ValueList key = GroupKey(binds, &ok);
+    ValueList key = GroupKey(binds, &ok, ctx);
     if (ok) {
       Value input = agg_expr_ != nullptr ? EvalExpr(*agg_expr_, binds, ctx) : Value::Null();
       groups->Add(key, input);
@@ -398,13 +398,13 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
     case StrandOp::Kind::kAssign: {
       size_t mark = binds.size();
       binds.Set(*op.var, EvalExpr(*op.expr, binds, ctx));
-      Recurse(op_index + 1, binds, groups);
+      Recurse(op_index + 1, binds, groups, ctx);
       binds.TruncateTo(mark);
       return;
     }
     case StrandOp::Kind::kFilter: {
       if (EvalExpr(*op.expr, binds, ctx).Truthy()) {
-        Recurse(op_index + 1, binds, groups);
+        Recurse(op_index + 1, binds, groups, ctx);
       }
       return;
     }
@@ -430,7 +430,7 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
         }
       }
       if (!exists) {
-        Recurse(op_index + 1, binds, groups);
+        Recurse(op_index + 1, binds, groups, ctx);
       }
       return;
     }
@@ -448,7 +448,7 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
           }
           size_t mark = binds.size();
           if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
-            Recurse(op_index + 1, binds, groups);
+            Recurse(op_index + 1, binds, groups, ctx);
           }
           binds.TruncateTo(mark);
         }
@@ -457,7 +457,7 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
       auto visit = [&](const TupleRef& row) {
         size_t mark = binds.size();
         if (MatchPredicate(*op.pred, *row, &binds, ctx)) {
-          Recurse(op_index + 1, binds, groups);
+          Recurse(op_index + 1, binds, groups, ctx);
         }
         binds.TruncateTo(mark);
         return true;
@@ -481,9 +481,10 @@ void ContinuousAggRule::Recurse(size_t op_index, Bindings& binds, GroupedAggrega
 
 void ContinuousAggRule::Reevaluate() {
   ++node_->stats().agg_reevals;
+  EvalContext ctx{node_->Now(), &node_->rng(), &node_->addr()};
   GroupedAggregate groups(agg_kind_);
   Bindings binds;
-  Recurse(0, binds, &groups);
+  Recurse(0, binds, &groups, ctx);
 
   auto emit = [&](const ValueList& key, const Value& result) {
     ValueList fields;

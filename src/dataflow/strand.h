@@ -90,10 +90,14 @@ class Strand {
   void set_metrics(RuleMetrics* m) { metrics_ = m; }
 
  private:
-  void RunOps(size_t op_index, Bindings& binds);
-  void EmitLeaf(const Bindings& binds);
-  void EmitHeadTuple(const Bindings& binds, const Value* agg_result);
-  void EmitAggregates(const Bindings& trigger_binds);
+  // The evaluation context (virtual now, rng, local address) is built once per
+  // Trigger and threaded through: strand execution is synchronous, so virtual time
+  // cannot advance mid-strand and rebuilding it per recursion level would only
+  // re-run the scheduler clock lookup on every join branch.
+  void RunOps(size_t op_index, Bindings& binds, EvalContext& ctx);
+  void EmitLeaf(const Bindings& binds, EvalContext& ctx);
+  void EmitHeadTuple(const Bindings& binds, const Value* agg_result, EvalContext& ctx);
+  void EmitAggregates(const Bindings& trigger_binds, EvalContext& ctx);
 
   Node* node_;
   const Rule* rule_;
@@ -138,8 +142,9 @@ class ContinuousAggRule {
   bool dirty = false;  // coalesces re-evaluation requests (managed by the node)
 
  private:
-  void Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups);
-  ValueList GroupKey(const Bindings& binds, bool* ok);
+  void Recurse(size_t op_index, Bindings& binds, GroupedAggregate* groups,
+               EvalContext& ctx);
+  ValueList GroupKey(const Bindings& binds, bool* ok, EvalContext& ctx);
 
   Node* node_;
   const Rule* rule_;

@@ -4,7 +4,7 @@
 
 namespace p2 {
 
-Value CallBuiltin(const std::string& name, const std::vector<Value>& args, EvalContext& ctx) {
+Value CallBuiltin(const std::string& name, const ValueList& args, EvalContext& ctx) {
   if (name == "f_now") {
     return Value::Double(ctx.now);
   }

@@ -25,7 +25,7 @@
 namespace p2 {
 
 // Calls builtin `name` with `args`. Unknown names and arity mismatches return null.
-Value CallBuiltin(const std::string& name, const std::vector<Value>& args, EvalContext& ctx);
+Value CallBuiltin(const std::string& name, const ValueList& args, EvalContext& ctx);
 
 // True if `name` is a known builtin (for plan-time validation).
 bool IsKnownBuiltin(const std::string& name);

@@ -87,7 +87,7 @@ Value EvalExpr(const Expr& expr, const Bindings& binds, EvalContext& ctx) {
       }
     }
     case Expr::Kind::kCall: {
-      std::vector<Value> args;
+      ValueList args;
       args.reserve(expr.children.size());
       for (const ExprPtr& c : expr.children) {
         args.push_back(EvalExpr(*c, binds, ctx));

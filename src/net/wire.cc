@@ -277,4 +277,196 @@ bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out) {
   return pos == bytes.size();
 }
 
+// ---- fast-path decoder ------------------------------------------------------
+//
+// Mirrors DecodeEnvelope exactly (same caps, same acceptance set, same outputs)
+// over a raw [p, end) cursor. Every length check is against the remaining span
+// once, and decoded values are built in place in their final storage.
+
+namespace {
+
+struct Cursor {
+  const char* p;
+  const char* end;
+  size_t remaining() const { return static_cast<size_t>(end - p); }
+};
+
+bool ReadU8(Cursor* c, uint8_t* v) {
+  if (c->remaining() < 1) {
+    return false;
+  }
+  *v = static_cast<uint8_t>(*c->p);
+  c->p += 1;
+  return true;
+}
+
+bool ReadU32(Cursor* c, uint32_t* v) {
+  if (c->remaining() < 4) {
+    return false;
+  }
+  std::memcpy(v, c->p, 4);
+  c->p += 4;
+  return true;
+}
+
+bool ReadU64(Cursor* c, uint64_t* v) {
+  if (c->remaining() < 8) {
+    return false;
+  }
+  std::memcpy(v, c->p, 8);
+  c->p += 8;
+  return true;
+}
+
+bool ReadF64(Cursor* c, double* v) {
+  if (c->remaining() < 8) {
+    return false;
+  }
+  std::memcpy(v, c->p, 8);
+  c->p += 8;
+  return true;
+}
+
+bool ReadStr(Cursor* c, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadU32(c, &len) || c->remaining() < len) {
+    return false;
+  }
+  s->assign(c->p, len);
+  c->p += len;
+  return true;
+}
+
+// Decodes one value directly into `out` (typically a freshly default-constructed
+// element already sitting in the tuple's field vector).
+bool DecodeValueInto(Cursor* c, Value* out) {
+  uint8_t tag = 0;
+  if (!ReadU8(c, &tag)) {
+    return false;
+  }
+  switch (static_cast<Value::Kind>(tag)) {
+    case Value::Kind::kNull:
+      *out = Value::Null();
+      return true;
+    case Value::Kind::kBool: {
+      uint8_t b = 0;
+      if (!ReadU8(c, &b)) {
+        return false;
+      }
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case Value::Kind::kInt: {
+      uint64_t u = 0;
+      if (!ReadU64(c, &u)) {
+        return false;
+      }
+      *out = Value::Int(static_cast<int64_t>(u));
+      return true;
+    }
+    case Value::Kind::kId: {
+      uint64_t u = 0;
+      if (!ReadU64(c, &u)) {
+        return false;
+      }
+      *out = Value::Id(u);
+      return true;
+    }
+    case Value::Kind::kDouble: {
+      double d = 0;
+      if (!ReadF64(c, &d)) {
+        return false;
+      }
+      *out = Value::Double(d);
+      return true;
+    }
+    case Value::Kind::kString: {
+      uint32_t len = 0;
+      if (!ReadU32(c, &len) || c->remaining() < len) {
+        return false;
+      }
+      // One copy, wire buffer -> final string (inline when it fits SSO).
+      *out = Value::Str(std::string(c->p, len));
+      c->p += len;
+      return true;
+    }
+    case Value::Kind::kList: {
+      uint32_t n = 0;
+      if (!ReadU32(c, &n)) {
+        return false;
+      }
+      // Same cap as the legacy decoder.
+      if (n > 1u << 20) {
+        return false;
+      }
+      ValueList items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        items.emplace_back();
+        if (!DecodeValueInto(c, &items.back())) {
+          return false;
+        }
+      }
+      *out = Value::List(std::move(items));
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DecodeTupleFast(Cursor* c, TupleRef* out) {
+  uint32_t name_len = 0;
+  if (!ReadU32(c, &name_len) || c->remaining() < name_len) {
+    return false;
+  }
+  std::string name(c->p, name_len);
+  c->p += name_len;
+  uint32_t arity = 0;
+  if (!ReadU32(c, &arity) || arity > 1u << 16) {
+    return false;
+  }
+  // Exact reserve: this vector is the row payload the receiver's table (and
+  // the tracer's memo) will share — it is never re-grown or copied again.
+  ValueList fields;
+  fields.reserve(arity);
+  for (uint32_t i = 0; i < arity; ++i) {
+    fields.emplace_back();
+    if (!DecodeValueInto(c, &fields.back())) {
+      return false;
+    }
+  }
+  *out = Tuple::Make(std::move(name), std::move(fields));
+  return true;
+}
+
+}  // namespace
+
+bool DecodeEnvelopeFast(const std::string& bytes, WireEnvelope* out) {
+  Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  uint8_t flags = 0;
+  if (!ReadU8(&c, &flags) || !ReadU64(&c, &out->src_tuple_id) ||
+      !ReadU64(&c, &out->bound_mask) || !ReadStr(&c, &out->src_addr)) {
+    return false;
+  }
+  out->is_delete = (flags & 1) != 0;
+  out->reliable = (flags & 2) != 0;
+  out->is_ack = (flags & 4) != 0;
+  if ((out->reliable || out->is_ack) && !ReadU64(&c, &out->epoch)) {
+    return false;
+  }
+  if (out->reliable && !ReadU64(&c, &out->seq)) {
+    return false;
+  }
+  if (out->is_ack) {
+    if (!ReadU64(&c, &out->ack_seq)) {
+      return false;
+    }
+    out->tuple = TupleRef();
+  } else if (!DecodeTupleFast(&c, &out->tuple)) {
+    return false;
+  }
+  // Reject trailing bytes, exactly like the legacy decoder.
+  return c.p == c.end;
+}
+
 }  // namespace p2

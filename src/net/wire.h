@@ -60,6 +60,17 @@ bool DecodeTuple(const std::string& in, size_t* pos, TupleRef* out);
 std::string EncodeEnvelope(const WireEnvelope& env);
 bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out);
 
+// Fast-path envelope decoder (NodeOptions::zero_copy_decode): accepts exactly
+// the same byte strings as DecodeEnvelope and produces an identical envelope.
+// The difference is mechanical, not semantic — a single raw-pointer cursor
+// instead of (buffer, index) pairs re-checking the buffer size per read, and
+// values materialized in place inside the tuple's exact-reserved, arena-backed
+// field vector (the same storage the receiver's table row will share), with
+// string payloads copied exactly once from the wire buffer into their final,
+// often SSO-inline, resting place. The legacy decoder is kept alongside so the
+// decode-equivalence suite can diff the two on every input.
+bool DecodeEnvelopeFast(const std::string& bytes, WireEnvelope* out);
+
 }  // namespace p2
 
 #endif  // SRC_NET_WIRE_H_

@@ -161,7 +161,7 @@ void Table::EvictOverflow() {
   }
 }
 
-size_t Table::DeleteMatching(const std::vector<Value>& pattern,
+size_t Table::DeleteMatching(const ValueList& pattern,
                              const std::vector<bool>& bound, double now) {
   ExpireStale(now);
   size_t deleted = 0;

@@ -85,7 +85,7 @@ class Table {
   // Deletes all rows matching `pattern`: a row matches when every non-null pattern
   // position equals the corresponding field. Returns the number of rows deleted.
   // Positions beyond the row's arity are ignored.
-  size_t DeleteMatching(const std::vector<Value>& pattern,
+  size_t DeleteMatching(const ValueList& pattern,
                         const std::vector<bool>& bound, double now);
 
   // Purges rows whose lifetime has passed; fires kExpire for each. Returns count.

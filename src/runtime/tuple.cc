@@ -27,7 +27,11 @@ Tuple::~Tuple() {
 }
 
 TupleRef Tuple::Make(std::string name, ValueList fields) {
-  return std::make_shared<const Tuple>(std::move(name), std::move(fields));
+  // One arena block carries the control block and the Tuple (allocate_shared), and
+  // the moved-in ValueList buffer is arena-backed too — a dropped tuple returns its
+  // whole storage to the thread's free lists for the next derivation to reuse.
+  return std::allocate_shared<const Tuple>(ArenaAllocator<Tuple>(), std::move(name),
+                                           std::move(fields));
 }
 
 const std::string& Tuple::LocationSpecifier() const {

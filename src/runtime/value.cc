@@ -53,15 +53,19 @@ Value Value::Double(double d) {
 
 Value Value::Str(std::string s) {
   Value v;
+  new (&v.s_) std::string(std::move(s));
   v.kind_ = Kind::kString;
-  v.s_ = std::make_shared<const std::string>(std::move(s));
   return v;
 }
 
 Value Value::List(ValueList items) {
   Value v;
+  // The control block and the vector object recycle through the tuple arena like
+  // everything else tuple-shaped; the element buffer already does (ValueList).
+  new (&v.l_) std::shared_ptr<const ValueList>(
+      std::allocate_shared<const ValueList>(ArenaAllocator<ValueList>(),
+                                            std::move(items)));
   v.kind_ = Kind::kList;
-  v.l_ = std::make_shared<const ValueList>(std::move(items));
   return v;
 }
 
@@ -97,7 +101,7 @@ const std::string& Value::AsString() const {
   if (kind_ != Kind::kString) {
     BadAccess("AsString");
   }
-  return *s_;
+  return s_;
 }
 
 const ValueList& Value::AsList() const {
@@ -165,7 +169,7 @@ bool Value::Truthy() const {
     case Kind::kDouble:
       return d_ != 0;
     case Kind::kString:
-      return !s_->empty();
+      return !s_.empty();
     case Kind::kList:
       return !l_->empty();
   }
@@ -206,8 +210,10 @@ int Value::Compare(const Value& other) const {
       return 0;
     case Kind::kBool:
       return b_ == other.b_ ? 0 : (b_ ? 1 : -1);
-    case Kind::kString:
-      return s_->compare(*other.s_) < 0 ? -1 : (*s_ == *other.s_ ? 0 : 1);
+    case Kind::kString: {
+      int c = s_.compare(other.s_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
     case Kind::kList: {
       const ValueList& a = *l_;
       const ValueList& b = *other.l_;
@@ -383,7 +389,7 @@ std::string Value::ToString() const {
       return s;
     }
     case Kind::kString:
-      return *s_;
+      return s_;
     case Kind::kList: {
       std::string out = "[";
       for (size_t i = 0; i < l_->size(); ++i) {
@@ -422,7 +428,7 @@ size_t Value::Hash() const {
     case Kind::kNull:
       return 0x9e3779b9;
     case Kind::kString:
-      return mix(0x5bd1e995, std::hash<std::string>()(*s_));
+      return mix(0x5bd1e995, std::hash<std::string>()(s_));
     case Kind::kList: {
       size_t h = 0x27d4eb2f;
       for (const Value& v : *l_) {
@@ -438,7 +444,7 @@ size_t Value::Hash() const {
 size_t Value::ByteSize() const {
   size_t base = sizeof(Value);
   if (kind_ == Kind::kString) {
-    base += s_->size();
+    base += s_.size();
   } else if (kind_ == Kind::kList) {
     for (const Value& v : *l_) {
       base += v.ByteSize();

@@ -10,19 +10,29 @@
 //  * String + anything      -> concatenation of printed forms (used by the paper's
 //                              snapshot rules to build composite keys, e.g. Remote + E).
 //  * `X in (A, B]`          -> ring-interval membership for Ids, linear for numbers.
+//
+// Storage is a real union: the numeric kinds share one word, strings live inline by
+// value (short strings — node addresses, rule ids, state labels — stay in the small-
+// string buffer and never touch the heap), and only lists indirect through a shared
+// pointer. ValueList element buffers come from the tuple arena (src/runtime/arena.h),
+// so field vectors recycle instead of churning the heap.
 
 #ifndef SRC_RUNTIME_VALUE_H_
 #define SRC_RUNTIME_VALUE_H_
 
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/runtime/arena.h"
 
 namespace p2 {
 
 class Value;
-using ValueList = std::vector<Value>;
+using ValueList = std::vector<Value, ArenaAllocator<Value>>;
 
 class Value {
  public:
@@ -37,7 +47,25 @@ class Value {
   };
 
   // Constructors. The default value is null.
-  Value() : kind_(Kind::kNull) {}
+  Value() : kind_(Kind::kNull), u_(0) {}
+  Value(const Value& other) { CopyFrom(other); }
+  Value(Value&& other) noexcept { MoveFrom(std::move(other)); }
+  Value& operator=(const Value& other) {
+    if (this != &other) {
+      Destroy();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~Value() { Destroy(); }
+
   static Value Null() { return Value(); }
   static Value Bool(bool b);
   static Value Int(int64_t v);
@@ -101,13 +129,80 @@ class Value {
   size_t ByteSize() const;
 
  private:
+  void Destroy() {
+    if (kind_ == Kind::kString) {
+      s_.~basic_string();
+    } else if (kind_ == Kind::kList) {
+      l_.~shared_ptr();
+    }
+  }
+  void CopyFrom(const Value& other) {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kNull:
+        u_ = 0;
+        break;
+      case Kind::kBool:
+        b_ = other.b_;
+        break;
+      case Kind::kInt:
+        i_ = other.i_;
+        break;
+      case Kind::kId:
+        u_ = other.u_;
+        break;
+      case Kind::kDouble:
+        d_ = other.d_;
+        break;
+      case Kind::kString:
+        new (&s_) std::string(other.s_);
+        break;
+      case Kind::kList:
+        new (&l_) std::shared_ptr<const ValueList>(other.l_);
+        break;
+    }
+  }
+  // Leaves `other` null so its destructor has nothing to tear down.
+  void MoveFrom(Value&& other) noexcept {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kNull:
+        u_ = 0;
+        break;
+      case Kind::kBool:
+        b_ = other.b_;
+        break;
+      case Kind::kInt:
+        i_ = other.i_;
+        break;
+      case Kind::kId:
+        u_ = other.u_;
+        break;
+      case Kind::kDouble:
+        d_ = other.d_;
+        break;
+      case Kind::kString:
+        new (&s_) std::string(std::move(other.s_));
+        other.s_.~basic_string();
+        break;
+      case Kind::kList:
+        new (&l_) std::shared_ptr<const ValueList>(std::move(other.l_));
+        other.l_.~shared_ptr();
+        break;
+    }
+    other.kind_ = Kind::kNull;
+    other.u_ = 0;
+  }
+
   Kind kind_;
-  bool b_ = false;
-  int64_t i_ = 0;
-  uint64_t u_ = 0;
-  double d_ = 0;
-  std::shared_ptr<const std::string> s_;  // shared: values are copied freely
-  std::shared_ptr<const ValueList> l_;
+  union {
+    bool b_;
+    int64_t i_;
+    uint64_t u_;
+    double d_;
+    std::string s_;
+    std::shared_ptr<const ValueList> l_;
+  };
 };
 
 }  // namespace p2

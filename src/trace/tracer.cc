@@ -257,7 +257,7 @@ void Tracer::DropRef(uint64_t id, double now) {
   store_->Remove(id);
   if (tuple_table_ != nullptr) {
     // Delete the tupleTable row whose TupleID field (position 1) matches.
-    std::vector<Value> pattern = {Value::Null(), Value::Id(id)};
+    ValueList pattern = {Value::Null(), Value::Id(id)};
     std::vector<bool> bound = {false, true};
     tuple_table_->DeleteMatching(pattern, bound, now);
   }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <random>
@@ -225,6 +226,213 @@ TEST(JoinEquivalenceTest, ChordFleetWithMonitorsMatchesScanBaseline) {
   auto scanned = run(false, &indexes_off);
   EXPECT_EQ(indexes_off, 0u);
   ExpectSameDumps(indexed, scanned);
+}
+
+// ---- engine hot-path ablation matrix (docs/SCALING.md) ----
+//
+// Tuple arenas, batched delta propagation, and zero-copy wire decode are pure
+// mechanical optimizations: every cell of the on/off matrix must reproduce the
+// baseline bit-for-bit — table contents, ruleExec traces, and the deterministic
+// node counters. Unlike the scan-vs-index comparison above, the trace tables ARE
+// part of this contract (the toggles may not change what executed, only how fast).
+
+struct HotPathConfig {
+  bool arenas = true;
+  bool batch = true;
+  bool zerocopy = true;
+  std::string Label() const {
+    return std::string("arenas=") + (arenas ? "on" : "off") +
+           " batch=" + (batch ? "on" : "off") +
+           " zerocopy=" + (zerocopy ? "on" : "off");
+  }
+};
+
+// The sorted ruleExec rows: virtual-time stamps and tuple ids only, so they are
+// deterministic and must be identical across the matrix.
+std::vector<std::string> DumpTraces(Node* node) {
+  std::vector<std::string> rows;
+  for (const TupleRef& t : node->TableContents("ruleExec")) {
+    rows.push_back(t->ToString());
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+// The deterministic counter subset: everything event-count-shaped. Queue
+// high-water marks are excluded — batching legitimately pops a run before
+// processing it, so instantaneous depths differ even though the work is
+// identical.
+std::string CounterLine(Node* node) {
+  const NodeStats& s = node->stats();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "sent=%llu recv=%llu bsent=%llu brecv=%llu deliv=%llu trig=%llu "
+                "emit=%llu agg=%llu dead=%llu decerr=%llu expired=%llu",
+                (unsigned long long)s.msgs_sent, (unsigned long long)s.msgs_received,
+                (unsigned long long)s.bytes_sent,
+                (unsigned long long)s.bytes_received,
+                (unsigned long long)s.local_deliveries,
+                (unsigned long long)s.strand_triggers,
+                (unsigned long long)s.tuples_emitted,
+                (unsigned long long)s.agg_reevals,
+                (unsigned long long)s.dead_letters,
+                (unsigned long long)s.decode_errors,
+                (unsigned long long)s.tuples_expired);
+  return buf;
+}
+
+struct MatrixObservation {
+  std::map<std::string, std::vector<std::string>> tables;
+  std::map<std::string, std::vector<std::string>> traces;  // addr -> ruleExec rows
+  std::map<std::string, std::string> counters;             // addr -> counter line
+};
+
+void ExpectSameObservation(const HotPathConfig& cfg, const MatrixObservation& base,
+                           const MatrixObservation& got) {
+  ExpectSameDumps(base.tables, got.tables);
+  ASSERT_EQ(base.traces.size(), got.traces.size()) << cfg.Label();
+  for (const auto& [addr, rows] : base.traces) {
+    auto it = got.traces.find(addr);
+    ASSERT_NE(it, got.traces.end()) << cfg.Label() << " node " << addr;
+    EXPECT_EQ(rows, it->second)
+        << cfg.Label() << ": ruleExec trace diverged on " << addr;
+  }
+  for (const auto& [addr, line] : base.counters) {
+    auto it = got.counters.find(addr);
+    ASSERT_NE(it, got.counters.end()) << cfg.Label() << " node " << addr;
+    EXPECT_EQ(line, it->second)
+        << cfg.Label() << ": deterministic counters diverged on " << addr;
+  }
+}
+
+// The randomized single-node workload under every hot-path cell, with tracing on
+// so ruleExec rows join the contract. Zero-copy decode is exercised in the
+// multi-node test below (a single node never decodes a wire message).
+MatrixObservation RunWorkloadMatrixCell(const HotPathConfig& cfg) {
+  NetworkConfig net_cfg;
+  net_cfg.latency = 0.01;
+  net_cfg.jitter = 0.0;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.introspection = false;
+  opts.tracing = true;
+  opts.tuple_arenas = cfg.arenas;
+  opts.batch_deltas = cfg.batch;
+  opts.zero_copy_decode = cfg.zerocopy;
+  Node* n = net.AddNode("n1", opts);
+  std::string error;
+  EXPECT_TRUE(n->LoadProgram(kWorkload, ParamMap(), &error)) << error;
+  std::mt19937 rng(20260807);
+  auto pick = [&rng](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  const std::string addr = "n1";
+  for (int step = 0; step < 200; ++step) {
+    switch (pick(0, 5)) {
+      case 0:
+      case 1:
+        n->InjectEvent(Tuple::Make(
+            "kv", {Value::Str(addr), Value::Int(pick(0, 30)), Value::Int(pick(0, 12))}));
+        break;
+      case 2:
+        n->InjectEvent(Tuple::Make(
+            "tag", {Value::Str(addr), Value::Int(pick(0, 20)), Value::Int(pick(0, 12))}));
+        break;
+      case 3:
+      case 4:
+        n->InjectEvent(
+            Tuple::Make("probe", {Value::Str(addr), Value::Int(pick(0, 30))}));
+        break;
+      default:
+        n->InjectEvent(Tuple::Make("rake", {Value::Str(addr), Value::Int(pick(0, 12))}));
+        break;
+    }
+    net.RunFor(0.05);
+  }
+  net.RunFor(1.0);
+  MatrixObservation obs;
+  obs.tables = DumpTables(n);
+  obs.traces["n1"] = DumpTraces(n);
+  obs.counters["n1"] = CounterLine(n);
+  return obs;
+}
+
+TEST(HotPathAblationMatrixTest, EngineWorkloadIdenticalAcrossAllCells) {
+  MatrixObservation base = RunWorkloadMatrixCell(HotPathConfig{});
+  EXPECT_FALSE(base.tables["out"].empty());
+  EXPECT_FALSE(base.traces["n1"].empty());
+  for (bool arenas : {true, false}) {
+    for (bool batch : {true, false}) {
+      HotPathConfig cfg{arenas, batch, /*zerocopy=*/true};
+      if (arenas && batch) {
+        continue;  // the baseline itself
+      }
+      ExpectSameObservation(cfg, base, RunWorkloadMatrixCell(cfg));
+    }
+  }
+}
+
+// Multi-node: wire messages actually cross the codec, so the zero-copy decoder
+// joins the matrix. The path-vector program exercises lists and strings on the
+// wire; tracing stays on and the counter lines include msgs/bytes received.
+MatrixObservation RunPathVectorCell(const HotPathConfig& cfg) {
+  constexpr char kProgram[] = R"(
+    materialize(link, infinity, 20, keys(1, 2)).
+    materialize(path, infinity, 40, keys(1, 2, 3)).
+    p1 path@A(B, [B], W) :- link@A(B, W).
+    p2 path@B(C, [A] + P, W + Y) :- link@A(B, W), path@A(C, P, Y), f_size(P) < 3.
+  )";
+  NetworkConfig net_cfg;
+  net_cfg.latency = 0.01;
+  net_cfg.jitter = 0.0;
+  Network net(net_cfg);
+  NodeOptions opts;
+  opts.introspection = false;
+  opts.tracing = true;
+  opts.tuple_arenas = cfg.arenas;
+  opts.batch_deltas = cfg.batch;
+  opts.zero_copy_decode = cfg.zerocopy;
+  std::vector<Node*> nodes;
+  for (const char* addr : {"a", "b", "c"}) {
+    Node* n = net.AddNode(addr, opts);
+    std::string error;
+    EXPECT_TRUE(n->LoadProgram(kProgram, ParamMap(), &error)) << error;
+    nodes.push_back(n);
+  }
+  auto link = [](Node* n, const std::string& from, const std::string& to, int w) {
+    n->InjectEvent(
+        Tuple::Make("link", {Value::Str(from), Value::Str(to), Value::Int(w)}));
+  };
+  link(nodes[0], "a", "b", 1);
+  link(nodes[1], "b", "a", 1);
+  link(nodes[1], "b", "c", 2);
+  link(nodes[2], "c", "b", 2);
+  net.RunFor(5.0);
+  MatrixObservation obs;
+  for (Node* n : nodes) {
+    for (auto& [name, rows] : DumpTables(n)) {
+      obs.tables[n->addr() + "/" + name] = std::move(rows);
+    }
+    obs.traces[n->addr()] = DumpTraces(n);
+    obs.counters[n->addr()] = CounterLine(n);
+  }
+  return obs;
+}
+
+TEST(HotPathAblationMatrixTest, PathVectorIdenticalAcrossAllEightCells) {
+  MatrixObservation base = RunPathVectorCell(HotPathConfig{});
+  EXPECT_FALSE(base.tables["a/path"].empty());
+  for (bool arenas : {true, false}) {
+    for (bool batch : {true, false}) {
+      for (bool zerocopy : {true, false}) {
+        HotPathConfig cfg{arenas, batch, zerocopy};
+        if (arenas && batch && zerocopy) {
+          continue;  // the baseline itself
+        }
+        ExpectSameObservation(cfg, base, RunPathVectorCell(cfg));
+      }
+    }
+  }
 }
 
 }  // namespace

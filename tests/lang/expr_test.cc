@@ -93,7 +93,7 @@ TEST_F(ExprEvalTest, BuiltinMinMaxAbsSizeStr) {
 }
 
 TEST_F(ExprEvalTest, UnknownBuiltinIsNull) {
-  std::vector<Value> args;
+  ValueList args;
   EXPECT_TRUE(CallBuiltin("f_nope", args, ctx_).is_null());
   EXPECT_FALSE(IsKnownBuiltin("f_nope"));
   EXPECT_TRUE(IsKnownBuiltin("f_now"));

@@ -213,6 +213,73 @@ TEST(ShardEquivalenceTest, RandomizedShardSmokeSweep) {
   }
 }
 
+// ---- engine hot-path ablation matrix across shard counts (docs/SCALING.md) ----
+//
+// Tuple arenas and batched delta propagation are pure mechanical optimizations:
+// every (arenas, batch) cell at every shard count must reproduce the
+// all-defaults K=1 digests bit-for-bit — tables AND trace provenance AND the
+// deterministic counters. This is the strongest lockdown in the suite: one
+// baseline run, then a 2x2xK sweep where every cell (including the ones that
+// also flip zero-copy decode off via the scenario node lines) is compared
+// against that single baseline, not merely against its own K=1 twin.
+TEST(ShardEquivalenceTest, HotPathAblationMatrixMatchesBaselineAcrossShardCounts) {
+  simtest::FuzzProfile profile = simtest::FuzzProfile::Faulty();
+  simtest::RunResult base =
+      simtest::RunSchedule(simtest::GenerateSchedule(57, profile));
+  ASSERT_FALSE(base.failed()) << base.Summary();
+  for (bool arenas : {true, false}) {
+    for (bool batch : {true, false}) {
+      for (int shards : {1, 2, 4}) {
+        if (arenas && batch && shards == 1) {
+          continue;  // the baseline itself
+        }
+        simtest::SimFuzzOptions opts;
+        opts.ablation.tuple_arenas = arenas;
+        opts.ablation.batch_deltas = batch;
+        // Pair zero-copy with batching so the sweep covers decode ablation at
+        // every shard count without tripling the matrix.
+        opts.ablation.zero_copy_decode = batch;
+        simtest::FuzzProfile p = profile;
+        p.shards = shards;
+        simtest::RunResult run =
+            simtest::RunSchedule(simtest::GenerateSchedule(57, p), opts);
+        std::string label = StrFormat("arenas=%d batch=%d shards=%d", arenas ? 1 : 0,
+                                      batch ? 1 : 0, shards);
+        ASSERT_FALSE(run.failed()) << label << ": " << run.Summary();
+        EXPECT_EQ(run.total_msgs, base.total_msgs) << label;
+        EXPECT_EQ(run.table_digest, base.table_digest) << label;
+        EXPECT_EQ(run.full_digest, base.full_digest)
+            << label << " diverged at "
+            << FirstDiffLine(base.full_digest, run.full_digest);
+      }
+    }
+  }
+}
+
+// The hot-path toggles must survive the scenario round trip exactly like the
+// other ablation switches: rendered only when off, parsed back losslessly.
+TEST(ShardEquivalenceTest, ScheduleRoundTripCarriesHotPathToggles) {
+  simtest::FuzzProfile profile = simtest::FuzzProfile::Quiet();
+  simtest::Schedule schedule = simtest::GenerateSchedule(5, profile);
+  simtest::Ablation ablation;
+  ablation.tuple_arenas = false;
+  ablation.batch_deltas = false;
+  ablation.zero_copy_decode = false;
+  std::string text = simtest::ScheduleToScenario(schedule, ablation);
+  EXPECT_NE(text.find("arenas=off"), std::string::npos);
+  EXPECT_NE(text.find("batch=off"), std::string::npos);
+  EXPECT_NE(text.find("zerocopy=off"), std::string::npos);
+  simtest::Schedule parsed;
+  std::string error;
+  ASSERT_TRUE(simtest::ScenarioToSchedule(text, &parsed, &error)) << error;
+  // Defaults-on text must stay byte-identical to the pre-toggle rendering (the
+  // flags are append-only-when-off).
+  std::string defaults = simtest::ScheduleToScenario(schedule);
+  EXPECT_EQ(defaults.find("arenas="), std::string::npos);
+  EXPECT_EQ(defaults.find("batch="), std::string::npos);
+  EXPECT_EQ(defaults.find("zerocopy="), std::string::npos);
+}
+
 // The shards knob must survive the scenario round trip: render carries it in both
 // the profile header and the net line, and the parser restores it.
 TEST(ShardEquivalenceTest, ScheduleRoundTripCarriesShards) {

@@ -143,7 +143,7 @@ TEST(TableCountersTest, InsertRefreshDeleteExpireEvict) {
   EXPECT_EQ(table.counters().inserts, 3u);
   EXPECT_EQ(table.counters().evictions, 1u);
 
-  std::vector<Value> pattern = {Value(), Value::Int(3)};
+  ValueList pattern = {Value(), Value::Int(3)};
   std::vector<bool> bound = {false, true};
   EXPECT_EQ(table.DeleteMatching(pattern, bound, 2.0), 1u);
   EXPECT_EQ(table.counters().deletes, 1u);
