@@ -1,9 +1,10 @@
 // udp_live: the same engine and OverLog programs, running over REAL localhost UDP
 // sockets in wall-clock time (P2 was a deployable system, not just a simulator).
 //
-// Two Network instances stand in for two OS processes; they can only communicate
-// through the sockets. A two-node Chord ring forms in real seconds and the DHT layer
-// serves a put/get across the wire. Takes ~5 wall seconds.
+// Two Fleet instances with backend = kUdp stand in for two OS processes; they can
+// only communicate through the sockets (RegisterPeer plays the role of fleetd's
+// rendezvous exchange, docs/DEPLOYMENT.md). A two-node Chord ring forms in real
+// seconds and the DHT layer serves a put/get across the wire. Takes ~5 wall seconds.
 //
 // Usage:  ./build/examples/udp_live
 
@@ -15,31 +16,43 @@
 
 namespace {
 
-void PumpBoth(p2::UdpDriver* a, p2::UdpDriver* b, double wall_seconds) {
+void PumpBoth(p2::Fleet* a, p2::Fleet* b, double wall_seconds) {
   for (int i = 0; i < wall_seconds / 0.02; ++i) {
     a->RunFor(0.01);
     b->RunFor(0.01);
   }
 }
 
+p2::FleetConfig UdpConfig(uint64_t seed) {
+  p2::FleetConfig cfg;
+  cfg.backend = p2::FleetBackend::kUdp;
+  cfg.seed = seed;
+  cfg.node_defaults.introspection = false;
+  return cfg;
+}
+
 }  // namespace
 
 int main() {
-  p2::Network net_a;
-  p2::Network net_b;
-  p2::UdpDriver driver_a(&net_a);
-  p2::UdpDriver driver_b(&net_b);
-  p2::NodeOptions opts;
-  opts.introspection = false;
-  std::string error;
-  p2::Node* landmark = driver_a.CreateNode(0, opts, &error);
-  p2::Node* joiner = driver_b.CreateNode(0, opts, &error);
-  if (landmark == nullptr || joiner == nullptr) {
-    fprintf(stderr, "socket setup failed: %s\n", error.c_str());
+  p2::Fleet fleet_a(UdpConfig(1));
+  p2::Fleet fleet_b(UdpConfig(2));
+  p2::NodeHandle landmark = fleet_a.AddNode("landmark");
+  p2::NodeHandle joiner = fleet_b.AddNode("joiner");
+  if (!landmark.valid() || !joiner.valid()) {
+    fprintf(stderr, "socket setup failed\n");
     return 1;
   }
-  printf("landmark: %s\njoiner:   %s\n", landmark->addr().c_str(),
-         joiner->addr().c_str());
+  // Each process learns the other's name -> socket-address map (fleetd does this
+  // with a rendezvous exchange; here we just copy the maps across).
+  for (const auto& [name, addr] : fleet_a.udp()->LocalMap()) {
+    fleet_b.RegisterPeer(name, addr);
+  }
+  for (const auto& [name, addr] : fleet_b.udp()->LocalMap()) {
+    fleet_a.RegisterPeer(name, addr);
+  }
+  printf("landmark: %s (%s)\njoiner:   %s (%s)\n", landmark.addr().c_str(),
+         fleet_a.udp()->SocketAddrOf(landmark.addr()).c_str(), joiner.addr().c_str(),
+         fleet_b.udp()->SocketAddrOf(joiner.addr()).c_str());
 
   p2::ChordConfig fast;
   fast.stabilize_period = 0.2;
@@ -47,41 +60,44 @@ int main() {
   fast.finger_period = 0.4;
   fast.ping_timeout = 0.15;
   p2::ChordConfig joiner_cfg = fast;
-  joiner_cfg.landmark = landmark->addr();
-  if (!InstallChord(landmark, fast, &error) ||
-      !InstallChord(joiner, joiner_cfg, &error)) {
+  joiner_cfg.landmark = landmark.addr();
+  std::string error;
+  if (!InstallChord(landmark.raw(), fast, &error) ||
+      !InstallChord(joiner.raw(), joiner_cfg, &error)) {
     fprintf(stderr, "chord install failed: %s\n", error.c_str());
     return 1;
   }
   printf("\nforming the ring over UDP (3 wall seconds)...\n");
-  PumpBoth(&driver_a, &driver_b, 3.0);
-  printf("  landmark: succ=%s pred=%s\n", p2::BestSuccAddr(landmark).c_str(),
-         p2::PredAddr(landmark).c_str());
-  printf("  joiner:   succ=%s pred=%s\n", p2::BestSuccAddr(joiner).c_str(),
-         p2::PredAddr(joiner).c_str());
+  PumpBoth(&fleet_a, &fleet_b, 3.0);
+  printf("  landmark: succ=%s pred=%s\n", p2::BestSuccAddr(landmark.raw()).c_str(),
+         p2::PredAddr(landmark.raw()).c_str());
+  printf("  joiner:   succ=%s pred=%s\n", p2::BestSuccAddr(joiner.raw()).c_str(),
+         p2::PredAddr(joiner.raw()).c_str());
 
   p2::DhtConfig dc;
-  if (!InstallDht(landmark, dc, &error) || !InstallDht(joiner, dc, &error)) {
+  if (!InstallDht(landmark.raw(), dc, &error) || !InstallDht(joiner.raw(), dc, &error)) {
     fprintf(stderr, "dht install failed: %s\n", error.c_str());
     return 1;
   }
   std::string got;
-  joiner->SubscribeEvent("dhtGetResp", [&](const p2::TupleRef& t) {
+  joiner.OnEvent("dhtGetResp", [&](const p2::TupleRef& t) {
     got = t->field(4).Truthy() ? t->field(2).AsString() : "(miss)";
   });
   printf("\nput(\"greeting\", \"hello over UDP\") at the landmark...\n");
-  DhtPut(landmark, "greeting", "hello over UDP", 1);
-  PumpBoth(&driver_a, &driver_b, 1.0);
+  DhtPut(landmark.raw(), "greeting", "hello over UDP", 1);
+  PumpBoth(&fleet_a, &fleet_b, 1.0);
   printf("get(\"greeting\") at the joiner...\n");
-  DhtGet(joiner, "greeting", 2);
-  PumpBoth(&driver_a, &driver_b, 1.0);
+  DhtGet(joiner.raw(), "greeting", 2);
+  PumpBoth(&fleet_a, &fleet_b, 1.0);
   printf("  -> %s\n", got.c_str());
-  printf("\ndatagrams: process A sent %llu / received %llu, "
-         "process B sent %llu / received %llu\n",
-         static_cast<unsigned long long>(driver_a.datagrams_sent()),
-         static_cast<unsigned long long>(driver_a.datagrams_received()),
-         static_cast<unsigned long long>(driver_b.datagrams_sent()),
-         static_cast<unsigned long long>(driver_b.datagrams_received()));
+  p2::UdpDriver* da = fleet_a.udp();
+  p2::UdpDriver* db = fleet_b.udp();
+  printf("\ndatagrams: process A sent %llu / received %llu (%.2f envelopes per "
+         "datagram), process B sent %llu / received %llu (%.2f)\n",
+         static_cast<unsigned long long>(da->datagrams_sent()),
+         static_cast<unsigned long long>(da->datagrams_received()), da->batch_ratio(),
+         static_cast<unsigned long long>(db->datagrams_sent()),
+         static_cast<unsigned long long>(db->datagrams_received()), db->batch_ratio());
   printf("done.\n");
   return 0;
 }

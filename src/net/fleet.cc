@@ -1,8 +1,12 @@
 #include "src/net/fleet.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+
+#include "src/net/udp_driver.h"
 
 namespace p2 {
 
@@ -12,11 +16,20 @@ NetworkConfig FleetConfig::ToNetworkConfig() const {
   net.jitter = jitter;
   net.loss_rate = loss_rate;
   net.seed = DeriveSeed(seed, "net");
-  net.shards = shards;
+  // The udp backend is single-threaded by construction: the driver pumps one
+  // scheduler against the wall clock, and the windowed shard protocol has no
+  // meaning when the transport is a physical network.
+  net.shards = backend == FleetBackend::kUdp ? 1 : shards;
   return net;
 }
 
-Fleet::Fleet(FleetConfig config) : config_(config), net_(config.ToNetworkConfig()) {}
+Fleet::Fleet(FleetConfig config) : config_(config), net_(config_.ToNetworkConfig()) {
+  if (config_.backend == FleetBackend::kUdp) {
+    driver_ = std::make_unique<UdpDriver>(this);
+  }
+}
+
+Fleet::~Fleet() = default;
 
 NodeHandle Fleet::AddNode(const std::string& addr) {
   return AddNode(addr, config_.node_defaults);
@@ -28,13 +41,60 @@ NodeHandle Fleet::AddNode(const std::string& addr, NodeOptions options) {
   // node-add order. The `| 1` keeps the stream seed odd and nonzero, matching the
   // historical testbed convention.
   options.seed = DeriveSeed(config_.seed, "node/" + addr) | 1;
-  return NodeHandle(this, net_.AddNode(addr, options));
+  return AddSeededNode(addr, options);
 }
 
 NodeHandle Fleet::AddNodeWithSeed(const std::string& addr, NodeOptions options,
                                   uint64_t seed) {
   options.seed = seed;
-  return NodeHandle(this, net_.AddNode(addr, options));
+  return AddSeededNode(addr, options);
+}
+
+NodeHandle Fleet::AddSeededNode(const std::string& addr, NodeOptions options) {
+  if (driver_ == nullptr) {
+    return NodeHandle(this, net_.AddNode(addr, options));
+  }
+  // udp backend: the node's address stays the logical name; the driver binds its
+  // socket and self-registers the name -> socket mapping. A bind failure is an
+  // environment error (port exhausted / already taken), fatal like a duplicate
+  // address in the sim path.
+  uint16_t port = 0;
+  if (config_.udp_base_port != 0) {
+    port = static_cast<uint16_t>(config_.udp_base_port + net_.AllNodes().size());
+  }
+  std::string error;
+  NodeHandle handle = driver_->CreateNode(addr, port, options, &error);
+  if (!handle.valid()) {
+    std::fprintf(stderr, "Fleet::AddNode(%s): %s\n", addr.c_str(), error.c_str());
+    std::abort();
+  }
+  return handle;
+}
+
+void Fleet::RunUntil(double t) {
+  if (driver_ != nullptr) {
+    double dt = t - net_.Now();
+    if (dt > 0) {
+      driver_->RunFor(dt);
+    }
+    return;
+  }
+  net_.RunUntil(t);
+}
+
+void Fleet::RunFor(double dt) {
+  if (driver_ != nullptr) {
+    driver_->RunFor(dt);
+    return;
+  }
+  net_.RunFor(dt);
+}
+
+void Fleet::RegisterPeer(const std::string& name, const std::string& socket_addr) {
+  assert(driver_ != nullptr && "Fleet::RegisterPeer: sim backend has no peers");
+  if (driver_ != nullptr) {
+    driver_->RegisterPeer(name, socket_addr);
+  }
 }
 
 NodeHandle Fleet::Handle(const std::string& addr) {

@@ -22,7 +22,9 @@
 #ifndef SRC_NET_FLEET_H_
 #define SRC_NET_FLEET_H_
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +33,17 @@
 #include "src/trace/replay.h"
 
 namespace p2 {
+
+// Which transport carries inter-node tuples (docs/DEPLOYMENT.md):
+//   kSim — the deterministic simulated Network (latency/jitter/loss, shards,
+//          fault injection); virtual time advances only inside Run calls.
+//   kUdp — real UDP sockets on loopback or a LAN, driven by a non-blocking
+//          poll loop (src/net/udp_driver.h) that pumps the virtual clock
+//          against the wall clock. RunFor(dt) takes dt *wall* seconds and
+//          advances virtual time by the same amount; shards are forced to 1
+//          and the simulated fault pipeline is bypassed (the physical network
+//          — or UdpDriver::SetEgressLossRate — supplies loss).
+enum class FleetBackend { kSim, kUdp };
 
 // The single, layered configuration for a fleet. Replaces the overlapping
 // NetworkConfig::seed / TestbedConfig::seed / NodeOptions::seed knobs: set one
@@ -47,11 +60,26 @@ struct FleetConfig {
   // derives it (see above) so runs replay regardless of add order.
   NodeOptions node_defaults;
 
-  // The NetworkConfig this expands to (seed already derived).
+  // ---- transport backend (docs/DEPLOYMENT.md) ----
+  FleetBackend backend = FleetBackend::kSim;
+  // kUdp only: the interface sockets bind on.
+  std::string udp_host = "127.0.0.1";
+  // kUdp only: 0 binds every node on an ephemeral port; N binds the i-th added
+  // node on port N+i (fleetd profiles that pre-share the address map use this).
+  uint16_t udp_base_port = 0;
+  // kUdp only: datagram payload budget for batched envelope frames. Envelopes
+  // bound for one destination coalesce until the frame would exceed this (a
+  // single larger envelope still goes out alone). 1400 stays under a typical
+  // ethernet MTU; loopback deployments can raise it toward 65507.
+  size_t udp_max_datagram = 1400;
+
+  // The NetworkConfig this expands to (seed already derived; shards forced to 1
+  // when backend == kUdp).
   NetworkConfig ToNetworkConfig() const;
 };
 
 class Fleet;
+class UdpDriver;
 
 // A cheap, copyable reference to one node of a Fleet. Immediate methods run
 // host-side and are safe between Run calls; the *At variants post the operation
@@ -59,6 +87,10 @@ class Fleet;
 class NodeHandle {
  public:
   NodeHandle() = default;
+
+  // False for a default-constructed handle (e.g. UdpDriver::CreateNode after a
+  // bind failure); every other accessor requires a valid handle.
+  bool valid() const { return node_ != nullptr; }
 
   const std::string& addr() const { return node_->addr(); }
   int shard() const { return node_->shard_index(); }
@@ -137,6 +169,7 @@ class NodeHandle {
 class Fleet {
  public:
   explicit Fleet(FleetConfig config = FleetConfig());
+  ~Fleet();
 
   Fleet(const Fleet&) = delete;
   Fleet& operator=(const Fleet&) = delete;
@@ -161,11 +194,24 @@ class Fleet {
   // All nodes in address order.
   std::vector<NodeHandle> Handles();
 
-  // Runs the simulation; blocks until every shard's clock reaches the target, so
-  // host code before/after never overlaps shard threads.
-  void RunUntil(double t) { net_.RunUntil(t); }
-  void RunFor(double dt) { net_.RunFor(dt); }
+  // Runs the fleet. Sim backend: blocks until every shard's clock reaches the
+  // target, so host code before/after never overlaps shard threads. Udp backend:
+  // pumps sockets and timers for the equivalent *wall* duration — virtual time
+  // advances in lockstep with the wall clock (re-anchored per call; wall time
+  // spent between calls never leaks into the virtual clock).
+  void RunUntil(double t);
+  void RunFor(double dt);
   double Now() const { return net_.Now(); }
+
+  // ---- udp backend surface (null / no-op under kSim) ----
+  // The real-socket driver: counters (datagrams, envelopes, batching ratio) and
+  // fault injection (SetEgressLossRate) live there.
+  UdpDriver* udp() { return driver_.get(); }
+  // Maps a logical node name from another process to its bound socket address
+  // ("host:port"), so tuples addressed to it leave through the gateway. Local
+  // nodes self-register when added; fleetd's rendezvous exchange feeds remote
+  // entries here (docs/DEPLOYMENT.md).
+  void RegisterPeer(const std::string& name, const std::string& socket_addr);
 
   // ---- network-level fault injection (host-side, between runs) ----
   void SetLinkFault(const std::string& src, const std::string& dst,
@@ -197,8 +243,16 @@ class Fleet {
   Network& network() { return net_; }
 
  private:
+  // Shared tail of AddNode/AddNodeWithSeed once the seed is resolved: creates
+  // the node in the simulated Network, or through the udp driver (socket bind +
+  // peer self-registration) under the kUdp backend.
+  NodeHandle AddSeededNode(const std::string& addr, NodeOptions options);
+
   FleetConfig config_;
   Network net_;
+  // kUdp backend only; declared after net_ so the driver (which unhooks itself
+  // from the network) is destroyed first.
+  std::unique_ptr<UdpDriver> driver_;
 };
 
 }  // namespace p2

@@ -99,6 +99,19 @@ size_t Network::SendReturningSize(const std::string& src, const std::string& dst
   ChannelState& channel = ChannelFor(shard, src, dst);
   ++channel.msgs;
   channel.bytes += size;
+  // External-only routing (real-socket backends): every non-self message leaves
+  // through the gateway — even when the destination node lives in this same
+  // Network — so single-process deployments still exercise the real transport.
+  // The simulated fault pipeline is skipped: the physical network (or the
+  // driver's own egress-loss injector) supplies loss and latency.
+  if (external_only_) {
+    if (external_sender_) {
+      external_sender_(dst, bytes);
+    } else {
+      ++shard.dropped_msgs;
+    }
+    return size;
+  }
   // Fault pipeline: global loss first, then partition cuts, then the link's own
   // fault spec. Every draw comes from the link's stream, in a fixed per-message
   // order, so the sequence depends only on this link's send history.

@@ -190,6 +190,16 @@ class Network {
       std::function<void(const std::string& dst, const std::string& bytes)>;
   void SetExternalSender(ExternalSender sender) { external_sender_ = std::move(sender); }
 
+  // External-only routing: when true, EVERY message whose destination is not the
+  // sending node itself goes through the external sender, including messages
+  // between nodes of this same Network — real-socket backends set this so a
+  // single-process deployment still puts its traffic on actual sockets (self
+  // deliveries never reach the Network; Node::RouteTuple short-circuits them).
+  // The simulated latency/jitter/loss/fault pipeline is bypassed. Single-shard
+  // use only, like SetExternalSender.
+  void SetExternalOnly(bool on) { external_only_ = on; }
+  bool external_only() const { return external_only_; }
+
   // All nodes in address order.
   std::vector<Node*> AllNodes();
 
@@ -251,6 +261,7 @@ class Network {
   uint64_t windows_ = 0;
   uint64_t critical_path_ns_ = 0;
   ExternalSender external_sender_;
+  bool external_only_ = false;
   MetricsSink* metrics_sink_ = nullptr;
 
   // Worker pool: shards 1..K-1 each get a thread, parked on `pool_cv_` between

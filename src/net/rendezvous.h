@@ -1,0 +1,54 @@
+// Rendezvous: the launcher protocol that lets N fleetd processes self-assemble
+// into one fleet (docs/DEPLOYMENT.md), MPI-rank style.
+//
+// Every process hosts a subset of the fleet's nodes and knows only its own
+// name -> socket bindings (UdpDriver::LocalMap). The seed process (the one given
+// `--listen`) binds a known control port and collects registrations; joiners
+// register against it and fetch the merged address map:
+//
+//   joiner -> seed   "P2RDV1 REG"  + one "name host:port" line per local node,
+//                    re-sent every `retry` seconds until the map arrives
+//   seed  -> joiner  "P2RDV1 MAP"  + one line per node of the whole fleet, sent
+//                    to every registrant once all `expected` processes are in
+//                    (and re-sent in response to any late/duplicate REG, so a
+//                    lost MAP datagram only costs one retry interval)
+//   joiner -> seed   "P2RDV1 ACK"  lets the seed finish early; a lost ACK only
+//                    delays the seed until it has re-offered the map to
+//                    stragglers (see RendezvousExchange).
+//
+// Single-datagram messages: a 256-node fleet map is ~5KB, far under the 64KB UDP
+// ceiling (the exchange fails loudly past it). The control socket is separate
+// from every node socket and is closed when the exchange returns.
+
+#ifndef SRC_NET_RENDEZVOUS_H_
+#define SRC_NET_RENDEZVOUS_H_
+
+#include <map>
+#include <string>
+
+namespace p2 {
+
+struct RendezvousConfig {
+  // Seed process: the control address to bind, "host:port" (":port" binds
+  // 127.0.0.1). Empty for joiners.
+  std::string listen;
+  // Joiner process: the seed's control address. Empty for the seed.
+  std::string seed_addr;
+  // Seed only: total number of processes in the deployment, seed included.
+  int expected = 1;
+  double timeout = 30.0;  // wall seconds before the exchange fails
+  double retry = 0.2;     // REG / MAP re-send interval, wall seconds
+};
+
+// Blocking address-map exchange. `local` is this process's name -> "host:port"
+// bindings; on success `*full` holds the union across all processes. Returns
+// false and sets `error` on bind failure, malformed config, conflicting
+// registrations (one name from two processes), oversized maps, or timeout.
+bool RendezvousExchange(const RendezvousConfig& config,
+                        const std::map<std::string, std::string>& local,
+                        std::map<std::string, std::string>* full,
+                        std::string* error);
+
+}  // namespace p2
+
+#endif  // SRC_NET_RENDEZVOUS_H_

@@ -469,4 +469,73 @@ bool DecodeEnvelopeFast(const std::string& bytes, WireEnvelope* out) {
   return c.p == c.end;
 }
 
+// ---- batched datagram frames ----
+
+bool IsBatchFrame(const std::string& bytes) {
+  return !bytes.empty() && static_cast<uint8_t>(bytes[0]) == kBatchFrameMagic;
+}
+
+void BatchFrameBuilder::Add(const std::string& envelope) {
+  PutU32(static_cast<uint32_t>(envelope.size()), &payload_);
+  payload_.append(envelope);
+  ++count_;
+}
+
+size_t BatchFrameBuilder::frame_size() const {
+  return 1 /*magic*/ + 1 /*version*/ + 4 /*count*/ + payload_.size();
+}
+
+std::string BatchFrameBuilder::Take() {
+  std::string frame;
+  frame.reserve(frame_size());
+  PutU8(kBatchFrameMagic, &frame);
+  PutU8(kBatchFrameVersion, &frame);
+  PutU32(count_, &frame);
+  frame.append(payload_);
+  payload_.clear();
+  count_ = 0;
+  return frame;
+}
+
+std::string EncodeBatchFrame(const std::vector<std::string>& envelopes) {
+  BatchFrameBuilder builder;
+  for (const std::string& env : envelopes) {
+    builder.Add(env);
+  }
+  return builder.Take();
+}
+
+bool DecodeBatchFrame(const std::string& frame, std::vector<std::string>* envelopes) {
+  envelopes->clear();
+  size_t pos = 0;
+  uint8_t magic = 0;
+  uint8_t version = 0;
+  uint32_t count = 0;
+  if (!GetU8(frame, &pos, &magic) || magic != kBatchFrameMagic ||
+      !GetU8(frame, &pos, &version) || version != kBatchFrameVersion ||
+      !GetU32(frame, &pos, &count)) {
+    return false;
+  }
+  // Each record costs at least its 4-byte length prefix; an impossible count is
+  // rejected before any allocation.
+  if (count > (frame.size() - pos) / 4) {
+    envelopes->clear();
+    return false;
+  }
+  envelopes->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string env;
+    if (!GetStr(frame, &pos, &env)) {
+      envelopes->clear();
+      return false;
+    }
+    envelopes->push_back(std::move(env));
+  }
+  if (pos != frame.size()) {  // trailing bytes: corrupt
+    envelopes->clear();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace p2

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/runtime/tuple.h"
 #include "src/runtime/value.h"
@@ -70,6 +71,60 @@ bool DecodeEnvelope(const std::string& bytes, WireEnvelope* out);
 // often SSO-inline, resting place. The legacy decoder is kept alongside so the
 // decode-equivalence suite can diff the two on every input.
 bool DecodeEnvelopeFast(const std::string& bytes, WireEnvelope* out);
+
+// ---- batched datagram frames (real-socket transport, src/net/udp_driver.h) ----
+//
+// A batch frame coalesces every envelope bound for one destination within a pump
+// iteration into a single datagram, cutting syscall and per-datagram header
+// overhead on gossip-heavy monitors:
+//
+//   u8  magic    (kBatchFrameMagic)
+//   u8  version  (kBatchFrameVersion)
+//   u32 envelope count
+//   count x { u32 length | envelope bytes (EncodeEnvelope output, verbatim) }
+//
+// A legacy single-envelope datagram starts with its flags byte, which only uses
+// bits 0-2 (values 0..7), so a magic byte >= 8 can never collide with one: a
+// receiver dispatches on the first byte (IsBatchFrame) and still accepts
+// unbatched datagrams from older senders. Sub-envelopes keep their exact
+// per-envelope encoding — reliable/ack metadata rides along untouched, so the
+// reliable transport is batching-agnostic. The simulated Network never frames
+// (its per-message delivery is the determinism contract); only real-socket
+// drivers do.
+//
+// DecodeBatchFrame is strict: wrong magic or version, a truncated or oversized
+// sub-envelope length, a count mismatch, and trailing bytes all fail.
+
+inline constexpr uint8_t kBatchFrameMagic = 0xB7;
+inline constexpr uint8_t kBatchFrameVersion = 1;
+
+// True if `bytes` begins with the batch-frame magic (cheap receive dispatch).
+bool IsBatchFrame(const std::string& bytes);
+
+// Accumulates encoded envelopes bound for one destination into a single frame.
+class BatchFrameBuilder {
+ public:
+  void Add(const std::string& envelope);
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  // Size of the datagram Take() would produce now (header included).
+  size_t frame_size() const;
+  // Bytes Add(envelope) would grow the frame by.
+  static size_t CostOf(const std::string& envelope) { return 4 + envelope.size(); }
+  // Returns the completed frame and resets the builder for reuse.
+  std::string Take();
+
+ private:
+  std::string payload_;  // concatenated { u32 length | bytes } records
+  uint32_t count_ = 0;
+};
+
+// One-shot encoder (tests, simple senders).
+std::string EncodeBatchFrame(const std::vector<std::string>& envelopes);
+
+// Splits a frame back into envelope byte strings. Returns false on any
+// malformed input; `envelopes` is left empty in that case.
+bool DecodeBatchFrame(const std::string& frame, std::vector<std::string>* envelopes);
 
 }  // namespace p2
 

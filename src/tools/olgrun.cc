@@ -1,8 +1,15 @@
-// olgrun: command-line runner for OverLog deployments on the simulated network.
+// olgrun: command-line runner for OverLog deployments on the simulated network —
+// or over real UDP sockets with --backend=udp.
 //
-//   olgrun [--metrics-out <path>] [--forensics-query <addr|all> <key> <t1> <t2>]
+//   olgrun [--backend sim|udp] [--metrics-out <path>]
+//          [--forensics-query <addr|all> <key> <t1> <t2>]
 //          [--forensics-out <path>] <scenario-file>    run a scenario script
 //   olgrun --chord-program                             print the built-in Chord program
+//
+// --backend=udp runs the same scenario file unchanged over loopback sockets
+// (docs/DEPLOYMENT.md): nodes keep their logical names, `run <secs>` advances
+// wall-clock seconds, and sim-only directives (linkfault/partition/heal,
+// shards>1) become errors. Equivalent to a `net backend=udp` line in the script.
 //
 // --metrics-out streams one telemetry snapshot per node per soft-state sweep to
 // <path> (format by extension: ".csv" -> CSV, anything else -> JSON Lines); the
@@ -32,7 +39,7 @@ namespace {
 
 int Usage(const char* prog) {
   fprintf(stderr,
-          "usage: %s [--metrics-out <path>] "
+          "usage: %s [--backend sim|udp] [--metrics-out <path>] "
           "[--forensics-query <addr|all> <key> <t1> <t2>] [--forensics-out <path>] "
           "<scenario-file>\n"
           "       %s --chord-program\n",
@@ -44,6 +51,7 @@ int Usage(const char* prog) {
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string backend;
   std::string scenario;
   std::string query_addr;
   std::string query_key;
@@ -56,6 +64,17 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--chord-program") == 0) {
       fputs(p2::ChordProgram().c_str(), stdout);
       return 0;
+    }
+    if (std::strcmp(arg, "--backend") == 0) {
+      if (i + 1 >= argc) {
+        return Usage(argv[0]);
+      }
+      backend = argv[++i];
+      continue;
+    }
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      backend = arg + 10;
+      continue;
     }
     if (std::strcmp(arg, "--metrics-out") == 0) {
       if (i + 1 >= argc) {
@@ -116,6 +135,17 @@ int main(int argc, char** argv) {
   // the fleet's stores.
   p2::ScenarioRunner runner;
   std::string error;
+  if (!backend.empty()) {
+    if (backend == "sim") {
+      runner.SetBackend(p2::FleetBackend::kSim);
+    } else if (backend == "udp") {
+      runner.SetBackend(p2::FleetBackend::kUdp);
+    } else {
+      fprintf(stderr, "error: --backend must be sim|udp, got '%s'\n",
+              backend.c_str());
+      return 2;
+    }
+  }
   if (!metrics_out.empty() && !runner.SetMetricsOut(metrics_out, &error)) {
     fprintf(stderr, "error: %s\n", error.c_str());
     return 1;

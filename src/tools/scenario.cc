@@ -3,8 +3,11 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <vector>
+
+#include "src/net/udp_driver.h"
 
 #include "src/apps/dht.h"
 #include "src/chord/chord.h"
@@ -270,6 +273,21 @@ struct ScenarioRunner::Impl {
   };
   PendingLimits pending_limits;
 
+  // Partitioned multi-process execution (fleetd --index/--procs): the k-th
+  // `node` directive is hosted here iff k % proc_count == proc_index; names
+  // hosted elsewhere are recorded so directives addressing them are skipped
+  // (distinct from an unknown-name error — every process runs one profile).
+  int proc_index = 0;
+  int proc_count = 1;
+  int node_ordinal = 0;
+  std::set<std::string> remote_nodes;
+
+  // Rendezvous exchange, performed at the first `run` (all local nodes exist by
+  // then, none has pumped wall-clock time yet).
+  bool have_rendezvous = false;
+  bool rendezvous_done = false;
+  RendezvousConfig rendezvous;
+
   void Print(const std::string& s) {
     if (out) {
       out(s);
@@ -285,6 +303,29 @@ ScenarioRunner::ScenarioRunner(std::function<void(const std::string&)> out)
 }
 
 ScenarioRunner::~ScenarioRunner() = default;
+
+void ScenarioRunner::SetBackend(FleetBackend backend) {
+  impl_->fleet_config.backend = backend;
+}
+
+bool ScenarioRunner::ConfigureProcesses(int index, int procs, std::string* error) {
+  if (procs < 1 || index < 0 || index >= procs) {
+    *error = StrFormat("bad process slot: index %d of %d", index, procs);
+    return false;
+  }
+  if (procs > 1 && impl_->fleet_config.backend != FleetBackend::kUdp) {
+    *error = "multi-process execution requires the udp backend";
+    return false;
+  }
+  impl_->proc_index = index;
+  impl_->proc_count = procs;
+  return true;
+}
+
+void ScenarioRunner::SetRendezvous(const RendezvousConfig& config) {
+  impl_->rendezvous = config;
+  impl_->have_rendezvous = true;
+}
 
 bool ScenarioRunner::RunScript(const std::string& script, std::string* error) {
   std::istringstream in(script);
@@ -320,7 +361,10 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     }
     return true;
   };
-  // Resolves <addr|all> into a handle list.
+  // Resolves <addr|all> into a handle list. A node hosted by another process
+  // (fleetd --procs) resolves successfully to an EMPTY list: the directive is
+  // someone else's to execute, and every handler below treats no-handles as a
+  // no-op. Unknown names still fail.
   auto resolve = [&](const std::string& which, std::vector<NodeHandle>* nodes) -> bool {
     if (!need_network()) {
       return false;
@@ -330,11 +374,19 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       return true;
     }
     if (!fleet_->HasNode(which)) {
+      if (impl_->remote_nodes.count(which) > 0) {
+        return true;
+      }
       *error = "unknown node: " + which;
       return false;
     }
     nodes->push_back(fleet_->Handle(which));
     return true;
+  };
+  // A node name valid somewhere in the deployment (local or remote).
+  auto known_node = [&](const std::string& addr) -> bool {
+    return (fleet_ != nullptr && fleet_->HasNode(addr)) ||
+           impl_->remote_nodes.count(addr) > 0;
   };
 
   if (cmd == "net") {
@@ -375,6 +427,26 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
           return false;
         }
         impl_->fleet_config.shards = static_cast<int>(shards);
+      } else if (k == "backend") {
+        if (v == "sim") {
+          impl_->fleet_config.backend = FleetBackend::kSim;
+        } else if (v == "udp") {
+          impl_->fleet_config.backend = FleetBackend::kUdp;
+        } else {
+          *error = "backend must be sim|udp: " + v;
+          return false;
+        }
+      } else if (k == "mtu") {
+        // Datagram payload budget for batched envelope frames (udp backend).
+        uint64_t mtu = 0;
+        if (!ParseU64Arg(v, "mtu", &mtu, error)) {
+          return false;
+        }
+        if (mtu < 512 || mtu > 65507) {
+          *error = "mtu must be in [512,65507]: " + v;
+          return false;
+        }
+        impl_->fleet_config.udp_max_datagram = static_cast<size_t>(mtu);
       } else {
         *error = "unknown net option: " + k;
         return false;
@@ -396,7 +468,21 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       *error = "node <addr> [trace] [seed=N]";
       return false;
     }
+    // Partitioned execution: the k-th node directive belongs to process
+    // k % procs. Remote nodes are recorded (so later directives naming them are
+    // skipped, not rejected) and nothing is created locally.
+    int ordinal = impl_->node_ordinal++;
+    if (impl_->proc_count > 1 && ordinal % impl_->proc_count != impl_->proc_index) {
+      impl_->remote_nodes.insert(words[1]);
+      return true;
+    }
     if (fleet_ == nullptr) {
+      if (impl_->fleet_config.shards > 1 &&
+          impl_->fleet_config.backend == FleetBackend::kUdp) {
+        *error = "net shards>1 is not supported with backend=udp "
+                 "(the driver pumps one scheduler against the wall clock)";
+        return false;
+      }
       if (impl_->fleet_config.shards > 1 && impl_->fleet_config.latency <= 0) {
         *error = "net shards>1 requires latency>0 (the shard lookahead)";
         return false;
@@ -483,7 +569,8 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
 
   if (cmd == "chord") {
     if (words.size() < 2) {
-      *error = "chord <addr|all> [landmark=<addr>]";
+      *error = "chord <addr|all> [landmark=<addr>] [stabilize=X] [ping=X] "
+               "[finger=X] [timeout=X] [rejoin=X]";
       return false;
     }
     std::vector<NodeHandle> nodes;
@@ -491,18 +578,55 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       return false;
     }
     std::string landmark;
+    ChordConfig base_cfg;
     for (size_t i = 2; i < words.size(); ++i) {
       std::string k;
       std::string v;
-      if (SplitKv(words[i], &k, &v) && k == "landmark") {
+      if (!SplitKv(words[i], &k, &v)) {
+        *error = "unknown chord option: " + words[i];
+        return false;
+      }
+      if (k == "landmark") {
         landmark = v;
+      } else if (k == "stabilize") {
+        if (!ParseDurationArg(v, "stabilize", &base_cfg.stabilize_period, error)) {
+          return false;
+        }
+      } else if (k == "ping") {
+        if (!ParseDurationArg(v, "ping", &base_cfg.ping_period, error)) {
+          return false;
+        }
+      } else if (k == "finger") {
+        if (!ParseDurationArg(v, "finger", &base_cfg.finger_period, error)) {
+          return false;
+        }
+      } else if (k == "timeout") {
+        if (!ParseDurationArg(v, "timeout", &base_cfg.ping_timeout, error)) {
+          return false;
+        }
+      } else if (k == "rejoin") {
+        if (!ParseDurationArg(v, "rejoin", &base_cfg.rejoin_check_period, error)) {
+          return false;
+        }
       } else {
         *error = "unknown chord option: " + words[i];
         return false;
       }
     }
+    if (impl_->proc_count > 1) {
+      // A per-process default landmark would bootstrap a different ring in every
+      // process; multi-process profiles must name one node explicitly.
+      if (landmark.empty()) {
+        *error = "chord needs an explicit landmark= under multi-process execution";
+        return false;
+      }
+      if (!known_node(landmark)) {
+        *error = "unknown node: " + landmark;
+        return false;
+      }
+    }
     for (NodeHandle& node : nodes) {
-      ChordConfig cfg;
+      ChordConfig cfg = base_cfg;
       cfg.landmark = (node.addr() == landmark) ? std::string() : landmark;
       if (landmark.empty() && node.addr() != nodes.front().addr()) {
         cfg.landmark = nodes.front().addr();
@@ -553,6 +677,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!ParseU64Arg(words.back(), "reqid", &req, error)) {
       return false;
     }
+    if (nodes.empty()) {  // remote node: another process runs this line
+      return true;
+    }
     nodes[0].Call([&](Node* n) {
       if (cmd == "put") {
         DhtPut(n, words[2], words[3], req);
@@ -571,6 +698,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
       return false;
     }
+    if (nodes.empty()) {
+      return true;
+    }
     nodes[0].Call([&](Node* n) { AddMember(n, words[2]); });
     return true;
   }
@@ -586,6 +716,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     uint64_t rumor = 0;
     if (!ParseU64Arg(words[2], "rumor-id", &rumor, error)) {
       return false;
+    }
+    if (nodes.empty()) {
+      return true;
     }
     nodes[0].Call([&](Node* n) { PublishRumor(n, rumor, words[3]); });
     return true;
@@ -692,6 +825,24 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!ParseDurationArg(words[1], "run", &secs, error)) {
       return false;
     }
+    // Multi-process runs exchange the address map once, before any wall-clock
+    // pumping: every local node exists by the first `run`, and no tuple has
+    // needed a remote socket address yet.
+    if (impl_->have_rendezvous && !impl_->rendezvous_done) {
+      UdpDriver* driver = fleet_->udp();
+      if (driver == nullptr) {
+        *error = "rendezvous requires backend=udp";
+        return false;
+      }
+      std::map<std::string, std::string> full;
+      if (!RendezvousExchange(impl_->rendezvous, driver->LocalMap(), &full, error)) {
+        return false;
+      }
+      for (const auto& [name, addr] : full) {
+        fleet_->RegisterPeer(name, addr);
+      }
+      impl_->rendezvous_done = true;
+    }
     fleet_->RunFor(secs);
     return true;
   }
@@ -732,6 +883,16 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
       }
     }
     return true;
+  }
+
+  if (cmd == "linkfault" || cmd == "partition" || cmd == "heal") {
+    // The simulated fault pipeline does not exist over real sockets; the udp
+    // backend injects loss through UdpDriver::SetEgressLossRate instead
+    // (docs/DEPLOYMENT.md).
+    if (fleet_ != nullptr && fleet_->udp() != nullptr) {
+      *error = cmd + " is not supported with backend=udp";
+      return false;
+    }
   }
 
   if (cmd == "linkfault") {
@@ -886,6 +1047,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     uint64_t want64 = 0;
     if (!ParseU64Arg(words[3], "count", &want64, error)) {
       return false;
+    }
+    if (nodes.empty()) {  // remote node: its own process checks this expectation
+      return true;
     }
     size_t want = static_cast<size_t>(want64);
     size_t got = nodes[0].Count(words[2]);
@@ -1112,7 +1276,10 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
     if (!resolve(words[1], &nodes)) {
       return false;
     }
-    std::string initiator = nodes.front().addr();
+    if (nodes.empty()) {
+      return true;
+    }
+    std::string initiator;
     SnapshotConfig snap_cfg;
     RingCheckConfig ring_cfg;
     for (size_t i = 2; i < words.size(); ++i) {
@@ -1123,7 +1290,9 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         return false;
       }
       if (k == "initiator") {
-        if (!fleet_->HasNode(v)) {
+        // The initiator may be hosted by another process (fleetd --procs); only
+        // local nodes get initiator=true below.
+        if (!known_node(v)) {
           *error = "unknown node: " + v;
           return false;
         }
@@ -1148,6 +1317,15 @@ bool ScenarioRunner::RunLine(const std::string& raw, std::string* error) {
         *error = "unknown monitors option: " + k;
         return false;
       }
+    }
+    if (initiator.empty()) {
+      if (impl_->proc_count > 1) {
+        // Defaulting per process would elect one initiator per process.
+        *error = "monitors needs an explicit initiator= under multi-process "
+                 "execution";
+        return false;
+      }
+      initiator = nodes.front().addr();
     }
     for (NodeHandle& node : nodes) {
       if (!node.Install(

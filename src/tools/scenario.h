@@ -7,6 +7,12 @@
 //   net latency=0.02 jitter=0.01 loss=0 seed=42 shards=1   # before any node; optional
 //                                                 # shards>1 = parallel fleet runtime
 //                                                 # (needs latency>0; docs/SCALING.md)
+//       backend=sim|udp mtu=<bytes>               # udp = real loopback/LAN sockets
+//                                                 # (docs/DEPLOYMENT.md); run <secs>
+//                                                 # then advances wall-clock time;
+//                                                 # mtu bounds batched datagrams;
+//                                                 # shards>1, loss, linkfault,
+//                                                 # partition, heal are sim-only
 //   metrics <path>                                # stream per-sweep telemetry
 //                                                 # (.csv -> CSV, else JSONL)
 //   node <addr> [trace] [seed=N]                  # create a node (seed derives from
@@ -21,6 +27,8 @@
 //                                                 # writes a JSONL chain export, min=
 //                                                 # is an expectation on chain count
 //   chord <addr|all> [landmark=<addr>]            # install the built-in Chord overlay
+//         [stabilize=X] [ping=X] [finger=X] [timeout=X] [rejoin=X]   # protocol periods
+//                                                 # (seconds; paper defaults apply)
 //   monitors <addr|all> [initiator=<addr>]        # ring checks + C-L snapshots
 //            [snap_period=X] [abort=X] [check=X] [probe=X]     # (needs chord)
 //   dht <addr|all>                                # DHT put/get layer (needs chord)
@@ -60,6 +68,7 @@
 #include <string>
 
 #include "src/net/fleet.h"
+#include "src/net/rendezvous.h"
 
 namespace p2 {
 
@@ -71,6 +80,26 @@ class ScenarioRunner {
 
   ScenarioRunner(const ScenarioRunner&) = delete;
   ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  // Forces the transport backend before the script runs (olgrun --backend=...,
+  // fleetd). Existing scenario files run unchanged over real sockets this way; a
+  // `net backend=` directive inside the script has the same effect. Must be
+  // called before the first `node` line executes.
+  void SetBackend(FleetBackend backend);
+
+  // Partitioned multi-process execution (fleetd --index/--procs): this process
+  // hosts the k-th `node` directive of the script iff k % procs == index; every
+  // other node is recorded as remote, and directives addressing a remote node
+  // are skipped (not errors — each process runs the identical profile). `all`
+  // resolves to the local nodes. Requires the udp backend; with procs > 1,
+  // `chord` needs an explicit landmark= and `monitors` an explicit initiator=
+  // (a per-process default would name a different node in every process).
+  bool ConfigureProcesses(int index, int procs, std::string* error);
+
+  // Address-map exchange for multi-process runs (docs/DEPLOYMENT.md): performed
+  // once, at the first `run` line — every local node exists by then — before any
+  // wall-clock pumping. The full map feeds Fleet::RegisterPeer.
+  void SetRendezvous(const RendezvousConfig& config);
 
   // Runs a whole script. Returns false and sets `error` on the first failing line.
   bool RunScript(const std::string& script, std::string* error);

@@ -170,5 +170,109 @@ TEST(WireTest, OversizedListLengthRejected) {
   EXPECT_FALSE(DecodeValue(bytes, &pos, &out));
 }
 
+// ---- batched wire frames (docs/DEPLOYMENT.md) ----
+
+std::vector<std::string> SampleEnvelopes(int n) {
+  std::vector<std::string> out;
+  for (int i = 0; i < n; ++i) {
+    WireEnvelope env;
+    env.src_addr = "n" + std::to_string(i);
+    if (i % 3 == 1) {
+      env.reliable = true;
+      env.epoch = 4;
+      env.seq = static_cast<uint64_t>(i);
+    } else if (i % 3 == 2) {
+      env.is_ack = true;
+      env.epoch = 4;
+      env.ack_seq = static_cast<uint64_t>(i);
+    }
+    if (!env.is_ack) {
+      env.tuple = Tuple::Make("x", {Value::Str("dst"), Value::Int(i)});
+    }
+    out.push_back(EncodeEnvelope(env));
+  }
+  return out;
+}
+
+TEST(WireTest, BatchFrameRoundTripsByteExact) {
+  // N envelopes (plain, reliable, and ack mixed) -> one datagram -> the same N
+  // byte strings, in order. Sub-envelopes are opaque to the frame, so reliable
+  // seq/ack metadata rides along untouched.
+  std::vector<std::string> envs = SampleEnvelopes(7);
+  std::string frame = EncodeBatchFrame(envs);
+  ASSERT_TRUE(IsBatchFrame(frame));
+  std::vector<std::string> out;
+  ASSERT_TRUE(DecodeBatchFrame(frame, &out));
+  ASSERT_EQ(out.size(), envs.size());
+  for (size_t i = 0; i < envs.size(); ++i) {
+    EXPECT_EQ(out[i], envs[i]) << "sub-envelope " << i << " not byte-exact";
+  }
+}
+
+TEST(WireTest, BatchFrameBuilderMatchesEncode) {
+  std::vector<std::string> envs = SampleEnvelopes(5);
+  BatchFrameBuilder builder;
+  size_t expect_size = 6;  // magic + version + count
+  for (const std::string& e : envs) {
+    expect_size += BatchFrameBuilder::CostOf(e);
+    builder.Add(e);
+  }
+  EXPECT_EQ(builder.count(), envs.size());
+  EXPECT_EQ(builder.frame_size(), expect_size);
+  std::string frame = builder.Take();
+  EXPECT_EQ(frame, EncodeBatchFrame(envs));
+  EXPECT_TRUE(builder.empty());  // Take resets the builder for reuse
+}
+
+TEST(WireTest, BatchFrameFirstByteNeverCollidesWithEnvelopes) {
+  // The receiver dispatches on the first byte: legacy single-envelope datagrams
+  // start with a flags byte in [0, 8), the frame magic is 0xB7.
+  for (const std::string& e : SampleEnvelopes(6)) {
+    EXPECT_FALSE(IsBatchFrame(e));
+    EXPECT_LT(static_cast<uint8_t>(e[0]), 8);
+  }
+  EXPECT_TRUE(IsBatchFrame(EncodeBatchFrame(SampleEnvelopes(1))));
+}
+
+TEST(WireTest, TruncatedBatchFrameRejected) {
+  std::string frame = EncodeBatchFrame(SampleEnvelopes(3));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<std::string> out;
+    EXPECT_FALSE(DecodeBatchFrame(frame.substr(0, cut), &out)) << cut;
+    EXPECT_TRUE(out.empty()) << "failed decode must not leak partial results";
+  }
+}
+
+TEST(WireTest, BatchFrameTrailingBytesRejected) {
+  std::string frame = EncodeBatchFrame(SampleEnvelopes(2)) + "z";
+  std::vector<std::string> out;
+  EXPECT_FALSE(DecodeBatchFrame(frame, &out));
+}
+
+TEST(WireTest, BatchFrameVersionMismatchRejected) {
+  std::string frame = EncodeBatchFrame(SampleEnvelopes(2));
+  frame[1] = static_cast<char>(kBatchFrameVersion + 1);
+  std::vector<std::string> out;
+  EXPECT_FALSE(DecodeBatchFrame(frame, &out));
+}
+
+TEST(WireTest, BatchFrameCorruptCountRejected) {
+  std::string frame = EncodeBatchFrame(SampleEnvelopes(2));
+  // Claim far more records than the payload can hold.
+  frame[2] = '\xff';
+  frame[3] = '\xff';
+  frame[4] = '\xff';
+  frame[5] = '\x7f';
+  std::vector<std::string> out;
+  EXPECT_FALSE(DecodeBatchFrame(frame, &out));
+}
+
+TEST(WireTest, EmptyBatchFrameRoundTrips) {
+  std::string frame = EncodeBatchFrame({});
+  std::vector<std::string> out{"sentinel"};
+  ASSERT_TRUE(DecodeBatchFrame(frame, &out));
+  EXPECT_TRUE(out.empty());
+}
+
 }  // namespace
 }  // namespace p2

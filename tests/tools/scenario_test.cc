@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/net/udp_driver.h"
 #include "src/tools/scenario.h"
 
 namespace p2 {
@@ -347,6 +348,94 @@ dump n0 snapState
 TEST_F(ScenarioTest, StatsPrints) {
   ASSERT_TRUE(Run("node a\nrun 1\nstats a\n")) << error_;
   EXPECT_NE(output_.find("a: sent="), std::string::npos);
+}
+
+TEST_F(ScenarioTest, UdpBackendRunsScenarioOverRealSockets) {
+  // `net backend=udp` runs the identical script language over loopback sockets;
+  // `run 0.4` now takes ~0.4 wall seconds.
+  const char* script = R"(
+net backend=udp mtu=8192
+node a
+node b
+inline all materialize(s, infinity, 10, keys(1,2)).
+inline a fwd s@Other(X) :- go@NAddr(Other, X).
+inject a go(a, b, 42)
+run 0.4
+expect b s 1
+)";
+  ASSERT_TRUE(Run(script)) << error_;
+  EXPECT_EQ(runner_.expectations_passed(), 1);
+  ASSERT_NE(runner_.fleet()->udp(), nullptr);
+  EXPECT_GE(runner_.fleet()->udp()->datagrams_sent(), 1u);
+  EXPECT_EQ(runner_.fleet()->udp()->max_datagram(), 8192u);
+}
+
+TEST_F(ScenarioTest, UdpBackendRejectsBadOptions) {
+  EXPECT_FALSE(Run("net backend=tcp\n"));
+  EXPECT_NE(error_.find("backend must be sim|udp"), std::string::npos) << error_;
+  EXPECT_FALSE(Run("net backend=udp mtu=100\n"));
+  EXPECT_NE(error_.find("mtu"), std::string::npos) << error_;
+}
+
+TEST_F(ScenarioTest, UdpBackendRejectsShards) {
+  EXPECT_FALSE(Run("net backend=udp shards=2 latency=0.01\nnode a\n"));
+  EXPECT_NE(error_.find("shards"), std::string::npos) << error_;
+}
+
+TEST_F(ScenarioTest, UdpBackendRejectsSimOnlyFaultDirectives) {
+  EXPECT_FALSE(Run("net backend=udp\nnode a\nnode b\nlinkfault a b loss=1\n"));
+  EXPECT_NE(error_.find("linkfault is not supported with backend=udp"),
+            std::string::npos)
+      << error_;
+  EXPECT_FALSE(Run("partition a b\n"));
+  EXPECT_FALSE(Run("heal\n"));
+}
+
+TEST_F(ScenarioTest, SetBackendForcesUdpWithoutNetDirective) {
+  // olgrun --backend=udp: existing scenario files run unchanged over sockets.
+  ScenarioRunner runner;
+  runner.SetBackend(FleetBackend::kUdp);
+  std::string error;
+  ASSERT_TRUE(runner.RunScript("node a\nrun 0.1\n", &error)) << error;
+  EXPECT_NE(runner.fleet()->udp(), nullptr);
+}
+
+TEST_F(ScenarioTest, ConfigureProcessesValidatesSlotAndBackend) {
+  std::string error;
+  EXPECT_FALSE(runner_.ConfigureProcesses(2, 2, &error));  // index out of range
+  EXPECT_FALSE(runner_.ConfigureProcesses(-1, 2, &error));
+  EXPECT_FALSE(runner_.ConfigureProcesses(0, 2, &error));  // procs>1 needs kUdp
+  runner_.SetBackend(FleetBackend::kUdp);
+  EXPECT_TRUE(runner_.ConfigureProcesses(0, 2, &error)) << error;
+}
+
+TEST_F(ScenarioTest, MultiProcessSlicePartitionsNodesAndSkipsRemoteDirectives) {
+  // Process 1 of 2: hosts the odd-ordinal nodes; directives addressing the even
+  // ones are silent no-ops, unknown names are still errors, and `chord` without
+  // an explicit landmark= is rejected (it would differ per process).
+  ScenarioRunner runner;
+  runner.SetBackend(FleetBackend::kUdp);
+  std::string error;
+  ASSERT_TRUE(runner.ConfigureProcesses(1, 2, &error)) << error;
+  const char* script = R"(
+node n0
+node n1
+node n2
+node n3
+inline n0 materialize(t, infinity, 10, keys(1,2)).
+inject n2 t(n2, 1)
+run 0.05
+)";
+  ASSERT_TRUE(runner.RunScript(script, &error)) << error;
+  EXPECT_FALSE(runner.fleet()->HasNode("n0"));
+  EXPECT_TRUE(runner.fleet()->HasNode("n1"));
+  EXPECT_FALSE(runner.fleet()->HasNode("n2"));
+  EXPECT_TRUE(runner.fleet()->HasNode("n3"));
+  EXPECT_FALSE(runner.RunLine("inject nope t(nope, 1)", &error));
+  EXPECT_FALSE(runner.RunLine("chord all", &error));
+  EXPECT_NE(error.find("landmark"), std::string::npos) << error;
+  EXPECT_FALSE(runner.RunLine("monitors all", &error));
+  EXPECT_NE(error.find("initiator"), std::string::npos) << error;
 }
 
 // Regression guard: every shipped scenario file must keep running clean (their
